@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/executor"
+	"repro/internal/executor/exex"
+	"repro/internal/executor/htex"
+	"repro/internal/executor/llex"
+	"repro/internal/executor/threadpool"
+	"repro/internal/provider"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// runLatency reproduces Fig. 3: the distribution of single-task latencies
+// for 1000 sequential no-op tasks per executor, on a Midway-like network
+// (0.07 ms RTT). The paper's ordering — ThreadPool < LLEX < HTEX < EXEX <
+// IPP < Dask — must reproduce; absolute values are lower than the paper's
+// because goroutine workers replace Python processes (see EXPERIMENTS.md).
+func runLatency(tasks int) error {
+	type build struct {
+		name string
+		mk   func(reg *serialize.Registry) (executor.Executor, error)
+	}
+	builds := []build{
+		{"threadpool", func(reg *serialize.Registry) (executor.Executor, error) {
+			return threadpool.New("tp", 1, reg), nil
+		}},
+		{"llex", func(reg *serialize.Registry) (executor.Executor, error) {
+			return llex.New(llex.Config{
+				Label: "llex", Transport: simnet.Midway(), Registry: reg, Workers: 1,
+			}), nil
+		}},
+		{"htex", func(reg *serialize.Registry) (executor.Executor, error) {
+			return htex.New(htex.Config{
+				Label: "htex", Transport: simnet.Midway(), Registry: reg,
+				Provider:   provider.NewLocal(provider.Config{NodesPerBlock: 1}),
+				InitBlocks: 1,
+				Manager:    htex.ManagerConfig{Workers: 1},
+			}), nil
+		}},
+		{"exex", func(reg *serialize.Registry) (executor.Executor, error) {
+			return exex.New(exex.Config{
+				Label: "exex", Transport: simnet.Midway(), Registry: reg,
+				Provider:   provider.NewLocal(provider.Config{NodesPerBlock: 1}),
+				InitBlocks: 1,
+				Pool:       exex.PoolConfig{Ranks: 2, MPILatency: 20 * time.Microsecond},
+			}), nil
+		}},
+		{"ipp", func(reg *serialize.Registry) (executor.Executor, error) {
+			return baselines.NewIPP(1, reg), nil
+		}},
+		{"dask", func(reg *serialize.Registry) (executor.Executor, error) {
+			return baselines.NewDask(1, reg), nil
+		}},
+	}
+
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n", "executor", "mean", "p50", "p95", "min", "max")
+	for _, b := range builds {
+		reg := serialize.NewRegistry()
+		if err := workload.RegisterBenchApps(reg); err != nil {
+			return err
+		}
+		ex, err := b.mk(reg)
+		if err != nil {
+			return err
+		}
+		if err := ex.Start(); err != nil {
+			return err
+		}
+		stats, err := measureLatency(ex, tasks)
+		_ = ex.Shutdown()
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		fmt.Printf("%-12s %10s %10s %10s %10s %10s\n", b.name,
+			fmtDur(stats.mean), fmtDur(stats.p50), fmtDur(stats.p95),
+			fmtDur(stats.min), fmtDur(stats.max))
+	}
+	fmt.Println("\npaper (Fig. 3, avg ms): threadpool ~1.0, llex 3.47, htex 6.87, exex 9.83, ipp 11.72, dask 16.19")
+	fmt.Println("shape check: ordering threadpool < llex < htex < exex < ipp < dask")
+	return nil
+}
+
+type latStats struct {
+	mean, p50, p95, min, max time.Duration
+}
+
+// measureLatency launches `tasks` sequential no-ops, recording submission →
+// completion time for each (the paper's methodology: deploy the worker
+// first, then launch 1000 tasks sequentially).
+func measureLatency(ex executor.Executor, tasks int) (latStats, error) {
+	// Warm-up: wait until the executor actually completes a task, so
+	// manager registration time is excluded.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := ex.Submit(serialize.TaskMsg{ID: -1, App: "noop"}).ResultTimeout(time.Second); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return latStats{}, fmt.Errorf("executor never became ready")
+		}
+	}
+	lats := make([]time.Duration, 0, tasks)
+	for i := 0; i < tasks; i++ {
+		start := time.Now()
+		if _, err := ex.Submit(serialize.TaskMsg{ID: int64(i), App: "noop"}).Result(); err != nil {
+			return latStats{}, err
+		}
+		lats = append(lats, time.Since(start))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return latStats{
+		mean: sum / time.Duration(len(lats)),
+		p50:  lats[len(lats)/2],
+		p95:  lats[len(lats)*95/100],
+		min:  lats[0],
+		max:  lats[len(lats)-1],
+	}, nil
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+}

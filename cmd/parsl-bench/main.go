@@ -1,0 +1,70 @@
+// Command parsl-bench regenerates every table and figure in the paper's
+// evaluation (§5):
+//
+//	parsl-bench latency      Fig. 3  — task-latency distributions per executor
+//	parsl-bench strong       Fig. 4  — strong scaling (50k tasks, 0/10/100/1000 ms)
+//	parsl-bench weak         Fig. 4  — weak scaling (10 tasks/worker)
+//	parsl-bench maxworkers   Table 2 — maximum workers / nodes per framework
+//	parsl-bench throughput   Table 2 — tasks/second per framework
+//	parsl-bench elasticity   Fig. 5/6 — utilization with and without elasticity
+//	parsl-bench all          everything above
+//
+// Latency, throughput-at-laptop-scale, and elasticity run on the real
+// executors (goroutine workers over the in-memory network); the Blue
+// Waters-scale sweeps run on the calibrated discrete-event models in
+// internal/scalesim, as documented in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|all>\n")
+		flag.PrintDefaults()
+	}
+	tasks := flag.Int("tasks", 1000, "tasks for the latency experiment")
+	full := flag.Bool("full", false, "run full-scale sweeps (up to 262144 simulated workers)")
+	timeScaleMs := flag.Int("timescale", 8, "elasticity: wall milliseconds per paper second")
+	flag.Parse()
+
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	run := func(name string, fn func() error) {
+		fmt.Printf("\n================ %s ================\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "parsl-bench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	switch cmd {
+	case "latency":
+		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
+	case "strong":
+		run("Fig. 4 (top): strong scaling", func() error { return runStrong(*full) })
+	case "weak":
+		run("Fig. 4 (bottom): weak scaling", func() error { return runWeak(*full) })
+	case "maxworkers":
+		run("Table 2: maximum workers", runMaxWorkers)
+	case "throughput":
+		run("Table 2: throughput", runThroughput)
+	case "elasticity":
+		run("Fig. 5/6: elasticity", func() error { return runElasticity(*timeScaleMs) })
+	case "all":
+		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
+		run("Fig. 4 (top): strong scaling", func() error { return runStrong(*full) })
+		run("Fig. 4 (bottom): weak scaling", func() error { return runWeak(*full) })
+		run("Table 2: maximum workers", runMaxWorkers)
+		run("Table 2: throughput", runThroughput)
+		run("Fig. 5/6: elasticity", func() error { return runElasticity(*timeScaleMs) })
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

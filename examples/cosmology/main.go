@@ -1,0 +1,133 @@
+// Cosmology: the LSST image-simulation workload from §2.1 — thousands of
+// catalog-driven sensor simulations with unpredictable task durations,
+// bundled into node-sized chunks, executed on HTEX over a simulated batch
+// cluster with elastic block scaling (§4.4). The program rebalances work by
+// grouping tasks into bundles ("e.g., 64 tasks for a 64-core processor") and
+// reports achieved utilization.
+//
+//	go run ./examples/cosmology
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+
+	"repro/internal/cluster"
+	"repro/internal/dfk"
+	"repro/internal/executor"
+	"repro/internal/executor/htex"
+	"repro/internal/provider"
+	"repro/internal/simnet"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A simulated Blue Waters-like allocation: 16 nodes, 1 worker each.
+	cl, err := cluster.New(cluster.Config{
+		Name: "bluewaters", Nodes: 16, CoresPerNode: 32,
+		QueueDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	reg := parsl.NewRegistry()
+	prov := provider.NewSlurm(cl, provider.Config{NodesPerBlock: 4})
+	ex := htex.New(htex.Config{
+		Label:      "htex",
+		Transport:  simnet.BlueWaters(),
+		Registry:   reg,
+		Provider:   prov,
+		InitBlocks: 1,
+		Manager:    htex.ManagerConfig{Workers: 1, Prefetch: 2},
+	})
+	d, err := parsl.New(dfk.Config{Registry: reg, Executors: []executor.Executor{ex}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Shutdown()
+
+	// Elasticity: grow/shrink blocks with workload pressure.
+	ctrl := strategy.NewController(ex, strategy.Simple{Parallelism: 1},
+		strategy.ControllerConfig{
+			Interval:        25 * time.Millisecond,
+			WorkersPerBlock: 4,
+			MinBlocks:       1,
+			MaxBlocks:       4,
+			ScaleInHoldoff:  100 * time.Millisecond,
+		})
+	ctrl.Start()
+	defer ctrl.Stop()
+
+	// Stage 1: build instance catalogs (10 000+ in production; scaled here).
+	catalog, err := d.PythonApp("make_catalog", func(args []any, _ map[string]any) (any, error) {
+		id := args[0].(int)
+		rng := rand.New(rand.NewSource(int64(id)))
+		objects := 50 + rng.Intn(200) // object count drives simulation cost
+		return objects, nil
+	})
+	must(err)
+
+	// Stage 2: simulate one sensor-image bundle. Duration depends on the
+	// number of objects — the imbalance the bundling mitigates.
+	simulate, err := d.PythonApp("simulate_bundle", func(args []any, _ map[string]any) (any, error) {
+		totalObjects := 0
+		for _, v := range args[0].([]any) {
+			totalObjects += v.(int)
+		}
+		time.Sleep(time.Duration(totalObjects/20) * time.Millisecond)
+		return totalObjects, nil
+	})
+	must(err)
+
+	const catalogs = 256
+	const bundleSize = 16 // tasks per bundle, sized to the node
+
+	start := time.Now()
+	catalogFuts := make([]*parsl.Future, catalogs)
+	for i := 0; i < catalogs; i++ {
+		catalogFuts[i] = catalog.Call(i)
+	}
+
+	// Rebalance: group catalogs into bundles so each dispatch matches a
+	// node's capacity (§2.1).
+	bundles := workload.CosmologyBundles(catalogs, bundleSize)
+	simFuts := make([]*parsl.Future, len(bundles))
+	for bi, bundle := range bundles {
+		group := make([]any, len(bundle))
+		for j, idx := range bundle {
+			group[j] = catalogFuts[idx]
+		}
+		simFuts[bi] = simulate.Call(group)
+	}
+
+	totalObjects := 0
+	for _, f := range simFuts {
+		v, err := f.Result()
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalObjects += v.(int)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("simulated %d catalogs (%d objects) in %d bundles of %d in %v\n",
+		catalogs, totalObjects, len(bundles), bundleSize, elapsed.Round(time.Millisecond))
+	fmt.Printf("scaling events: %d; final blocks: %d\n", len(ctrl.Events()), ex.ActiveBlocks())
+	st := cl.Stats()
+	fmt.Printf("cluster: %d busy / %d free nodes at exit\n", st.BusyNodes, st.FreeNodes)
+	fmt.Printf("recommended executor for this shape: %s\n",
+		parsl.RecommendExecutor(8000, time.Minute, false))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Interactive computing: the materials-science use case from §2.1 —
+// iterative surrogate-model development in a notebook-like loop. Requires
+// low-latency responses while exploring (LLEX) and benefits from
+// memoization: re-evaluating a configuration already tried returns from the
+// memo table instead of recomputing (§4.6).
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro"
+
+	"repro/internal/dfk"
+	"repro/internal/executor"
+	"repro/internal/executor/llex"
+	"repro/internal/simnet"
+)
+
+func main() {
+	reg := parsl.NewRegistry()
+	ex := llex.New(llex.Config{
+		Label:     "llex",
+		Transport: simnet.Midway(),
+		Registry:  reg,
+		Workers:   4,
+	})
+	d, err := parsl.New(dfk.Config{
+		Registry:  reg,
+		Executors: []executor.Executor{ex},
+		Memoize:   true, // the notebook pattern: re-run cells freely
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Shutdown()
+
+	// Train-and-score a stopping-power surrogate for one hyperparameter
+	// configuration. Deterministic in its arguments, hence memoizable.
+	evaluate, err := d.PythonApp("evaluate_surrogate", func(args []any, _ map[string]any) (any, error) {
+		degree := args[0].(int)
+		ridge := args[1].(float64)
+		// Synthetic "DFT data" fit: error decreases with degree, rises
+		// again from overfitting, regularization softens it.
+		bias := 1.0 / float64(degree)
+		variance := 0.02 * float64(degree*degree) / (1 + 10*ridge)
+		time.Sleep(5 * time.Millisecond) // the TD-DFT-surrogate training cost
+		return bias + variance, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The researcher's exploration loop: sweep, inspect, refine — ordinary
+	// Go control flow steering parallel execution (§2.2: "a simple if
+	// statement suffices").
+	type config struct {
+		degree int
+		ridge  float64
+	}
+	best := config{}
+	bestErr := math.Inf(1)
+
+	sweep := func(cfgs []config) {
+		futs := make([]*parsl.Future, len(cfgs))
+		start := time.Now()
+		for i, c := range cfgs {
+			futs[i] = evaluate.Call(c.degree, c.ridge)
+		}
+		for i, f := range futs {
+			v, err := f.Result()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if e := v.(float64); e < bestErr {
+				bestErr, best = e, cfgs[i]
+			}
+		}
+		fmt.Printf("  swept %d configs in %v (interactive-grade)\n",
+			len(cfgs), time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Println("round 1: coarse sweep")
+	var round1 []config
+	for deg := 1; deg <= 8; deg++ {
+		round1 = append(round1, config{deg, 0.1})
+	}
+	sweep(round1)
+	fmt.Printf("  best so far: degree=%d ridge=%.2f err=%.4f\n", best.degree, best.ridge, bestErr)
+
+	fmt.Println("round 2: refine regularization around the winner")
+	var round2 []config
+	for _, r := range []float64{0.01, 0.05, 0.1, 0.2, 0.5} {
+		round2 = append(round2, config{best.degree, r})
+	}
+	sweep(round2) // (best.degree, 0.1) repeats round 1: memo hit, no recompute
+
+	fmt.Println("round 3: re-run the whole sweep (notebook cell re-execution)")
+	sweep(append(round1, round2...)) // fully memoized: near-instant
+
+	hits, misses := d.Memoizer().Stats()
+	fmt.Printf("final model: degree=%d ridge=%.2f err=%.4f\n", best.degree, best.ridge, bestErr)
+	fmt.Printf("memoization: %d hits, %d misses — cells re-ran for free\n", hits, misses)
+}

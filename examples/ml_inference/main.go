@@ -1,0 +1,138 @@
+// ML inference: the DLHub-style FaaS workload from §2.1 — a bag of
+// short-duration inference requests needing low-latency responses, served by
+// the Low Latency Executor. Model weights are fetched once over HTTP through
+// the data manager; thousands of sub-millisecond scoring requests then fan
+// out across directly connected LLEX workers, and the tail latency is
+// reported.
+//
+//	go run ./examples/ml_inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+
+	"repro/internal/data"
+	"repro/internal/dfk"
+	"repro/internal/executor"
+	"repro/internal/executor/llex"
+	"repro/internal/simnet"
+)
+
+func main() {
+	// A "model repository" service publishing weights.
+	modelServer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Weights: a tiny linear model w=(2, -1), b=0.5 as CSV.
+		_, _ = w.Write([]byte("2.0,-1.0,0.5"))
+	}))
+	defer modelServer.Close()
+
+	staging, err := os.MkdirTemp("", "dlhub")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(staging)
+	dm, err := data.NewManager(staging)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := parsl.NewRegistry()
+	ex := llex.New(llex.Config{
+		Label:     "llex",
+		Transport: simnet.Midway(),
+		Registry:  reg,
+		Workers:   4, // LLEX assumes a fixed worker set (§4.3.3)
+	})
+	d, err := parsl.New(dfk.Config{
+		Registry:    reg,
+		Executors:   []executor.Executor{ex},
+		DataManager: dm,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Shutdown()
+
+	// The inference app: load (staged) weights, score a feature vector.
+	infer, err := d.PythonApp("infer", func(args []any, _ map[string]any) (any, error) {
+		weights := args[0].(*data.File)
+		raw, err := os.ReadFile(weights.LocalPath())
+		if err != nil {
+			return nil, err
+		}
+		var w1, w2, b float64
+		if _, err := fmt.Sscanf(string(raw), "%f,%f,%f", &w1, &w2, &b); err != nil {
+			return nil, err
+		}
+		x1 := args[1].(float64)
+		x2 := args[2].(float64)
+		score := w1*x1 + w2*x2 + b
+		return score > 0, nil // binary classification
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	weights := parsl.MustFile(modelServer.URL + "/models/classifier/weights.csv")
+
+	// Stage the weights once via a warm-up request.
+	if _, err := infer.Call(weights, 0.0, 0.0).Result(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Closed-loop clients, the FaaS serving pattern: each researcher's
+	// session issues sequential requests, many sessions in parallel, so
+	// per-request latency reflects round trips, not burst queueing.
+	const clients = 4
+	const perClient = 100
+	const requests = clients * perClient
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, requests)
+	positives := 0
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				x1 := float64((c*perClient+i)%17) / 4.0
+				x2 := float64((c*perClient+i)%11) / 3.0
+				at := time.Now()
+				v, err := infer.Call(weights, x1, x2).Result()
+				if err != nil {
+					log.Fatal(err)
+				}
+				mu.Lock()
+				lats = append(lats, time.Since(at))
+				if v.(bool) {
+					positives++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	fmt.Printf("served %d inference requests in %v (%.0f req/s)\n",
+		requests, total.Round(time.Millisecond), float64(requests)/total.Seconds())
+	fmt.Printf("positive classifications: %d\n", positives)
+	fmt.Printf("latency p50=%v p95=%v p99=%v\n",
+		lats[requests/2].Round(time.Microsecond),
+		lats[requests*95/100].Round(time.Microsecond),
+		lats[requests*99/100].Round(time.Microsecond))
+	fmt.Println("executor guideline check (Fig. 7):")
+	ok, warn := parsl.CheckExecutorFit("llex", 1, time.Millisecond)
+	fmt.Printf("  llex on 1 node: fit=%v %s\n", ok, warn)
+}

@@ -1,0 +1,203 @@
+// Package app implements the App constructs of §3.1: the Go equivalents of
+// Parsl's @python_app and @bash_app decorators. A Python-style app is any
+// registered Go function; a Bash app is a function that renders a shell
+// command line, which the execution kernel then runs in a sandbox directory
+// with optional stdout/stderr redirection, returning the UNIX exit code.
+//
+// Reserved keyword arguments follow Parsl's conventions:
+//
+//	stdout  — file path to capture standard output
+//	stderr  — file path to capture standard error
+//	inputs  — []*data.File staged in before execution
+//	outputs — []*data.File staged out after execution
+package app
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serialize"
+)
+
+// Reserved kwarg names (§3.1.1).
+const (
+	KwStdout  = "stdout"
+	KwStderr  = "stderr"
+	KwInputs  = "inputs"
+	KwOutputs = "outputs"
+)
+
+// BashTemplate renders a shell command line from app arguments, mirroring
+// how a @bash_app's Python body returns a bash fragment.
+type BashTemplate func(args []any, kwargs map[string]any) (string, error)
+
+// BashResult is the value a Bash app resolves to: the exit code plus where
+// the streams went. Exit code 0 means success; Parsl's bash apps "return
+// UNIX return codes that indicate only whether the code succeeded".
+type BashResult struct {
+	ExitCode int
+	Stdout   string // redirect path, "" if not captured
+	Stderr   string
+}
+
+// ErrNonZeroExit is wrapped into failures of Bash apps.
+var ErrNonZeroExit = errors.New("app: bash app exited non-zero")
+
+var sandboxSeq atomic.Int64
+
+// Options configures bash execution.
+type Options struct {
+	// SandboxRoot is where per-invocation working directories are created.
+	// Empty uses the OS temp dir.
+	SandboxRoot string
+	// Timeout bounds one invocation; zero means 10 minutes.
+	Timeout time.Duration
+}
+
+// RunBash executes a rendered command line in a fresh sandbox directory.
+// stdout/stderr kwargs redirect streams to files (created relative to the
+// caller's cwd when relative). The BashResult is returned for exit code 0;
+// non-zero exit codes are errors, matching Parsl's semantics where a failed
+// bash app fails the task.
+func RunBash(cmdline string, kwargs map[string]any, opts Options) (BashResult, error) {
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Minute
+	}
+	root := opts.SandboxRoot
+	if root == "" {
+		root = os.TempDir()
+	}
+	sandbox := filepath.Join(root, fmt.Sprintf("parsl-sandbox-%d", sandboxSeq.Add(1)))
+	if err := os.MkdirAll(sandbox, 0o755); err != nil {
+		return BashResult{}, fmt.Errorf("app: sandbox: %w", err)
+	}
+	defer os.RemoveAll(sandbox)
+
+	res := BashResult{}
+	cmd := exec.Command("/bin/sh", "-c", cmdline)
+	cmd.Dir = sandbox
+	cmd.WaitDelay = 200 * time.Millisecond
+
+	var stdoutBuf, stderrBuf bytes.Buffer
+	cmd.Stdout = &stdoutBuf
+	cmd.Stderr = &stderrBuf
+
+	var stdoutFile, stderrFile *os.File
+	if p, ok := stringKwarg(kwargs, KwStdout); ok {
+		f, err := createRedirect(p)
+		if err != nil {
+			return res, err
+		}
+		stdoutFile = f
+		cmd.Stdout = f
+		res.Stdout = p
+	}
+	if p, ok := stringKwarg(kwargs, KwStderr); ok {
+		f, err := createRedirect(p)
+		if err != nil {
+			if stdoutFile != nil {
+				_ = stdoutFile.Close()
+			}
+			return res, err
+		}
+		stderrFile = f
+		cmd.Stderr = f
+		res.Stderr = p
+	}
+	closeRedirects := func() {
+		if stdoutFile != nil {
+			_ = stdoutFile.Close()
+		}
+		if stderrFile != nil {
+			_ = stderrFile.Close()
+		}
+	}
+
+	if err := cmd.Start(); err != nil {
+		closeRedirects()
+		return res, fmt.Errorf("app: start bash app: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	var waitErr error
+	select {
+	case waitErr = <-done:
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		<-done
+		closeRedirects()
+		return res, fmt.Errorf("app: bash app timed out after %v", timeout)
+	}
+	closeRedirects()
+
+	if waitErr != nil {
+		var ee *exec.ExitError
+		if errors.As(waitErr, &ee) {
+			res.ExitCode = ee.ExitCode()
+			return res, fmt.Errorf("%w: code %d (stderr: %s)",
+				ErrNonZeroExit, res.ExitCode, firstLine(stderrBuf.String()))
+		}
+		return res, fmt.Errorf("app: bash app: %w", waitErr)
+	}
+	res.ExitCode = 0
+	return res, nil
+}
+
+func createRedirect(p string) (*os.File, error) {
+	if dir := filepath.Dir(p); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("app: redirect dir: %w", err)
+		}
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("app: redirect: %w", err)
+	}
+	return f, nil
+}
+
+func stringKwarg(kwargs map[string]any, key string) (string, bool) {
+	v, ok := kwargs[key]
+	if !ok || v == nil {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok && s != ""
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// WrapBash turns a BashTemplate into the serialize.Fn the execution kernel
+// runs: render, execute, and return the BashResult. This is the worker-side
+// half of @bash_app.
+func WrapBash(tmpl BashTemplate, opts Options) serialize.Fn {
+	return func(args []any, kwargs map[string]any) (any, error) {
+		cmdline, err := tmpl(args, kwargs)
+		if err != nil {
+			return nil, fmt.Errorf("app: bash template: %w", err)
+		}
+		res, err := RunBash(cmdline, kwargs, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+func init() {
+	serialize.RegisterType(BashResult{})
+}

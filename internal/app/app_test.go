@@ -1,0 +1,158 @@
+package app
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func shAvailable(t *testing.T) {
+	t.Helper()
+	if _, err := os.Stat("/bin/sh"); err != nil {
+		t.Skip("/bin/sh unavailable")
+	}
+}
+
+func TestRunBashSuccess(t *testing.T) {
+	shAvailable(t)
+	res, err := RunBash("true", nil, Options{SandboxRoot: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestRunBashNonZeroExit(t *testing.T) {
+	shAvailable(t)
+	res, err := RunBash("exit 7", nil, Options{SandboxRoot: t.TempDir()})
+	if !errors.Is(err, ErrNonZeroExit) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.ExitCode != 7 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestRunBashStdoutRedirect(t *testing.T) {
+	shAvailable(t)
+	out := filepath.Join(t.TempDir(), "logs", "hello.out")
+	res, err := RunBash("echo hello-parsl", map[string]any{KwStdout: out}, Options{SandboxRoot: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != out {
+		t.Fatalf("res.Stdout = %q", res.Stdout)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(b)) != "hello-parsl" {
+		t.Fatalf("captured %q", b)
+	}
+}
+
+func TestRunBashStderrRedirect(t *testing.T) {
+	shAvailable(t)
+	errPath := filepath.Join(t.TempDir(), "e.err")
+	_, err := RunBash("echo oops 1>&2", map[string]any{KwStderr: errPath}, Options{SandboxRoot: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(errPath)
+	if strings.TrimSpace(string(b)) != "oops" {
+		t.Fatalf("captured %q", b)
+	}
+}
+
+func TestRunBashSandboxIsolation(t *testing.T) {
+	shAvailable(t)
+	root := t.TempDir()
+	// The app writes to its cwd; the sandbox must be cleaned afterwards.
+	if _, err := RunBash("echo data > scratch.txt", nil, Options{SandboxRoot: root}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("sandbox leaked: %v", entries)
+	}
+}
+
+func TestRunBashTimeout(t *testing.T) {
+	shAvailable(t)
+	start := time.Now()
+	_, err := RunBash("sleep 10", nil, Options{SandboxRoot: t.TempDir(), Timeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("timeout not enforced")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("timeout too slow")
+	}
+}
+
+func TestRunBashFailureIncludesStderr(t *testing.T) {
+	shAvailable(t)
+	_, err := RunBash("echo diagnosis 1>&2; exit 1", nil, Options{SandboxRoot: t.TempDir()})
+	if err == nil || !strings.Contains(err.Error(), "diagnosis") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWrapBashRendersArguments(t *testing.T) {
+	shAvailable(t)
+	tmpl := func(args []any, _ map[string]any) (string, error) {
+		return "echo 'Hello " + args[0].(string) + "'", nil
+	}
+	fn := WrapBash(tmpl, Options{SandboxRoot: t.TempDir()})
+	out := filepath.Join(t.TempDir(), "o")
+	v, err := fn([]any{"World"}, map[string]any{KwStdout: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.(BashResult)
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+	b, _ := os.ReadFile(out)
+	if strings.TrimSpace(string(b)) != "Hello World" {
+		t.Fatalf("out = %q", b)
+	}
+}
+
+func TestWrapBashTemplateError(t *testing.T) {
+	fn := WrapBash(func([]any, map[string]any) (string, error) {
+		return "", errors.New("bad template")
+	}, Options{})
+	if _, err := fn(nil, nil); err == nil || !strings.Contains(err.Error(), "bad template") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStringKwarg(t *testing.T) {
+	if _, ok := stringKwarg(nil, KwStdout); ok {
+		t.Fatal("nil kwargs")
+	}
+	if _, ok := stringKwarg(map[string]any{KwStdout: 3}, KwStdout); ok {
+		t.Fatal("non-string accepted")
+	}
+	if _, ok := stringKwarg(map[string]any{KwStdout: ""}, KwStdout); ok {
+		t.Fatal("empty string accepted")
+	}
+	if v, ok := stringKwarg(map[string]any{KwStdout: "x"}, KwStdout); !ok || v != "x" {
+		t.Fatal("valid kwarg rejected")
+	}
+}
+
+func TestFirstLine(t *testing.T) {
+	if firstLine("a\nb") != "a" || firstLine("solo") != "solo" {
+		t.Fatal("firstLine")
+	}
+}

@@ -1,0 +1,150 @@
+// Package docstore is a MongoDB-like document store: the substrate behind
+// the FireWorks baseline (§5: FireWorks "uses a centralized MongoDB-based
+// LaunchPad to store tasks"). It models the two properties that made
+// FireWorks the slowest framework in the paper's evaluation: per-operation
+// latency (client⇄DB round trip plus server work) and a store-wide lock that
+// serializes writers, so throughput collapses as workers contend.
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Doc is one stored document.
+type Doc map[string]any
+
+// ErrTooManyConnections mirrors MongoDB's connection exhaustion, which is
+// what capped FireWorks at ~1024 workers on Blue Waters.
+var ErrTooManyConnections = errors.New("docstore: too many connections")
+
+// ErrNotFound is returned by queries that match nothing.
+var ErrNotFound = errors.New("docstore: no matching document")
+
+// Store is the database.
+type Store struct {
+	// OpLatency is charged, under the store lock, to every operation.
+	OpLatency time.Duration
+	// MaxConnections caps concurrent clients (0 = unlimited).
+	MaxConnections int
+
+	mu     sync.Mutex
+	colls  map[string][]Doc
+	nextID int64
+	conns  atomic.Int64
+	ops    atomic.Int64
+}
+
+// New creates an empty store with the given per-op latency.
+func New(opLatency time.Duration) *Store {
+	return &Store{OpLatency: opLatency, colls: make(map[string][]Doc)}
+}
+
+// Connect acquires a client connection; Release returns it.
+func (s *Store) Connect() error {
+	if s.MaxConnections > 0 && s.conns.Add(1) > int64(s.MaxConnections) {
+		s.conns.Add(-1)
+		return fmt.Errorf("%w (limit %d)", ErrTooManyConnections, s.MaxConnections)
+	}
+	if s.MaxConnections == 0 {
+		s.conns.Add(1)
+	}
+	return nil
+}
+
+// Release returns a connection to the pool.
+func (s *Store) Release() { s.conns.Add(-1) }
+
+// Connections reports live connections.
+func (s *Store) Connections() int { return int(s.conns.Load()) }
+
+// Ops reports total operations served.
+func (s *Store) Ops() int64 { return s.ops.Load() }
+
+// charge simulates the DB round trip while holding the store lock — the
+// contention model.
+func (s *Store) charge() {
+	s.ops.Add(1)
+	if s.OpLatency > 0 {
+		time.Sleep(s.OpLatency)
+	}
+}
+
+// Insert adds a document and returns its assigned "_id".
+func (s *Store) Insert(coll string, d Doc) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.charge()
+	s.nextID++
+	cp := Doc{"_id": s.nextID}
+	for k, v := range d {
+		cp[k] = v
+	}
+	s.colls[coll] = append(s.colls[coll], cp)
+	return s.nextID
+}
+
+// match reports whether doc satisfies an equality filter.
+func match(d Doc, filter Doc) bool {
+	for k, v := range filter {
+		if d[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// FindOneAndUpdate atomically finds the first document matching filter and
+// applies set — the claim primitive FireWorks workers use to check out a
+// firework from the LaunchPad.
+func (s *Store) FindOneAndUpdate(coll string, filter, set Doc) (Doc, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.charge()
+	for _, d := range s.colls[coll] {
+		if match(d, filter) {
+			for k, v := range set {
+				d[k] = v
+			}
+			out := Doc{}
+			for k, v := range d {
+				out[k] = v
+			}
+			return out, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// UpdateByID applies set to the document with the given "_id".
+func (s *Store) UpdateByID(coll string, id int64, set Doc) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.charge()
+	for _, d := range s.colls[coll] {
+		if d["_id"] == id {
+			for k, v := range set {
+				d[k] = v
+			}
+			return nil
+		}
+	}
+	return ErrNotFound
+}
+
+// Count returns how many documents match filter.
+func (s *Store) Count(coll string, filter Doc) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.charge()
+	n := 0
+	for _, d := range s.colls[coll] {
+		if match(d, filter) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package docstore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInsertAndCount(t *testing.T) {
+	s := New(0)
+	id1 := s.Insert("fw", Doc{"state": "WAITING"})
+	id2 := s.Insert("fw", Doc{"state": "WAITING"})
+	if id1 == id2 {
+		t.Fatal("ids collide")
+	}
+	if n := s.Count("fw", Doc{"state": "WAITING"}); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	if n := s.Count("fw", Doc{"state": "DONE"}); n != 0 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestFindOneAndUpdateClaims(t *testing.T) {
+	s := New(0)
+	s.Insert("fw", Doc{"state": "WAITING", "payload": "a"})
+	doc, err := s.FindOneAndUpdate("fw", Doc{"state": "WAITING"}, Doc{"state": "RUNNING"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["payload"] != "a" || doc["state"] != "RUNNING" {
+		t.Fatalf("doc = %v", doc)
+	}
+	// Claimed exactly once.
+	if _, err := s.FindOneAndUpdate("fw", Doc{"state": "WAITING"}, Doc{"state": "RUNNING"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second claim: %v", err)
+	}
+}
+
+func TestConcurrentClaimsAreExclusive(t *testing.T) {
+	s := New(0)
+	const n = 50
+	for i := 0; i < n; i++ {
+		s.Insert("fw", Doc{"state": "WAITING"})
+	}
+	var claimed sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				doc, err := s.FindOneAndUpdate("fw", Doc{"state": "WAITING"}, Doc{"state": "RUNNING"})
+				if err != nil {
+					return
+				}
+				if _, dup := claimed.LoadOrStore(doc["_id"], true); dup {
+					t.Errorf("document %v claimed twice", doc["_id"])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	claimed.Range(func(any, any) bool { total++; return true })
+	if total != n {
+		t.Fatalf("claimed %d docs, want %d", total, n)
+	}
+}
+
+func TestUpdateByID(t *testing.T) {
+	s := New(0)
+	id := s.Insert("fw", Doc{"state": "WAITING"})
+	if err := s.UpdateByID("fw", id, Doc{"state": "COMPLETED"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Count("fw", Doc{"state": "COMPLETED"}); n != 1 {
+		t.Fatalf("count = %d", n)
+	}
+	if err := s.UpdateByID("fw", 999, Doc{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpLatencySerializesUnderLock(t *testing.T) {
+	s := New(10 * time.Millisecond)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Insert("fw", Doc{})
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("5 ops in %v: lock contention not modeled", elapsed)
+	}
+	if s.Ops() != 5 {
+		t.Fatalf("ops = %d", s.Ops())
+	}
+}
+
+func TestConnectionLimit(t *testing.T) {
+	s := New(0)
+	s.MaxConnections = 2
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect(); !errors.Is(err, ErrTooManyConnections) {
+		t.Fatalf("err = %v", err)
+	}
+	s.Release()
+	if err := s.Connect(); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	if s.Connections() != 2 {
+		t.Fatalf("connections = %d", s.Connections())
+	}
+}

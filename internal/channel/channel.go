@@ -1,0 +1,224 @@
+// Package channel implements Parsl's Channel abstraction (§4.2.1): how the
+// runtime authenticates to and executes commands on the machine that talks
+// to a provider. LocalChannel runs commands directly (the login-node case);
+// SSHChannel runs them across a simulated SSH transport with a handshake and
+// network latency (the remote-submission case). The provider layer submits
+// its sbatch/squeue/scancel command lines through a Channel, so moving a
+// program from local to remote submission is a one-line config change —
+// exactly the portability §4.2 is about.
+package channel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mq"
+	"repro/internal/simnet"
+)
+
+// Channel executes shell command lines "on" some resource.
+type Channel interface {
+	// Execute runs a command line and returns its stdout.
+	Execute(cmd string) (string, error)
+	// Name identifies the channel type for logging and config dumps.
+	Name() string
+}
+
+// Local executes commands on the current host via /bin/sh, the way Parsl's
+// LocalChannel does on a login node with direct queue access.
+type Local struct {
+	// Dir, when set, is the working directory for commands.
+	Dir string
+	// Timeout bounds command execution; zero means 60s.
+	Timeout time.Duration
+}
+
+// Name implements Channel.
+func (l *Local) Name() string { return "local" }
+
+// Execute implements Channel.
+func (l *Local) Execute(cmd string) (string, error) {
+	timeout := l.Timeout
+	if timeout == 0 {
+		timeout = 60 * time.Second
+	}
+	c := exec.Command("/bin/sh", "-c", cmd)
+	c.Dir = l.Dir
+	// After Kill, don't let orphaned grandchildren holding the output pipes
+	// block Wait forever.
+	c.WaitDelay = 100 * time.Millisecond
+	var out, errb bytes.Buffer
+	c.Stdout = &out
+	c.Stderr = &errb
+	if err := c.Start(); err != nil {
+		return "", fmt.Errorf("channel: start %q: %w", cmd, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return out.String(), fmt.Errorf("channel: %q: %w (stderr: %s)", cmd, err, strings.TrimSpace(errb.String()))
+		}
+		return out.String(), nil
+	case <-time.After(timeout):
+		_ = c.Process.Kill()
+		<-done
+		return out.String(), fmt.Errorf("channel: %q timed out after %v", cmd, timeout)
+	}
+}
+
+// CommandHandler interprets command lines on the far side of an SSH channel
+// (the simulated login node's shell).
+type CommandHandler func(cmd string) (string, error)
+
+// SSHD is a simulated SSH daemon: it listens on a simnet transport and
+// executes received command lines through a handler. Authentication is a
+// shared-key handshake — enough to exercise the failure path.
+type SSHD struct {
+	router  *mq.Router
+	key     string
+	handler CommandHandler
+	wg      sync.WaitGroup
+	done    chan struct{}
+}
+
+// StartSSHD launches a simulated sshd at addr on tr.
+func StartSSHD(tr simnet.Transport, addr, key string, handler CommandHandler) (*SSHD, error) {
+	r, err := mq.NewRouter(tr, addr)
+	if err != nil {
+		return nil, fmt.Errorf("channel: sshd listen: %w", err)
+	}
+	d := &SSHD{router: r, key: key, handler: handler, done: make(chan struct{})}
+	d.wg.Add(1)
+	go d.serve()
+	return d, nil
+}
+
+// Addr returns the daemon's listen address.
+func (d *SSHD) Addr() string { return d.router.Addr() }
+
+func (d *SSHD) serve() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.done:
+			return
+		case del, ok := <-d.router.Incoming():
+			if !ok {
+				return
+			}
+			d.handle(del)
+		}
+	}
+}
+
+func (d *SSHD) handle(del mq.Delivery) {
+	if len(del.Msg) < 2 {
+		return
+	}
+	switch string(del.Msg[0]) {
+	case "AUTH":
+		if string(del.Msg[1]) == d.key {
+			_ = d.router.SendTo(del.From, mq.Message{[]byte("AUTH-OK")})
+		} else {
+			_ = d.router.SendTo(del.From, mq.Message{[]byte("AUTH-FAIL")})
+			d.router.Disconnect(del.From)
+		}
+	case "EXEC":
+		out, err := d.handler(string(del.Msg[1]))
+		if err != nil {
+			_ = d.router.SendTo(del.From, mq.Message{[]byte("ERR"), []byte(err.Error())})
+			return
+		}
+		_ = d.router.SendTo(del.From, mq.Message{[]byte("OK"), []byte(out)})
+	}
+}
+
+// Close stops the daemon.
+func (d *SSHD) Close() error {
+	select {
+	case <-d.done:
+		return nil
+	default:
+	}
+	close(d.done)
+	err := d.router.Close()
+	d.wg.Wait()
+	return err
+}
+
+// ErrAuth is returned when the SSH handshake is rejected.
+var ErrAuth = errors.New("channel: ssh authentication failed")
+
+// SSH is the client side: it connects to an SSHD, authenticates, and then
+// executes commands remotely. Command round trips pay the transport's
+// latency, which is how queue operations slow down under remote submission.
+type SSH struct {
+	mu     sync.Mutex
+	dealer *mq.Dealer
+	host   string
+}
+
+var sshSeq struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// DialSSH opens an authenticated SSH channel to addr with the shared key.
+func DialSSH(tr simnet.Transport, addr, key string) (*SSH, error) {
+	sshSeq.mu.Lock()
+	sshSeq.n++
+	id := fmt.Sprintf("ssh-client-%d", sshSeq.n)
+	sshSeq.mu.Unlock()
+
+	d, err := mq.DialDealer(tr, addr, id)
+	if err != nil {
+		return nil, fmt.Errorf("channel: ssh dial %s: %w", addr, err)
+	}
+	if err := d.Send(mq.Message{[]byte("AUTH"), []byte(key)}); err != nil {
+		_ = d.Close()
+		return nil, err
+	}
+	reply, err := d.Recv()
+	if err != nil {
+		_ = d.Close()
+		return nil, fmt.Errorf("channel: ssh handshake: %w", err)
+	}
+	if len(reply) == 0 || string(reply[0]) != "AUTH-OK" {
+		_ = d.Close()
+		return nil, ErrAuth
+	}
+	return &SSH{dealer: d, host: addr}, nil
+}
+
+// Name implements Channel.
+func (s *SSH) Name() string { return "ssh:" + s.host }
+
+// Execute implements Channel: one EXEC round trip per command.
+func (s *SSH) Execute(cmd string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.dealer.Send(mq.Message{[]byte("EXEC"), []byte(cmd)}); err != nil {
+		return "", fmt.Errorf("channel: ssh exec: %w", err)
+	}
+	reply, err := s.dealer.Recv()
+	if err != nil {
+		return "", fmt.Errorf("channel: ssh exec: %w", err)
+	}
+	if len(reply) < 2 {
+		return "", errors.New("channel: malformed ssh reply")
+	}
+	if string(reply[0]) == "ERR" {
+		return "", fmt.Errorf("channel: remote: %s", reply[1])
+	}
+	return string(reply[1]), nil
+}
+
+// Close tears the channel down.
+func (s *SSH) Close() error { return s.dealer.Close() }

@@ -1,0 +1,178 @@
+package channel
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestLocalExecute(t *testing.T) {
+	l := &Local{}
+	out, err := l.Execute("echo hello")
+	if err != nil {
+		t.Skipf("/bin/sh unavailable: %v", err)
+	}
+	if strings.TrimSpace(out) != "hello" {
+		t.Fatalf("out = %q", out)
+	}
+	if l.Name() != "local" {
+		t.Fatalf("name = %q", l.Name())
+	}
+}
+
+func TestLocalExecuteFailure(t *testing.T) {
+	l := &Local{}
+	if _, err := l.Execute("exit 3"); err == nil {
+		t.Skip("/bin/sh unavailable or exit ignored")
+	}
+}
+
+func TestLocalTimeout(t *testing.T) {
+	l := &Local{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := l.Execute("sleep 5")
+	if err == nil {
+		t.Fatal("long command did not time out")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("timeout not enforced promptly")
+	}
+}
+
+func TestSSHRoundTrip(t *testing.T) {
+	n := simnet.NewNetwork(0)
+	d, err := StartSSHD(n, "login1", "secret", func(cmd string) (string, error) {
+		if cmd == "squeue" {
+			return "JOBID STATE\n1 R", nil
+		}
+		return "", errors.New("unknown command")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	ch, err := DialSSH(n, "login1", "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	if !strings.HasPrefix(ch.Name(), "ssh:") {
+		t.Fatalf("name = %q", ch.Name())
+	}
+	out, err := ch.Execute("squeue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "JOBID") {
+		t.Fatalf("out = %q", out)
+	}
+	if _, err := ch.Execute("rm -rf /"); err == nil {
+		t.Fatal("handler error not propagated")
+	}
+}
+
+func TestSSHBadKeyRejected(t *testing.T) {
+	n := simnet.NewNetwork(0)
+	d, err := StartSSHD(n, "login1", "secret", func(string) (string, error) { return "", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := DialSSH(n, "login1", "wrong"); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSSHDialUnknownHost(t *testing.T) {
+	n := simnet.NewNetwork(0)
+	if _, err := DialSSH(n, "ghost", "k"); err == nil {
+		t.Fatal("dial to unknown host succeeded")
+	}
+}
+
+func TestSSHLatencyAppliesToCommands(t *testing.T) {
+	n := simnet.NewNetwork(10 * time.Millisecond)
+	d, err := StartSSHD(n, "login1", "k", func(string) (string, error) { return "ok", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ch, err := DialSSH(n, "login1", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	start := time.Now()
+	if _, err := ch.Execute("sbatch job.sh"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("remote command did not pay network latency")
+	}
+}
+
+func TestSSHConcurrentClients(t *testing.T) {
+	n := simnet.NewNetwork(0)
+	var mu sync.Mutex
+	count := 0
+	d, err := StartSSHD(n, "login1", "k", func(string) (string, error) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return "done", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, err := DialSSH(n, "login1", "k")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer ch.Close()
+			for j := 0; j < 5; j++ {
+				if _, err := ch.Execute("status"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 40 {
+		t.Fatalf("handled %d commands, want 40", count)
+	}
+}
+
+func TestSSHDCloseIdempotent(t *testing.T) {
+	n := simnet.NewNetwork(0)
+	d, err := StartSSHD(n, "login1", "k", func(string) (string, error) { return "", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelInterfaceCompliance(t *testing.T) {
+	var _ Channel = (*Local)(nil)
+	var _ Channel = (*SSH)(nil)
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/simnet"
+)
+
+// Frontend exposes the cluster through the scheduler's command-line verbs —
+// the view a Channel gets when it lands on a login node (§4.2.1). It turns
+// "sbatch/squeue/scancel"-style command lines into simulator calls, so a
+// remote submission path (SSH channel → login shell → LRM) can be exercised
+// end to end.
+type Frontend struct {
+	cl *Cluster
+}
+
+// NewFrontend wraps a cluster in a command-line dialect.
+func NewFrontend(cl *Cluster) *Frontend { return &Frontend{cl: cl} }
+
+// Exec interprets one command line. Supported forms:
+//
+//	sbatch --nodes=N [--partition=P] [--time=DUR] [--name=S]
+//	squeue -j JOBID
+//	squeue
+//	scancel JOBID
+//	sinfo
+//
+// Outputs mimic the real tools closely enough for provider-side parsing.
+func (f *Frontend) Exec(cmdline string) (string, error) {
+	fields := strings.Fields(cmdline)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("cluster: empty command")
+	}
+	switch fields[0] {
+	case "sbatch":
+		return f.sbatch(fields[1:])
+	case "squeue":
+		return f.squeue(fields[1:])
+	case "scancel":
+		return f.scancel(fields[1:])
+	case "sinfo":
+		return f.sinfo()
+	default:
+		return "", fmt.Errorf("cluster: %s: command not found", fields[0])
+	}
+}
+
+func (f *Frontend) sbatch(args []string) (string, error) {
+	spec := JobSpec{Nodes: 1}
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "--nodes="):
+			n, err := strconv.Atoi(strings.TrimPrefix(a, "--nodes="))
+			if err != nil {
+				return "", fmt.Errorf("sbatch: bad --nodes: %w", err)
+			}
+			spec.Nodes = n
+		case strings.HasPrefix(a, "--partition="):
+			spec.Partition = strings.TrimPrefix(a, "--partition=")
+		case strings.HasPrefix(a, "--time="):
+			d, err := time.ParseDuration(strings.TrimPrefix(a, "--time="))
+			if err != nil {
+				return "", fmt.Errorf("sbatch: bad --time: %w", err)
+			}
+			spec.Walltime = d
+		case strings.HasPrefix(a, "--name="):
+			spec.Name = strings.TrimPrefix(a, "--name=")
+		}
+	}
+	job, err := f.cl.Submit(spec)
+	if err != nil {
+		return "", fmt.Errorf("sbatch: %w", err)
+	}
+	return fmt.Sprintf("Submitted batch job %d\n", job.ID), nil
+}
+
+func stateCode(s JobState) string {
+	switch s {
+	case Queued:
+		return "PD"
+	case Running:
+		return "R"
+	case Completed:
+		return "CD"
+	case Cancelled:
+		return "CA"
+	case Failed:
+		return "F"
+	default:
+		return "??"
+	}
+}
+
+func (f *Frontend) squeue(args []string) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("JOBID  ST  NAME\n")
+	if len(args) == 2 && args[0] == "-j" {
+		id, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("squeue: bad job id: %w", err)
+		}
+		st, err := f.cl.Status(id)
+		if err != nil {
+			return "", fmt.Errorf("squeue: %w", err)
+		}
+		fmt.Fprintf(&sb, "%-6d %-3s %s\n", id, stateCode(st), "-")
+		return sb.String(), nil
+	}
+	f.cl.mu.Lock()
+	jobs := make([]*Job, 0, len(f.cl.jobs))
+	for _, j := range f.cl.jobs {
+		jobs = append(jobs, j)
+	}
+	f.cl.mu.Unlock()
+	for _, j := range jobs {
+		st := j.State()
+		if st == Queued || st == Running {
+			fmt.Fprintf(&sb, "%-6d %-3s %s\n", j.ID, stateCode(st), j.Spec.Name)
+		}
+	}
+	return sb.String(), nil
+}
+
+func (f *Frontend) scancel(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("scancel: usage: scancel JOBID")
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("scancel: bad job id: %w", err)
+	}
+	if err := f.cl.Cancel(id); err != nil {
+		return "", fmt.Errorf("scancel: %w", err)
+	}
+	return "", nil
+}
+
+func (f *Frontend) sinfo() (string, error) {
+	st := f.cl.Stats()
+	return fmt.Sprintf("NODES  FREE  BUSY  DOWN\n%5d %5d %5d %5d\n",
+		f.cl.cfg.Nodes, st.FreeNodes, st.BusyNodes, st.FailedNodes), nil
+}
+
+// ServeSSH exposes the frontend as a simulated login node: an SSH daemon
+// whose shell is the scheduler CLI. Returns the daemon (Close it) and its
+// address for channel.DialSSH.
+func (f *Frontend) ServeSSH(tr simnet.Transport, addr, key string) (*channel.SSHD, error) {
+	return channel.StartSSHD(tr, addr, key, f.Exec)
+}

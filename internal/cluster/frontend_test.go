@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/simnet"
+)
+
+func newFrontend(t *testing.T, nodes int) (*Frontend, *Cluster) {
+	t.Helper()
+	cl, err := New(Config{Name: "login-test", Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return NewFrontend(cl), cl
+}
+
+func TestSbatchSqueueScancelCycle(t *testing.T) {
+	fe, _ := newFrontend(t, 4)
+	out, err := fe.Exec("sbatch --nodes=2 --name=parsl.block1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "Submitted batch job ") {
+		t.Fatalf("sbatch out = %q", out)
+	}
+	var id string
+	if _, err := parseSubmitted(out, &id); err != nil {
+		t.Fatal(err)
+	}
+
+	waitState2 := func(code string) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			out, err := fe.Exec("squeue -j " + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(out, " "+code+" ") {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("job never reached %s", code)
+	}
+	waitState2("R")
+
+	if _, err := fe.Exec("scancel " + id); err != nil {
+		t.Fatal(err)
+	}
+	waitState2("CA")
+}
+
+func TestSqueueListsActiveOnly(t *testing.T) {
+	fe, cl := newFrontend(t, 1)
+	out1, _ := fe.Exec("sbatch --nodes=1 --name=running-job")
+	var id1 string
+	_, _ = parseSubmitted(out1, &id1)
+	out2, _ := fe.Exec("sbatch --nodes=1 --name=queued-job")
+	_ = out2
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && cl.Stats().RunningJobs == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	out, err := fe.Exec("squeue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "running-job") || !strings.Contains(out, "queued-job") {
+		t.Fatalf("squeue = %q", out)
+	}
+}
+
+func TestSinfo(t *testing.T) {
+	fe, _ := newFrontend(t, 8)
+	out, err := fe.Exec("sinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NODES") || !strings.Contains(out, "8") {
+		t.Fatalf("sinfo = %q", out)
+	}
+}
+
+func TestBadCommands(t *testing.T) {
+	fe, _ := newFrontend(t, 1)
+	for _, bad := range []string{"", "rm -rf /", "sbatch --nodes=zero", "squeue -j abc", "scancel", "scancel xyz", "scancel 999"} {
+		if _, err := fe.Exec(bad); err == nil {
+			t.Errorf("command %q accepted", bad)
+		}
+	}
+}
+
+func TestWalltimeFlagParsed(t *testing.T) {
+	fe, cl := newFrontend(t, 1)
+	if _, err := fe.Exec("sbatch --nodes=1 --time=30ms"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		st := cl.Stats()
+		if st.RunningJobs == 0 && st.QueuedJobs == 0 && st.FreeNodes == 1 {
+			return // walltime expired and released the node
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("walltime never enforced through frontend")
+}
+
+func TestRemoteSubmissionOverSSH(t *testing.T) {
+	// The full remote path of §4.2.1: SSH channel → login shell → LRM.
+	fe, _ := newFrontend(t, 2)
+	n := simnet.NewNetwork(50 * time.Microsecond)
+	sshd, err := fe.ServeSSH(n, "login.midway", "hostkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sshd.Close()
+
+	ch, err := channel.DialSSH(n, "login.midway", "hostkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	out, err := ch.Execute("sbatch --nodes=1 --name=remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "Submitted batch job") {
+		t.Fatalf("remote sbatch = %q", out)
+	}
+	out, err = ch.Execute("sinfo")
+	if err != nil || !strings.Contains(out, "NODES") {
+		t.Fatalf("remote sinfo = %q, %v", out, err)
+	}
+	// Wrong key is rejected at handshake.
+	if _, err := channel.DialSSH(n, "login.midway", "wrong"); err == nil {
+		t.Fatal("bad key accepted")
+	}
+}
+
+func parseSubmitted(out string, id *string) (int, error) {
+	fields := strings.Fields(out)
+	*id = fields[len(fields)-1]
+	return len(fields), nil
+}

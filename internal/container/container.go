@@ -1,0 +1,222 @@
+// Package container simulates the container runtime Parsl integrates for
+// task isolation (§4.6: "Parsl allows workers to be launched inside a
+// predefined container ... Parsl also allows containers to be used to
+// execute tasks such that each invocation of a task will run a new
+// container"). The DLHub use case (§2.1) motivates it: diverse ML models
+// with conflicting dependencies, isolated per task.
+//
+// The simulation reproduces the operationally relevant behaviour: images
+// must be pulled before first use (a real, size-dependent delay), pulled
+// images are cached per node, container startup costs a fixed overhead per
+// invocation in per-task mode and once per worker in per-worker mode, and
+// running in a container scopes the app to an isolated working directory.
+package container
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/serialize"
+)
+
+// Image describes a container image in the registry.
+type Image struct {
+	Name string
+	// SizeMB determines pull time.
+	SizeMB int
+	// Env is the environment the image provides (visible to apps through
+	// the invocation's kwargs under "_container_env").
+	Env map[string]string
+}
+
+// Registry is a remote image registry with pull bandwidth.
+type Registry struct {
+	// PullMBPerSec models registry bandwidth (0 = instantaneous).
+	PullMBPerSec float64
+
+	mu     sync.Mutex
+	images map[string]Image
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{images: make(map[string]Image)} }
+
+// Push publishes an image.
+func (r *Registry) Push(img Image) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.images[img.Name] = img
+}
+
+// ErrNoImage is returned when pulling an unpublished image.
+var ErrNoImage = errors.New("container: no such image")
+
+// pull fetches an image's metadata, charging the transfer delay.
+func (r *Registry) pull(name string) (Image, error) {
+	r.mu.Lock()
+	img, ok := r.images[name]
+	bw := r.PullMBPerSec
+	r.mu.Unlock()
+	if !ok {
+		return Image{}, fmt.Errorf("%w: %s", ErrNoImage, name)
+	}
+	if bw > 0 {
+		time.Sleep(time.Duration(float64(img.SizeMB) / bw * float64(time.Second)))
+	}
+	return img, nil
+}
+
+// Runtime is a node-local container runtime with an image cache.
+type Runtime struct {
+	registry *Registry
+	// StartOverhead is charged for every container start.
+	StartOverhead time.Duration
+	// WorkRoot hosts per-container working directories.
+	WorkRoot string
+
+	mu     sync.Mutex
+	cache  map[string]Image
+	starts int64
+	pulls  int64
+}
+
+// NewRuntime creates a runtime bound to a registry.
+func NewRuntime(reg *Registry, workRoot string) *Runtime {
+	return &Runtime{
+		registry:      reg,
+		StartOverhead: time.Millisecond,
+		WorkRoot:      workRoot,
+		cache:         make(map[string]Image),
+	}
+}
+
+// Starts returns the number of containers started (ablation metric).
+func (rt *Runtime) Starts() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.starts
+}
+
+// Pulls returns the number of registry pulls (cache-effectiveness metric).
+func (rt *Runtime) Pulls() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.pulls
+}
+
+// ensure returns the image, pulling and caching on first use.
+func (rt *Runtime) ensure(name string) (Image, error) {
+	rt.mu.Lock()
+	img, ok := rt.cache[name]
+	rt.mu.Unlock()
+	if ok {
+		return img, nil
+	}
+	img, err := rt.registry.pull(name)
+	if err != nil {
+		return Image{}, err
+	}
+	rt.mu.Lock()
+	rt.cache[name] = img
+	rt.pulls++
+	rt.mu.Unlock()
+	return img, nil
+}
+
+// start brings a container up: image ensured, start overhead charged, an
+// isolated working directory created.
+func (rt *Runtime) start(name string) (Image, string, func(), error) {
+	img, err := rt.ensure(name)
+	if err != nil {
+		return Image{}, "", nil, err
+	}
+	rt.mu.Lock()
+	rt.starts++
+	n := rt.starts
+	rt.mu.Unlock()
+	if rt.StartOverhead > 0 {
+		time.Sleep(rt.StartOverhead)
+	}
+	dir := filepath.Join(rt.WorkRoot, fmt.Sprintf("ctr-%s-%d", sanitize(name), n))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Image{}, "", nil, fmt.Errorf("container: workdir: %w", err)
+	}
+	cleanup := func() { _ = os.RemoveAll(dir) }
+	return img, dir, cleanup, nil
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Mode selects the two §4.6 container modes.
+type Mode int
+
+const (
+	// PerTask starts a fresh container for every invocation (strongest
+	// isolation; DLHub's requirement).
+	PerTask Mode = iota
+	// PerWorker starts one container per worker and reuses it (the
+	// "workers launched inside a predefined container" mode).
+	PerWorker
+)
+
+// KwEnv is the kwarg key under which the container's environment and
+// working directory are exposed to the app.
+const (
+	KwEnv     = "_container_env"
+	KwWorkDir = "_container_workdir"
+)
+
+// Wrap turns an app function into a containerized one. In PerTask mode
+// every invocation starts (and tears down) its own container; in PerWorker
+// mode the container starts lazily once and is shared by subsequent
+// invocations through this wrapper instance.
+func Wrap(rt *Runtime, image string, mode Mode, fn serialize.Fn) serialize.Fn {
+	var (
+		once sync.Once
+		pImg Image
+		pDir string
+		pErr error
+	)
+	return func(args []any, kwargs map[string]any) (any, error) {
+		var img Image
+		var dir string
+		switch mode {
+		case PerWorker:
+			once.Do(func() { pImg, pDir, _, pErr = rt.start(image) })
+			if pErr != nil {
+				return nil, pErr
+			}
+			img, dir = pImg, pDir
+		default:
+			var cleanup func()
+			var err error
+			img, dir, cleanup, err = rt.start(image)
+			if err != nil {
+				return nil, err
+			}
+			defer cleanup()
+		}
+		kw := make(map[string]any, len(kwargs)+2)
+		for k, v := range kwargs {
+			kw[k] = v
+		}
+		kw[KwEnv] = img.Env
+		kw[KwWorkDir] = dir
+		return fn(args, kw)
+	}
+}

@@ -1,0 +1,156 @@
+package container
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serialize"
+)
+
+func newRT(t *testing.T) (*Registry, *Runtime) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Push(Image{Name: "tensorflow:2.1", SizeMB: 10, Env: map[string]string{"CUDA": "10.1"}})
+	reg.Push(Image{Name: "alpine", SizeMB: 1})
+	rt := NewRuntime(reg, t.TempDir())
+	rt.StartOverhead = 0
+	return reg, rt
+}
+
+func echoEnv(args []any, kwargs map[string]any) (any, error) {
+	env := kwargs[KwEnv].(map[string]string)
+	return env["CUDA"], nil
+}
+
+func TestPerTaskIsolatedStarts(t *testing.T) {
+	_, rt := newRT(t)
+	fn := Wrap(rt, "tensorflow:2.1", PerTask, echoEnv)
+	for i := 0; i < 3; i++ {
+		v, err := fn(nil, nil)
+		if err != nil || v != "10.1" {
+			t.Fatalf("invocation %d: %v, %v", i, v, err)
+		}
+	}
+	if rt.Starts() != 3 {
+		t.Fatalf("starts = %d, want one per invocation", rt.Starts())
+	}
+	if rt.Pulls() != 1 {
+		t.Fatalf("pulls = %d, image cache ineffective", rt.Pulls())
+	}
+}
+
+func TestPerWorkerSharedContainer(t *testing.T) {
+	_, rt := newRT(t)
+	fn := Wrap(rt, "tensorflow:2.1", PerWorker, echoEnv)
+	for i := 0; i < 5; i++ {
+		if _, err := fn(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.Starts() != 1 {
+		t.Fatalf("starts = %d, want one shared container", rt.Starts())
+	}
+}
+
+func TestWorkdirIsolationPerTask(t *testing.T) {
+	_, rt := newRT(t)
+	var dirs []string
+	var mu sync.Mutex
+	fn := Wrap(rt, "alpine", PerTask, func(_ []any, kwargs map[string]any) (any, error) {
+		mu.Lock()
+		dirs = append(dirs, kwargs[KwWorkDir].(string))
+		mu.Unlock()
+		return nil, nil
+	})
+	_, _ = fn(nil, nil)
+	_, _ = fn(nil, nil)
+	if len(dirs) != 2 || dirs[0] == dirs[1] {
+		t.Fatalf("workdirs not isolated: %v", dirs)
+	}
+}
+
+func TestUnknownImage(t *testing.T) {
+	_, rt := newRT(t)
+	fn := Wrap(rt, "ghost:latest", PerTask, echoEnv)
+	if _, err := fn(nil, nil); !errors.Is(err, ErrNoImage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPullBandwidthCharged(t *testing.T) {
+	reg := NewRegistry()
+	reg.PullMBPerSec = 100 // 10 MB image -> 100 ms
+	reg.Push(Image{Name: "big", SizeMB: 10})
+	rt := NewRuntime(reg, t.TempDir())
+	rt.StartOverhead = 0
+	fn := Wrap(rt, "big", PerTask, func([]any, map[string]any) (any, error) { return nil, nil })
+	start := time.Now()
+	if _, err := fn(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 90*time.Millisecond {
+		t.Fatal("pull bandwidth not charged")
+	}
+	// Cached: second invocation is fast.
+	start = time.Now()
+	_, _ = fn(nil, nil)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("image cache not used")
+	}
+}
+
+func TestStartOverheadCharged(t *testing.T) {
+	_, rt := newRT(t)
+	rt.StartOverhead = 20 * time.Millisecond
+	fn := Wrap(rt, "alpine", PerTask, func([]any, map[string]any) (any, error) { return nil, nil })
+	start := time.Now()
+	_, _ = fn(nil, nil)
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("start overhead not charged")
+	}
+}
+
+func TestKwargsPreserved(t *testing.T) {
+	_, rt := newRT(t)
+	fn := Wrap(rt, "alpine", PerTask, func(_ []any, kwargs map[string]any) (any, error) {
+		return kwargs["user_key"], nil
+	})
+	v, err := fn(nil, map[string]any{"user_key": 42})
+	if err != nil || v != 42 {
+		t.Fatalf("kwargs lost: %v, %v", v, err)
+	}
+}
+
+func TestWrapSatisfiesSerializeFn(t *testing.T) {
+	_, rt := newRT(t)
+	var _ serialize.Fn = Wrap(rt, "alpine", PerTask, echoEnv)
+}
+
+func TestConcurrentPerTaskContainers(t *testing.T) {
+	_, rt := newRT(t)
+	fn := Wrap(rt, "alpine", PerTask, func(_ []any, kwargs map[string]any) (any, error) {
+		return kwargs[KwWorkDir], nil
+	})
+	var wg sync.WaitGroup
+	seen := sync.Map{}
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := fn(nil, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, dup := seen.LoadOrStore(v, true); dup {
+				t.Errorf("workdir reused concurrently: %v", v)
+			}
+		}()
+	}
+	wg.Wait()
+	if rt.Starts() != 16 {
+		t.Fatalf("starts = %d", rt.Starts())
+	}
+}

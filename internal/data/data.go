@@ -1,0 +1,332 @@
+// Package data implements Parsl's data management layer (§4.5): the File
+// abstraction that keeps programs location independent, and the data manager
+// that stages remote files in/out and transparently translates paths. Files
+// can be local, http(s)://, ftp://, or globus:// references; the manager
+// turns a remote reference into a local path in the run's working directory.
+//
+// HTTP and FTP stage-ins execute as ordinary transfer tasks (the DFK injects
+// them into the task graph); Globus transfers are third-party and are driven
+// directly by the data manager, which is why the manager owns a simulated
+// compute-side Globus endpoint.
+package data
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ftp"
+	"repro/internal/globus"
+)
+
+func init() {
+	gob.Register(&File{})
+	gob.Register([]*File{})
+}
+
+// Schemes understood by the data manager.
+const (
+	SchemeFile   = "file"
+	SchemeHTTP   = "http"
+	SchemeHTTPS  = "https"
+	SchemeFTP    = "ftp"
+	SchemeGlobus = "globus"
+)
+
+// ErrUnsupportedScheme is returned for URLs the manager cannot stage.
+var ErrUnsupportedScheme = errors.New("data: unsupported scheme")
+
+// File is a location-independent file reference. Programs pass *File values
+// to apps; the runtime replaces them with staged local paths before the app
+// body runs. Fields are exported for gob transport; treat them as read-only.
+type File struct {
+	URL    string
+	Scheme string
+	Host   string
+	Path   string
+	// Local is the staged local path ("" before staging). It is exported so
+	// the translation survives the serialization boundary to workers; use
+	// LocalPath/SetLocalPath rather than touching it directly.
+	Local string
+
+	mu sync.Mutex
+}
+
+// NewFile parses a file reference. Plain paths become file:// references.
+func NewFile(rawurl string) (*File, error) {
+	if rawurl == "" {
+		return nil, errors.New("data: empty file URL")
+	}
+	f := &File{URL: rawurl}
+	switch {
+	case strings.HasPrefix(rawurl, "http://"):
+		f.Scheme = SchemeHTTP
+	case strings.HasPrefix(rawurl, "https://"):
+		f.Scheme = SchemeHTTPS
+	case strings.HasPrefix(rawurl, "ftp://"):
+		f.Scheme = SchemeFTP
+	case strings.HasPrefix(rawurl, "globus://"):
+		f.Scheme = SchemeGlobus
+	case strings.HasPrefix(rawurl, "file://"):
+		f.Scheme = SchemeFile
+		f.Path = strings.TrimPrefix(rawurl, "file://")
+		return f, nil
+	case strings.Contains(rawurl, "://"):
+		return nil, fmt.Errorf("%w: %s", ErrUnsupportedScheme, rawurl)
+	default:
+		f.Scheme = SchemeFile
+		f.Path = rawurl
+		return f, nil
+	}
+	rest := rawurl[strings.Index(rawurl, "://")+3:]
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return nil, fmt.Errorf("data: %s has no path component", rawurl)
+	}
+	f.Host = rest[:slash]
+	f.Path = rest[slash:]
+	if f.Host == "" {
+		return nil, fmt.Errorf("data: %s has no host component", rawurl)
+	}
+	return f, nil
+}
+
+// MustFile is NewFile that panics, for tests and examples with literal URLs.
+func MustFile(rawurl string) *File {
+	f, err := NewFile(rawurl)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Filename returns the base name of the file.
+func (f *File) Filename() string { return path.Base(f.Path) }
+
+// Remote reports whether staging is required before local use.
+func (f *File) Remote() bool { return f.Scheme != SchemeFile }
+
+// LocalPath returns the translated local path, or "" before staging. Local
+// files translate to themselves.
+func (f *File) LocalPath() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.Local != "" {
+		return f.Local
+	}
+	if f.Scheme == SchemeFile {
+		return f.Path
+	}
+	return ""
+}
+
+// SetLocalPath records the staged location (called by the data manager).
+func (f *File) SetLocalPath(p string) {
+	f.mu.Lock()
+	f.Local = p
+	f.mu.Unlock()
+}
+
+// Staged reports whether the file is usable locally.
+func (f *File) Staged() bool { return f.LocalPath() != "" }
+
+// String implements fmt.Stringer.
+func (f *File) String() string { return f.URL }
+
+// ManagerOption configures a Manager.
+type ManagerOption func(*Manager)
+
+// WithGlobus wires a simulated Globus service into the manager. computeEP is
+// the endpoint name representing the compute resource's storage; token must
+// come from service.Login.
+func WithGlobus(service *globus.Service, token, computeEP string) ManagerOption {
+	return func(m *Manager) {
+		m.globus = service
+		m.globusToken = token
+		m.computeEP = computeEP
+	}
+}
+
+// WithHTTPClient overrides the HTTP client (tests inject short timeouts).
+func WithHTTPClient(c *http.Client) ManagerOption {
+	return func(m *Manager) { m.httpClient = c }
+}
+
+// Manager stages files to and from the run's working directory.
+type Manager struct {
+	workDir     string
+	httpClient  *http.Client
+	globus      *globus.Service
+	globusToken string
+	computeEP   string
+
+	mu       sync.Mutex
+	stageSeq int64
+}
+
+// NewManager creates a manager staging into workDir (created if absent).
+func NewManager(workDir string, opts ...ManagerOption) (*Manager, error) {
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return nil, fmt.Errorf("data: workdir: %w", err)
+	}
+	m := &Manager{
+		workDir:    workDir,
+		httpClient: &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// WorkDir returns the staging directory.
+func (m *Manager) WorkDir() string { return m.workDir }
+
+// stagePath allocates a unique local destination for a file.
+func (m *Manager) stagePath(f *File) string {
+	m.mu.Lock()
+	m.stageSeq++
+	seq := m.stageSeq
+	m.mu.Unlock()
+	return filepath.Join(m.workDir, fmt.Sprintf("stage%04d_%s", seq, f.Filename()))
+}
+
+// StageIn makes f available locally and returns the translated path. Local
+// files pass through; remote files are fetched per scheme. The translated
+// path is also recorded on the File so later references resolve without
+// re-transfer ("the data manager first inspects the file to see if it is
+// available", §4.5).
+func (m *Manager) StageIn(f *File) (string, error) {
+	if p := f.LocalPath(); p != "" {
+		return p, nil
+	}
+	dst := m.stagePath(f)
+	var err error
+	switch f.Scheme {
+	case SchemeHTTP, SchemeHTTPS:
+		err = m.stageHTTP(f, dst)
+	case SchemeFTP:
+		err = m.stageFTP(f, dst)
+	case SchemeGlobus:
+		err = m.stageGlobusIn(f, dst)
+	default:
+		return "", fmt.Errorf("%w: %s", ErrUnsupportedScheme, f.Scheme)
+	}
+	if err != nil {
+		return "", err
+	}
+	f.SetLocalPath(dst)
+	return dst, nil
+}
+
+func (m *Manager) stageHTTP(f *File, dst string) error {
+	resp, err := m.httpClient.Get(f.URL)
+	if err != nil {
+		return fmt.Errorf("data: http stage-in %s: %w", f.URL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("data: http stage-in %s: status %d", f.URL, resp.StatusCode)
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return fmt.Errorf("data: create %s: %w", dst, err)
+	}
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		_ = out.Close()
+		return fmt.Errorf("data: http stage-in %s: %w", f.URL, err)
+	}
+	return out.Close()
+}
+
+func (m *Manager) stageFTP(f *File, dst string) error {
+	c, err := ftp.Dial(f.Host)
+	if err != nil {
+		return fmt.Errorf("data: ftp stage-in %s: %w", f.URL, err)
+	}
+	defer c.Quit()
+	payload, err := c.Retr(strings.TrimPrefix(f.Path, "/"))
+	if err != nil {
+		return fmt.Errorf("data: ftp stage-in %s: %w", f.URL, err)
+	}
+	return os.WriteFile(dst, payload, 0o644)
+}
+
+func (m *Manager) stageGlobusIn(f *File, dst string) error {
+	if m.globus == nil {
+		return errors.New("data: globus file used but no Globus service configured")
+	}
+	// Third-party transfer: source endpoint -> compute endpoint, then
+	// materialize onto the local filesystem of the compute resource.
+	task, err := m.globus.Submit(m.globusToken, f.Host, f.Path, m.computeEP, f.Path)
+	if err != nil {
+		return fmt.Errorf("data: globus stage-in %s: %w", f.URL, err)
+	}
+	if _, err := task.Wait(2 * time.Minute); err != nil {
+		return fmt.Errorf("data: globus stage-in %s: %w", f.URL, err)
+	}
+	ep, err := m.globus.Endpoint(m.computeEP)
+	if err != nil {
+		return err
+	}
+	payload, err := ep.Get(f.Path)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, payload, 0o644)
+}
+
+// StageOut pushes a local file to the remote location f names. Supported for
+// file://, ftp:// and globus:// outputs.
+func (m *Manager) StageOut(f *File, localPath string) error {
+	payload, err := os.ReadFile(localPath)
+	if err != nil {
+		return fmt.Errorf("data: stage-out read %s: %w", localPath, err)
+	}
+	switch f.Scheme {
+	case SchemeFile:
+		if err := os.MkdirAll(filepath.Dir(f.Path), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(f.Path, payload, 0o644)
+	case SchemeFTP:
+		c, err := ftp.Dial(f.Host)
+		if err != nil {
+			return fmt.Errorf("data: ftp stage-out %s: %w", f.URL, err)
+		}
+		defer c.Quit()
+		return c.Stor(strings.TrimPrefix(f.Path, "/"), payload)
+	case SchemeGlobus:
+		if m.globus == nil {
+			return errors.New("data: globus file used but no Globus service configured")
+		}
+		ep, err := m.globus.Endpoint(m.computeEP)
+		if err != nil {
+			return err
+		}
+		ep.Put(f.Path, payload)
+		task, err := m.globus.Submit(m.globusToken, m.computeEP, f.Path, f.Host, f.Path)
+		if err != nil {
+			return fmt.Errorf("data: globus stage-out %s: %w", f.URL, err)
+		}
+		if _, err := task.Wait(2 * time.Minute); err != nil {
+			return fmt.Errorf("data: globus stage-out %s: %w", f.URL, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w for stage-out: %s", ErrUnsupportedScheme, f.Scheme)
+	}
+}
+
+// ThirdParty reports whether a scheme transfers without occupying a worker
+// (§4.5: Globus transfers are executed by the data manager itself, deferring
+// resource provisioning; HTTP/FTP transfers run as ordinary tasks).
+func ThirdParty(scheme string) bool { return scheme == SchemeGlobus }

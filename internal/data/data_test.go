@@ -1,0 +1,281 @@
+package data
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ftp"
+	"repro/internal/globus"
+)
+
+func TestNewFileSchemes(t *testing.T) {
+	cases := []struct {
+		url, scheme, host, path string
+	}{
+		{"/tmp/x.dat", SchemeFile, "", "/tmp/x.dat"},
+		{"file:///tmp/y.dat", SchemeFile, "", "/tmp/y.dat"},
+		{"relative/z.dat", SchemeFile, "", "relative/z.dat"},
+		{"http://mdf.org/data/a.csv", SchemeHTTP, "mdf.org", "/data/a.csv"},
+		{"https://mdf.org/b.csv", SchemeHTTPS, "mdf.org", "/b.csv"},
+		{"ftp://mirror:21/pub/c.gz", SchemeFTP, "mirror:21", "/pub/c.gz"},
+		{"globus://alcf/sim/d.bin", SchemeGlobus, "alcf", "/sim/d.bin"},
+	}
+	for _, c := range cases {
+		f, err := NewFile(c.url)
+		if err != nil {
+			t.Fatalf("%s: %v", c.url, err)
+		}
+		if f.Scheme != c.scheme || f.Host != c.host || f.Path != c.path {
+			t.Fatalf("%s parsed as %q %q %q", c.url, f.Scheme, f.Host, f.Path)
+		}
+	}
+}
+
+func TestNewFileErrors(t *testing.T) {
+	for _, bad := range []string{"", "gopher://x/y", "http://nopath", "http:///missinghost"} {
+		if _, err := NewFile(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestMustFilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFile did not panic")
+		}
+	}()
+	MustFile("gopher://bad/x")
+}
+
+func TestFileAccessors(t *testing.T) {
+	f := MustFile("http://host/dir/genome.fa")
+	if f.Filename() != "genome.fa" {
+		t.Fatalf("filename = %q", f.Filename())
+	}
+	if !f.Remote() {
+		t.Fatal("http file not remote")
+	}
+	if f.Staged() {
+		t.Fatal("unstaged file reports staged")
+	}
+	f.SetLocalPath("/work/genome.fa")
+	if f.LocalPath() != "/work/genome.fa" || !f.Staged() {
+		t.Fatal("local path lost")
+	}
+	if f.String() != "http://host/dir/genome.fa" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestLocalFileTranslatesToItself(t *testing.T) {
+	f := MustFile("/abs/path.txt")
+	if f.Remote() {
+		t.Fatal("local file reports remote")
+	}
+	if f.LocalPath() != "/abs/path.txt" {
+		t.Fatalf("local path = %q", f.LocalPath())
+	}
+}
+
+func TestStageInLocalPassThrough(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := MustFile("/some/local.file")
+	p, err := m.StageIn(f)
+	if err != nil || p != "/some/local.file" {
+		t.Fatalf("stage-in local: %q, %v", p, err)
+	}
+}
+
+func TestStageInHTTP(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/model/weights.bin" {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write([]byte("weights"))
+	}))
+	defer srv.Close()
+
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := MustFile(srv.URL + "/model/weights.bin")
+	p, err := m.StageIn(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil || string(got) != "weights" {
+		t.Fatalf("staged content %q, %v", got, err)
+	}
+	if f.LocalPath() != p {
+		t.Fatal("file not marked staged")
+	}
+	// Second stage-in is a no-op returning the same path.
+	p2, err := m.StageIn(f)
+	if err != nil || p2 != p {
+		t.Fatalf("re-stage: %q, %v", p2, err)
+	}
+}
+
+func TestStageInHTTP404(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	m, _ := NewManager(t.TempDir())
+	f := MustFile(srv.URL + "/gone")
+	if _, err := m.StageIn(f); err == nil {
+		t.Fatal("404 staged successfully")
+	}
+}
+
+func TestStageInFTP(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "ref.fa"), []byte("ACGT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ftp.NewServer("127.0.0.1:0", root)
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer srv.Close()
+
+	m, _ := NewManager(t.TempDir())
+	f := MustFile("ftp://" + srv.Addr() + "/ref.fa")
+	p, err := m.StageIn(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(p)
+	if string(got) != "ACGT" {
+		t.Fatalf("staged %q", got)
+	}
+}
+
+func TestStageInGlobusThirdParty(t *testing.T) {
+	svc := globus.NewService()
+	remote := svc.AddEndpoint("mdf")
+	svc.AddEndpoint("compute")
+	remote.Put("/dft/stopping.csv", []byte("dft-data"))
+	tok := svc.Login(time.Hour)
+
+	m, err := NewManager(t.TempDir(), WithGlobus(svc, tok, "compute"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := MustFile("globus://mdf/dft/stopping.csv")
+	p, err := m.StageIn(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(p)
+	if string(got) != "dft-data" {
+		t.Fatalf("staged %q", got)
+	}
+}
+
+func TestStageInGlobusWithoutService(t *testing.T) {
+	m, _ := NewManager(t.TempDir())
+	if _, err := m.StageIn(MustFile("globus://ep/x")); err == nil {
+		t.Fatal("globus stage-in without service succeeded")
+	}
+}
+
+func TestStageOutFile(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := NewManager(dir)
+	src := filepath.Join(dir, "result.txt")
+	if err := os.WriteFile(src, []byte("out"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "published", "result.txt")
+	if err := m.StageOut(MustFile(dst), src); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(dst)
+	if string(got) != "out" {
+		t.Fatalf("staged out %q", got)
+	}
+}
+
+func TestStageOutFTP(t *testing.T) {
+	root := t.TempDir()
+	srv, err := ftp.NewServer("127.0.0.1:0", root)
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer srv.Close()
+	dir := t.TempDir()
+	m, _ := NewManager(dir)
+	src := filepath.Join(dir, "up.dat")
+	_ = os.WriteFile(src, []byte("upload"), 0o644)
+	if err := m.StageOut(MustFile("ftp://"+srv.Addr()+"/in/up.dat"), src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(root, "in", "up.dat"))
+	if err != nil || string(got) != "upload" {
+		t.Fatalf("ftp stage-out: %q, %v", got, err)
+	}
+}
+
+func TestStageOutGlobus(t *testing.T) {
+	svc := globus.NewService()
+	remote := svc.AddEndpoint("archive")
+	svc.AddEndpoint("compute")
+	tok := svc.Login(time.Hour)
+	dir := t.TempDir()
+	m, _ := NewManager(dir, WithGlobus(svc, tok, "compute"))
+	src := filepath.Join(dir, "image.fits")
+	_ = os.WriteFile(src, []byte("pixels"), 0o644)
+	if err := m.StageOut(MustFile("globus://archive/lsst/image.fits"), src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.Get("/lsst/image.fits")
+	if err != nil || string(got) != "pixels" {
+		t.Fatalf("globus stage-out: %q, %v", got, err)
+	}
+}
+
+func TestStageOutUnsupported(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := NewManager(dir)
+	src := filepath.Join(dir, "x")
+	_ = os.WriteFile(src, nil, 0o644)
+	if err := m.StageOut(MustFile("http://host/x"), src); !errors.Is(err, ErrUnsupportedScheme) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStageOutMissingLocal(t *testing.T) {
+	m, _ := NewManager(t.TempDir())
+	if err := m.StageOut(MustFile("/dst"), "/no/such/file"); err == nil {
+		t.Fatal("missing local staged out")
+	}
+}
+
+func TestThirdParty(t *testing.T) {
+	if !ThirdParty(SchemeGlobus) {
+		t.Fatal("globus not third-party")
+	}
+	if ThirdParty(SchemeHTTP) || ThirdParty(SchemeFTP) || ThirdParty(SchemeFile) {
+		t.Fatal("worker-mediated scheme marked third-party")
+	}
+}
+
+func TestStagePathsUnique(t *testing.T) {
+	m, _ := NewManager(t.TempDir())
+	a := m.stagePath(MustFile("http://h/same.bin"))
+	b := m.stagePath(MustFile("http://h/same.bin"))
+	if a == b {
+		t.Fatal("stage paths collide for identical filenames")
+	}
+}

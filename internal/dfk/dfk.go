@@ -1,0 +1,633 @@
+// Package dfk implements the DataFlowKernel (§4.1), Parsl's execution
+// management engine. The DFK assembles a dynamic task dependency graph from
+// app invocations, encodes edges as callbacks on dependent futures (making
+// execution event driven with O(n+e) cost), schedules ready tasks onto
+// configured executors (randomly when multiple are eligible), retries
+// failures, consults the memoization/checkpoint table, injects data-staging
+// tasks for remote files, and records every state transition with the
+// monitoring subsystem.
+package dfk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/data"
+	"repro/internal/executor"
+	"repro/internal/future"
+	"repro/internal/memo"
+	"repro/internal/monitor"
+	"repro/internal/serialize"
+	"repro/internal/task"
+)
+
+// Config configures a DataFlowKernel, the programmatic analogue of Parsl's
+// Config object (§3.5). Code stays fixed; this changes per resource.
+type Config struct {
+	// Executors are the started-or-startable executors; at least one.
+	Executors []executor.Executor
+	// Registry is the shared app registry. In-process executors must be
+	// constructed over the same registry so workers can resolve app names
+	// (the analogue of workers importing the same Python modules). When
+	// nil, the DFK creates a private registry.
+	Registry *serialize.Registry
+	// Retries is the per-task retry budget (0 = fail on first error).
+	Retries int
+	// Memoize enables app memoization program-wide (§4.6); individual apps
+	// can override via WithMemoize.
+	Memoize bool
+	// Checkpoint, when non-empty, persists memoized results to this file
+	// and preloads it, enabling restart-without-rerun (§3.7).
+	Checkpoint string
+	// Monitor receives execution events; nil disables monitoring.
+	Monitor monitor.Sink
+	// DataManager stages remote files; nil disables data management.
+	DataManager *data.Manager
+	// TaskTimeout bounds a single execution attempt (0 = no timeout).
+	TaskTimeout time.Duration
+	// Seed makes executor selection deterministic in tests (0 = time).
+	Seed int64
+}
+
+// DependencyError is set on a task's future when one of its dependencies
+// failed; the task itself is never launched (§4.1).
+type DependencyError struct {
+	TaskID int64
+	DepID  int64
+	Err    error
+}
+
+// Error implements error.
+func (e *DependencyError) Error() string {
+	return fmt.Sprintf("task %d: dependency task %d failed: %v", e.TaskID, e.DepID, e.Err)
+}
+
+// Unwrap exposes the underlying dependency failure.
+func (e *DependencyError) Unwrap() error { return e.Err }
+
+// ErrTimeout is wrapped into task failures caused by TaskTimeout.
+var ErrTimeout = errors.New("dfk: task attempt timed out")
+
+// DFK is the DataFlowKernel.
+type DFK struct {
+	cfg       Config
+	registry  *serialize.Registry
+	graph     *task.Graph
+	memoizer  *memo.Memoizer
+	mon       monitor.Sink
+	executors map[string]executor.Executor
+	labels    []string
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	shutdown bool
+}
+
+// New constructs and starts a DataFlowKernel: all executors are started and
+// the checkpoint (if any) is loaded.
+func New(cfg Config) (*DFK, error) {
+	if len(cfg.Executors) == 0 {
+		return nil, errors.New("dfk: config needs at least one executor")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = serialize.NewRegistry()
+	}
+	d := &DFK{
+		cfg:       cfg,
+		registry:  reg,
+		graph:     task.NewGraph(),
+		executors: make(map[string]executor.Executor, len(cfg.Executors)),
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	d.rng = rand.New(rand.NewSource(seed))
+
+	if cfg.Monitor != nil {
+		d.mon = cfg.Monitor
+	} else {
+		d.mon = monitor.Nop{}
+	}
+
+	var err error
+	if cfg.Checkpoint != "" {
+		d.memoizer, err = memo.NewWithCheckpoint(cfg.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		d.memoizer = memo.New()
+	}
+
+	for _, ex := range cfg.Executors {
+		if _, dup := d.executors[ex.Label()]; dup {
+			return nil, fmt.Errorf("dfk: duplicate executor label %q", ex.Label())
+		}
+		if err := ex.Start(); err != nil {
+			return nil, fmt.Errorf("dfk: start executor %s: %w", ex.Label(), err)
+		}
+		d.executors[ex.Label()] = ex
+		d.labels = append(d.labels, ex.Label())
+	}
+	return d, nil
+}
+
+// Registry exposes the app registry (workers share it in-process).
+func (d *DFK) Registry() *serialize.Registry { return d.registry }
+
+// Graph exposes the task graph for monitoring and strategies.
+func (d *DFK) Graph() *task.Graph { return d.graph }
+
+// Memoizer exposes memo statistics for tests and benchmarks.
+func (d *DFK) Memoizer() *memo.Memoizer { return d.memoizer }
+
+// Executor returns the executor registered under label.
+func (d *DFK) Executor(label string) (executor.Executor, bool) {
+	ex, ok := d.executors[label]
+	return ex, ok
+}
+
+// App is an invocable Parsl app — what the @python_app/@bash_app decorators
+// produce. Calling it registers a task and returns its future immediately.
+type App struct {
+	dfk      *DFK
+	name     string
+	memoize  bool
+	hints    []string
+	bodyHash string
+}
+
+// AppOption customizes app registration.
+type AppOption func(*appOpts)
+
+type appOpts struct {
+	memoize   *bool
+	hints     []string
+	version   string
+	bashOpts  app.Options
+	isBashSet bool
+}
+
+// WithMemoize overrides the program-level memoization default for this app
+// ("memoization can be defined at both the program and individual App
+// levels", §4.6).
+func WithMemoize(on bool) AppOption {
+	return func(o *appOpts) { o.memoize = &on }
+}
+
+// WithExecutors pins the app to specific executor labels (execution hints).
+func WithExecutors(labels ...string) AppOption {
+	return func(o *appOpts) { o.hints = labels }
+}
+
+// WithVersion sets the app body version used in memo keys; bump it to model
+// editing the function body.
+func WithVersion(v string) AppOption {
+	return func(o *appOpts) { o.version = v }
+}
+
+// WithBashOptions sets sandbox/timeout options for Bash apps.
+func WithBashOptions(opts app.Options) AppOption {
+	return func(o *appOpts) { o.bashOpts = opts; o.isBashSet = true }
+}
+
+// PythonApp registers a pure function as an app (the @python_app analogue).
+func (d *DFK) PythonApp(name string, fn serialize.Fn, opts ...AppOption) (*App, error) {
+	return d.registerApp(name, fn, opts)
+}
+
+// BashApp registers a command-line-rendering app (the @bash_app analogue).
+// Its future resolves to an app.BashResult.
+func (d *DFK) BashApp(name string, tmpl app.BashTemplate, opts ...AppOption) (*App, error) {
+	var o appOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	fn := app.WrapBash(tmpl, o.bashOpts)
+	return d.registerApp(name, fn, opts)
+}
+
+func (d *DFK) registerApp(name string, fn serialize.Fn, opts []AppOption) (*App, error) {
+	o := appOpts{version: "v1"}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := d.registry.RegisterVersion(name, o.version, fn); err != nil {
+		return nil, err
+	}
+	entry, _ := d.registry.Lookup(name)
+	for _, h := range o.hints {
+		if _, ok := d.executors[h]; !ok {
+			return nil, fmt.Errorf("dfk: app %q hints unknown executor %q", name, h)
+		}
+	}
+	memoize := d.cfg.Memoize
+	if o.memoize != nil {
+		memoize = *o.memoize
+	}
+	return &App{dfk: d, name: name, memoize: memoize, hints: o.hints, bodyHash: entry.BodyHash()}, nil
+}
+
+// Call invokes the app asynchronously with positional args, returning the
+// AppFuture. Futures among the args become dependencies.
+func (a *App) Call(args ...any) *future.Future {
+	return a.CallKw(nil, args...)
+}
+
+// CallKw invokes the app with keyword and positional arguments.
+func (a *App) CallKw(kwargs map[string]any, args ...any) *future.Future {
+	return a.dfk.submit(a, args, kwargs)
+}
+
+// submit is the core of App invocation: build the task record, wire
+// dependency callbacks, and launch when ready.
+func (d *DFK) submit(a *App, args []any, kwargs map[string]any) *future.Future {
+	d.mu.Lock()
+	if d.shutdown {
+		d.mu.Unlock()
+		return future.FromError(executor.ErrShutdown)
+	}
+	d.wg.Add(1)
+	d.mu.Unlock()
+
+	id := d.graph.NextID()
+	rec := task.NewRecord(id, a.name, args, kwargs)
+	rec.SetMaxRetries(d.cfg.Retries)
+	rec.Hints = a.hints
+	d.graph.Add(rec)
+	rec.Future.AddDoneCallback(func(*future.Future) { d.wg.Done() })
+
+	// Collect dependencies: futures anywhere in args/kwargs, plus staging
+	// tasks for unstaged remote files (§4.5).
+	deps := collectFutures(args, kwargs)
+	if d.cfg.DataManager != nil {
+		for _, f := range collectFiles(args, kwargs) {
+			if f.Remote() && !f.Staged() {
+				deps = append(deps, d.stageInTask(f))
+			}
+		}
+		// Pre-assign local homes for declared remote outputs so the app
+		// body knows where to write (§4.5: path translation).
+		if outs, ok := kwargs[app.KwOutputs].([]*data.File); ok {
+			for _, f := range outs {
+				if f.Remote() && !f.Staged() {
+					f.SetLocalPath(filepath.Join(
+						d.cfg.DataManager.WorkDir(),
+						fmt.Sprintf("out_task%06d_%s", id, f.Filename())))
+				}
+			}
+		}
+	}
+
+	d.emitState(rec, "", "pending")
+	if err := rec.SetState(task.Pending); err != nil {
+		d.failTask(rec, err)
+		return rec.Future
+	}
+
+	if len(deps) == 0 {
+		d.launch(rec, a)
+		return rec.Future
+	}
+
+	rec.SetPendingDeps(len(deps))
+	for _, dep := range deps {
+		if dep.TaskID >= 0 {
+			_ = d.graph.AddEdge(dep.TaskID, id)
+		}
+		dep := dep
+		dep.AddDoneCallback(func(df *future.Future) {
+			if err := df.Err(); err != nil {
+				d.failTask(rec, &DependencyError{TaskID: id, DepID: dep.TaskID, Err: err})
+				return
+			}
+			if rec.DepResolved() == 0 && rec.State() == task.Pending {
+				d.launch(rec, a)
+			}
+		})
+	}
+	return rec.Future
+}
+
+// stageInTask creates the hidden data-transfer task for a remote file. HTTP
+// and FTP transfers run as ordinary tasks on an executor; Globus transfers
+// are third-party and run directly under the data manager (§4.5).
+func (d *DFK) stageInTask(f *data.File) *future.Future {
+	dm := d.cfg.DataManager
+	if data.ThirdParty(f.Scheme) {
+		fut := future.New()
+		go func() {
+			if _, err := dm.StageIn(f); err != nil {
+				_ = fut.SetError(err)
+				return
+			}
+			_ = fut.SetResult(f.LocalPath())
+		}()
+		return fut
+	}
+	name := "_parsl_stage_in"
+	if _, ok := d.registry.Lookup(name); !ok {
+		_ = d.registry.Register(name, func(args []any, _ map[string]any) (any, error) {
+			url, ok := args[0].(string)
+			if !ok {
+				return nil, fmt.Errorf("dfk: stage-in got %T", args[0])
+			}
+			file, err := data.NewFile(url)
+			if err != nil {
+				return nil, err
+			}
+			return dm.StageIn(file)
+		})
+	}
+	stageApp := &App{dfk: d, name: name, bodyHash: "stage"}
+	// The transfer task returns the staged path; record the translation on
+	// the original *File here on the submit side, so it survives the
+	// executor serialization boundary.
+	inner := d.submit(stageApp, []any{f.URL}, nil)
+	return future.Then(inner, func(v any) (any, error) {
+		p, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("dfk: stage-in returned %T", v)
+		}
+		f.SetLocalPath(p)
+		return p, nil
+	})
+}
+
+// launch resolves dependencies into concrete values, consults memoization,
+// picks an executor, and submits.
+func (d *DFK) launch(rec *task.Record, a *App) {
+	args, kwargs := resolveArgs(rec.Args, rec.Kwargs)
+
+	if a.memoize {
+		key, err := memo.Key(a.name, a.bodyHash, args, kwargs)
+		if err == nil {
+			rec.SetMemoKey(key)
+			if v, hit := d.memoizer.Lookup(key); hit {
+				d.emitState(rec, rec.State().String(), "memoized")
+				_ = rec.SetState(task.Memoized)
+				_ = rec.Future.SetResult(v)
+				return
+			}
+		}
+	}
+
+	ex, err := d.pickExecutor(rec.Hints)
+	if err != nil {
+		d.failTask(rec, err)
+		return
+	}
+	d.launchOn(rec, a, ex, args, kwargs)
+}
+
+// launchOn submits one execution attempt and chains the completion handler.
+func (d *DFK) launchOn(rec *task.Record, a *App, ex executor.Executor, args []any, kwargs map[string]any) {
+	rec.SetExecutor(ex.Label())
+	d.emitState(rec, rec.State().String(), "launched")
+	if err := rec.SetState(task.Launched); err != nil {
+		d.failTask(rec, err)
+		return
+	}
+	msg := serialize.TaskMsg{ID: rec.ID, App: a.name, Args: args, Kwargs: kwargs}
+	execFut := ex.Submit(msg)
+
+	var timer *time.Timer
+	if d.cfg.TaskTimeout > 0 {
+		timer = time.AfterFunc(d.cfg.TaskTimeout, func() {
+			_ = execFut.SetError(fmt.Errorf("%w after %v", ErrTimeout, d.cfg.TaskTimeout))
+		})
+	}
+	execFut.AddDoneCallback(func(ef *future.Future) {
+		if timer != nil {
+			timer.Stop()
+		}
+		v, err := ef.Result()
+		if err == nil {
+			d.completeTask(rec, a, v)
+			return
+		}
+		// Failure: retry if budget remains (§4.1: "Parsl is able to retry
+		// the task by resubmitting it to an executor").
+		if rec.IncAttempts() <= rec.MaxRetries() {
+			d.emitState(rec, rec.State().String(), "retrying")
+			if serr := rec.SetState(task.Retrying); serr == nil {
+				nex, perr := d.pickExecutor(rec.Hints)
+				if perr != nil {
+					d.failTask(rec, perr)
+					return
+				}
+				// Resubmit asynchronously to avoid deep recursion on
+				// repeatedly failing tasks.
+				go d.launchOn(rec, a, nex, args, kwargs)
+				return
+			}
+		}
+		d.failTask(rec, err)
+	})
+}
+
+func (d *DFK) completeTask(rec *task.Record, a *App, v any) {
+	if key := rec.MemoKey(); key != "" {
+		_ = d.memoizer.Store(key, v)
+	}
+	// Stage out declared outputs before resolving the future, so a
+	// consumer that waits on the future sees outputs at their final homes.
+	if d.cfg.DataManager != nil {
+		if outs, ok := rec.Kwargs[app.KwOutputs].([]*data.File); ok {
+			for _, f := range outs {
+				if f.Remote() && f.Staged() {
+					if err := d.cfg.DataManager.StageOut(f, f.LocalPath()); err != nil {
+						d.failTask(rec, err)
+						return
+					}
+				}
+			}
+		}
+	}
+	d.emitState(rec, rec.State().String(), "done")
+	_ = rec.SetState(task.Done)
+	_ = rec.Future.SetResult(v)
+}
+
+// failTask wraps the exception and associates it with the future (§4.1).
+func (d *DFK) failTask(rec *task.Record, err error) {
+	d.emitState(rec, rec.State().String(), "failed")
+	_ = rec.SetState(task.Failed)
+	_ = rec.Future.SetError(fmt.Errorf("dfk: task %d (%s): %w", rec.ID, rec.AppName, err))
+}
+
+// pickExecutor applies hints and chooses uniformly at random among the
+// eligible executors ("if multiple executors are available, and the task
+// contains no execution hints, an executor is picked at random", §4.1).
+func (d *DFK) pickExecutor(hints []string) (executor.Executor, error) {
+	candidates := d.labels
+	if len(hints) > 0 {
+		candidates = hints
+	}
+	if len(candidates) == 0 {
+		return nil, errors.New("dfk: no executors available")
+	}
+	d.rngMu.Lock()
+	label := candidates[d.rng.Intn(len(candidates))]
+	d.rngMu.Unlock()
+	ex, ok := d.executors[label]
+	if !ok {
+		return nil, fmt.Errorf("dfk: hinted executor %q not configured", label)
+	}
+	return ex, nil
+}
+
+func (d *DFK) emitState(rec *task.Record, from, to string) {
+	d.mon.Emit(monitor.Event{
+		Kind:     monitor.KindTaskState,
+		At:       time.Now(),
+		TaskID:   rec.ID,
+		App:      rec.AppName,
+		From:     from,
+		To:       to,
+		Executor: rec.Executor(),
+	})
+}
+
+// WaitAll blocks until every submitted task reaches a terminal state.
+func (d *DFK) WaitAll() { d.wg.Wait() }
+
+// Outstanding returns the number of non-terminal tasks.
+func (d *DFK) Outstanding() int { return d.graph.Outstanding() }
+
+// Summary tallies tasks by state, for program-end reporting.
+func (d *DFK) Summary() map[string]int {
+	counts := d.graph.CountByState()
+	out := make(map[string]int, len(counts))
+	for s, n := range counts {
+		out[s.String()] = n
+	}
+	return out
+}
+
+// Shutdown waits for outstanding tasks, then stops executors and closes the
+// checkpoint and monitor.
+func (d *DFK) Shutdown() error {
+	d.mu.Lock()
+	if d.shutdown {
+		d.mu.Unlock()
+		return nil
+	}
+	d.shutdown = true
+	d.mu.Unlock()
+
+	d.wg.Wait()
+	var first error
+	for _, ex := range d.executors {
+		if err := ex.Shutdown(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := d.memoizer.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := d.mon.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// collectFutures finds futures anywhere in the argument lists, including
+// inside []any slices (one level, matching Parsl's treatment of list args).
+func collectFutures(args []any, kwargs map[string]any) []*future.Future {
+	var out []*future.Future
+	add := func(v any) {
+		switch t := v.(type) {
+		case *future.Future:
+			out = append(out, t)
+		case []any:
+			for _, e := range t {
+				if f, ok := e.(*future.Future); ok {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	for _, a := range args {
+		add(a)
+	}
+	for _, v := range kwargs {
+		add(v)
+	}
+	return out
+}
+
+// collectFiles finds data files in args/kwargs including the inputs/outputs
+// keyword lists.
+func collectFiles(args []any, kwargs map[string]any) []*data.File {
+	var out []*data.File
+	add := func(v any) {
+		switch t := v.(type) {
+		case *data.File:
+			out = append(out, t)
+		case []*data.File:
+			out = append(out, t...)
+		case []any:
+			for _, e := range t {
+				if f, ok := e.(*data.File); ok {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	for _, a := range args {
+		add(a)
+	}
+	for k, v := range kwargs {
+		if k == app.KwOutputs {
+			continue // outputs are produced, not consumed
+		}
+		add(v)
+	}
+	return out
+}
+
+// resolveArgs replaces futures with their resolved values (deps are done by
+// the time this runs), recursing one level into []any.
+func resolveArgs(args []any, kwargs map[string]any) ([]any, map[string]any) {
+	res := func(v any) any {
+		switch t := v.(type) {
+		case *future.Future:
+			return t.Value()
+		case []any:
+			cp := make([]any, len(t))
+			for i, e := range t {
+				if f, ok := e.(*future.Future); ok {
+					cp[i] = f.Value()
+				} else {
+					cp[i] = e
+				}
+			}
+			return cp
+		default:
+			return v
+		}
+	}
+	outArgs := make([]any, len(args))
+	for i, a := range args {
+		outArgs[i] = res(a)
+	}
+	var outKw map[string]any
+	if kwargs != nil {
+		outKw = make(map[string]any, len(kwargs))
+		for k, v := range kwargs {
+			outKw[k] = res(v)
+		}
+	}
+	return outArgs, outKw
+}

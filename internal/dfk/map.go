@@ -1,0 +1,51 @@
+package dfk
+
+import (
+	"repro/internal/future"
+)
+
+// This file implements the "constructs for delivering parallelism such as
+// maps" the paper lists as future work (§7), built on the unchanged App +
+// Future core.
+
+// Map invokes the app once per argument tuple, returning the futures in
+// input order. Each element of argsList is one invocation's positional
+// argument list; futures inside tuples create dependencies as usual.
+func (a *App) Map(argsList [][]any) []*future.Future {
+	out := make([]*future.Future, len(argsList))
+	for i, args := range argsList {
+		out[i] = a.Call(args...)
+	}
+	return out
+}
+
+// Map1 is Map for single-argument apps: one invocation per input value.
+func (a *App) Map1(inputs []any) []*future.Future {
+	out := make([]*future.Future, len(inputs))
+	for i, in := range inputs {
+		out[i] = a.Call(in)
+	}
+	return out
+}
+
+// MapReduce fans mapper over inputs and feeds all mapper futures to reducer
+// as a single []any argument — the §3.6 map-reduce pattern as one call.
+func MapReduce(mapper, reducer *App, inputs []any) *future.Future {
+	mapped := mapper.Map1(inputs)
+	arg := make([]any, len(mapped))
+	for i, f := range mapped {
+		arg[i] = f
+	}
+	return reducer.Call(arg)
+}
+
+// Chain threads a value through the app n times, each step depending on the
+// previous — the sequential-pipeline shape (Table 1's neuroscience row) as a
+// construct.
+func Chain(a *App, initial any, n int) *future.Future {
+	cur := future.Completed(initial)
+	for i := 0; i < n; i++ {
+		cur = a.Call(cur)
+	}
+	return cur
+}

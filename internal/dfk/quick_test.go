@@ -1,0 +1,133 @@
+package dfk
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+	"repro/internal/future"
+)
+
+// TestQuickRandomDAGCorrectness builds random layered DAGs of integer-sum
+// tasks and checks that distributed execution matches a local topological
+// evaluation — the determinism guarantee of §1 ("safe and deterministic
+// parallel programs") as a property test.
+func TestQuickRandomDAGCorrectness(t *testing.T) {
+	d := newDFK(t, nil)
+	sum, err := d.PythonApp("qsum", func(args []any, _ map[string]any) (any, error) {
+		total := 0
+		for _, a := range args {
+			total += a.(int)
+		}
+		return total, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		layers := 2 + rng.Intn(3)
+		width := 1 + rng.Intn(4)
+
+		// Local model: values per node; distributed: futures per node.
+		var prevVals []int
+		var prevFuts []*future.Future
+		for l := 0; l < layers; l++ {
+			var vals []int
+			var futs []*future.Future
+			for w := 0; w < width; w++ {
+				base := rng.Intn(100)
+				args := []any{base}
+				localSum := base
+				// Depend on a random subset of the previous layer.
+				for i, pf := range prevFuts {
+					if rng.Intn(2) == 0 {
+						args = append(args, pf)
+						localSum += prevVals[i]
+					}
+				}
+				futs = append(futs, sum.Call(args...))
+				vals = append(vals, localSum)
+			}
+			prevVals, prevFuts = vals, futs
+		}
+		for i, f := range prevFuts {
+			v, err := f.Result()
+			if err != nil || v != prevVals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputsKwargStaging(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("kwarg-staged"))
+	}))
+	defer srv.Close()
+
+	d := newDataDFK(t)
+	read, err := d.PythonApp("readinputs", func(_ []any, kwargs map[string]any) (any, error) {
+		files := kwargs["inputs"].([]*data.File)
+		b, err := os.ReadFile(files[0].LocalPath())
+		if err != nil {
+			return nil, err
+		}
+		return string(b), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := data.MustFile(srv.URL + "/in.dat")
+	v, err := read.CallKw(map[string]any{"inputs": []*data.File{f}}).Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "kwarg-staged" {
+		t.Fatalf("v = %v", v)
+	}
+	if !f.Staged() {
+		t.Fatal("input file not marked staged")
+	}
+}
+
+// TestQuickMemoKeyedOnArguments: for any pair of argument values, memoized
+// calls collide exactly when the arguments are equal.
+func TestQuickMemoKeyedOnArguments(t *testing.T) {
+	d := newDFK(t, func(c *Config) { c.Memoize = true })
+	calls := map[int]int{}
+	record, err := d.PythonApp("qmemo", func(args []any, _ map[string]any) (any, error) {
+		calls[args[0].(int)]++
+		return args[0], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b uint8) bool {
+		x, y := int(a%16), int(b%16)
+		v1, e1 := record.Call(x).Result()
+		v2, e2 := record.Call(y).Result()
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		return v1 == x && v2 == y
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	// Despite ~120 calls, each distinct argument executed exactly once.
+	for arg, n := range calls {
+		if n != 1 {
+			t.Fatalf("argument %d executed %d times despite memoization", arg, n)
+		}
+	}
+}

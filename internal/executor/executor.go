@@ -1,0 +1,110 @@
+// Package executor defines Parsl's modular executor interface (§4.3) and the
+// shared execution kernel. Executors move tasks to resources, run them, and
+// complete the future the DataFlowKernel is holding. Concrete executors live
+// in subpackages: threadpool (in-process), htex (high throughput), exex
+// (extreme scale over MPI), and llex (low latency).
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/future"
+	"repro/internal/serialize"
+)
+
+// Executor runs tasks on some set of resources. It extends the spirit of
+// concurrent.futures.Executor the way Parsl does: submission returns a
+// future, plus lifecycle and introspection hooks the DFK and the elasticity
+// strategy need.
+type Executor interface {
+	// Label is the config-assigned name used for executor selection hints.
+	Label() string
+	// Start brings the executor up. It must be called before Submit.
+	Start() error
+	// Submit schedules a task; the returned future completes with the
+	// task's result or error.
+	Submit(msg serialize.TaskMsg) *future.Future
+	// Outstanding reports tasks submitted but not yet completed, the
+	// workload-pressure signal used by scaling strategies (§3.6).
+	Outstanding() int
+	// Shutdown stops the executor and releases its resources.
+	Shutdown() error
+}
+
+// Scalable is implemented by executors that support block-based elasticity.
+type Scalable interface {
+	Executor
+	// ScaleOut requests n more blocks.
+	ScaleOut(n int) error
+	// ScaleIn releases n blocks.
+	ScaleIn(n int) error
+	// ActiveBlocks reports provisioned blocks.
+	ActiveBlocks() int
+	// ConnectedWorkers reports currently registered workers.
+	ConnectedWorkers() int
+}
+
+// ErrShutdown is returned by Submit after Shutdown.
+var ErrShutdown = errors.New("executor: shut down")
+
+// RemoteError is an app or infrastructure failure reported by a worker. The
+// DFK unwraps it when deciding whether to retry.
+type RemoteError struct {
+	TaskID int64
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("task %d failed remotely: %s", e.TaskID, e.Msg)
+}
+
+// LostError indicates the infrastructure (manager, worker pool) executing
+// the task was lost — distinct from the app itself failing, and always
+// retriable (§4.3.1: "an exception is sent to the executor so that DFK can
+// make appropriate decisions").
+type LostError struct {
+	TaskID int64
+	Detail string
+}
+
+// Error implements error.
+func (e *LostError) Error() string {
+	return fmt.Sprintf("task %d lost: %s", e.TaskID, e.Detail)
+}
+
+// RunKernel is the common execution kernel every executor shares (§4.3):
+// resolve the app in the registry, execute it against its (already
+// deserialized) arguments inside a panic sandbox, and package the outcome.
+func RunKernel(reg *serialize.Registry, msg serialize.TaskMsg, workerID string) (res serialize.ResultMsg) {
+	res = serialize.ResultMsg{ID: msg.ID, WorkerID: workerID}
+	entry, ok := reg.Lookup(msg.App)
+	if !ok {
+		res.Err = fmt.Sprintf("app %q not registered on worker %s", msg.App, workerID)
+		return res
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Value = nil
+			res.Err = fmt.Sprintf("panic in app %q: %v\n%s", msg.App, r, debug.Stack())
+		}
+	}()
+	v, err := entry.Fn(msg.Args, msg.Kwargs)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Value = v
+	return res
+}
+
+// Complete applies a ResultMsg to a future using the error conventions above.
+func Complete(fut *future.Future, res serialize.ResultMsg) {
+	if res.Err != "" {
+		_ = fut.SetError(&RemoteError{TaskID: res.ID, Msg: res.Err})
+		return
+	}
+	_ = fut.SetResult(res.Value)
+}

@@ -1,0 +1,91 @@
+package executor
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/future"
+	"repro/internal/serialize"
+)
+
+func regWith(t *testing.T, name string, fn serialize.Fn) *serialize.Registry {
+	t.Helper()
+	r := serialize.NewRegistry()
+	if err := r.Register(name, fn); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunKernelSuccess(t *testing.T) {
+	reg := regWith(t, "double", func(args []any, _ map[string]any) (any, error) {
+		return args[0].(int) * 2, nil
+	})
+	res := RunKernel(reg, serialize.TaskMsg{ID: 1, App: "double", Args: []any{21}}, "w0")
+	if res.Err != "" || res.Value != 42 || res.WorkerID != "w0" || res.ID != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunKernelAppError(t *testing.T) {
+	reg := regWith(t, "bad", func([]any, map[string]any) (any, error) {
+		return nil, errors.New("domain failure")
+	})
+	res := RunKernel(reg, serialize.TaskMsg{ID: 2, App: "bad"}, "w0")
+	if res.Err != "domain failure" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunKernelUnregisteredApp(t *testing.T) {
+	reg := serialize.NewRegistry()
+	res := RunKernel(reg, serialize.TaskMsg{ID: 3, App: "ghost"}, "w7")
+	if !strings.Contains(res.Err, "not registered") || !strings.Contains(res.Err, "w7") {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRunKernelPanicSandbox(t *testing.T) {
+	reg := regWith(t, "boom", func([]any, map[string]any) (any, error) {
+		var p *int
+		return *p, nil // nil deref
+	})
+	res := RunKernel(reg, serialize.TaskMsg{ID: 4, App: "boom"}, "w0")
+	if !strings.Contains(res.Err, "panic in app") {
+		t.Fatalf("panic escaped: %+v", res)
+	}
+	if res.Value != nil {
+		t.Fatal("panicking app produced a value")
+	}
+}
+
+func TestCompleteSuccessAndError(t *testing.T) {
+	f := future.New()
+	Complete(f, serialize.ResultMsg{ID: 1, Value: "ok"})
+	if v, err := f.Result(); err != nil || v != "ok" {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+
+	g := future.New()
+	Complete(g, serialize.ResultMsg{ID: 9, Err: "exploded"})
+	_, err := g.Result()
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if re.TaskID != 9 || !strings.Contains(re.Error(), "exploded") {
+		t.Fatalf("remote error = %+v", re)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	re := &RemoteError{TaskID: 5, Msg: "m"}
+	if !strings.Contains(re.Error(), "task 5") {
+		t.Fatal(re.Error())
+	}
+	le := &LostError{TaskID: 6, Detail: "manager heartbeat expired"}
+	if !strings.Contains(le.Error(), "task 6") || !strings.Contains(le.Error(), "heartbeat") {
+		t.Fatal(le.Error())
+	}
+}

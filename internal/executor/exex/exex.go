@@ -1,0 +1,379 @@
+// Package exex implements Parsl's Extreme Scale Executor (§4.3.2). EXEX
+// targets the largest machines by replacing per-worker network connections
+// with MPI inside each worker pool: rank 0 of a pool acts as the manager,
+// speaking the interchange protocol on behalf of the worker ranks, which
+// communicate over the (simulated) MPI fabric. The hierarchy is what lets
+// EXEX reach 262 144 workers where connection-per-worker designs exhaust the
+// hub.
+//
+// The cost is MPI's fault model: a single rank failure aborts the entire
+// pool, which surfaces here exactly as the paper describes — the interchange
+// heartbeat expires and every in-flight task of the pool is reported lost.
+// The recommended mitigation, several smaller pools per scheduler job, is
+// the deployment shape New builds (one pool per node).
+package exex
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/executor/htex"
+	"repro/internal/mpi"
+	"repro/internal/mq"
+	"repro/internal/provider"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+)
+
+// MPI message tags used inside a pool.
+const (
+	tagTask   = 1
+	tagResult = 2
+)
+
+// PoolConfig tunes one MPI worker pool.
+type PoolConfig struct {
+	// Ranks is the MPI communicator size: 1 manager + (Ranks-1) workers.
+	Ranks int
+	// Prefetch is extra capacity advertised beyond worker count.
+	Prefetch int
+	// ResultFlush / FlushInterval batch results toward the interchange.
+	ResultFlush   int
+	FlushInterval time.Duration
+	// HeartbeatPeriod is the manager's interchange heartbeat.
+	HeartbeatPeriod time.Duration
+	// MPILatency simulates fabric point-to-point latency.
+	MPILatency time.Duration
+}
+
+func (c *PoolConfig) normalize() {
+	if c.Ranks < 2 {
+		c.Ranks = 2
+	}
+	if c.ResultFlush <= 0 {
+		c.ResultFlush = 16
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 5 * time.Millisecond
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 200 * time.Millisecond
+	}
+}
+
+// Pool is one MPI job: rank 0 manager plus worker ranks.
+type Pool struct {
+	id   string
+	cfg  PoolConfig
+	comm *mpi.Comm
+	reg  *serialize.Registry
+
+	dealer *mq.Dealer
+
+	done     chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
+	executed atomic.Int64
+
+	mu       sync.Mutex
+	busy     map[int]bool // worker rank -> executing
+	inflight map[int64]int
+}
+
+// StartPool launches an MPI pool whose rank 0 registers with the interchange
+// at addr.
+func StartPool(tr simnet.Transport, addr, id string, reg *serialize.Registry, cfg PoolConfig) (*Pool, error) {
+	cfg.normalize()
+	comm, err := mpi.NewComm(cfg.Ranks)
+	if err != nil {
+		return nil, fmt.Errorf("exex: pool %s: %w", id, err)
+	}
+	comm.SetLatency(cfg.MPILatency)
+
+	dealer, err := mq.DialDealer(tr, addr, id)
+	if err != nil {
+		return nil, fmt.Errorf("exex: pool %s dial: %w", id, err)
+	}
+	p := &Pool{
+		id: id, cfg: cfg, comm: comm, reg: reg, dealer: dealer,
+		done:     make(chan struct{}),
+		busy:     make(map[int]bool),
+		inflight: make(map[int64]int),
+	}
+	capacity := (cfg.Ranks - 1) + cfg.Prefetch
+	if err := dealer.Send(mq.Message{[]byte("REG"), []byte(fmt.Sprintf("%d", capacity))}); err != nil {
+		_ = dealer.Close()
+		return nil, fmt.Errorf("exex: pool %s register: %w", id, err)
+	}
+
+	// Worker ranks 1..n-1.
+	for r := 1; r < cfg.Ranks; r++ {
+		p.wg.Add(1)
+		go p.workerRank(r)
+	}
+	// Rank 0: manager-side loops.
+	p.wg.Add(3)
+	go p.managerRecvLoop()
+	go p.managerResultLoop()
+	go p.heartbeatLoop()
+	return p, nil
+}
+
+// ID returns the pool's interchange identity.
+func (p *Pool) ID() string { return p.id }
+
+// Executed returns tasks completed by this pool.
+func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// Comm exposes the communicator for failure injection in tests.
+func (p *Pool) Comm() *mpi.Comm { return p.comm }
+
+// workerRank is the code running on MPI ranks 1..n-1: receive a task over
+// MPI, execute, send the result back to rank 0.
+func (p *Pool) workerRank(rank int) {
+	defer p.wg.Done()
+	workerID := fmt.Sprintf("%s/rank%d", p.id, rank)
+	for {
+		env, err := p.comm.Recv(rank, 0, tagTask)
+		if err != nil {
+			return // communicator aborted: the whole pool dies
+		}
+		task, err := serialize.DecodeTask(env.Data)
+		if err != nil {
+			continue
+		}
+		res := executor.RunKernel(p.reg, task, workerID)
+		payload, err := serialize.EncodeResult(res)
+		if err != nil {
+			continue
+		}
+		if err := p.comm.Send(rank, 0, tagResult, payload); err != nil {
+			return
+		}
+	}
+}
+
+// managerRecvLoop is rank 0's interchange-facing half: receive task batches
+// and fan them out to idle worker ranks over MPI.
+func (p *Pool) managerRecvLoop() {
+	defer p.wg.Done()
+	for {
+		msg, err := p.dealer.Recv()
+		if err != nil {
+			p.Stop()
+			return
+		}
+		if len(msg) == 0 {
+			continue
+		}
+		switch string(msg[0]) {
+		case "TASKS":
+			if len(msg) < 2 {
+				continue
+			}
+			batch, err := htex.DecodeTaskBatch(msg[1])
+			if err != nil {
+				continue
+			}
+			for _, t := range batch {
+				if !p.dispatchMPI(t) {
+					return
+				}
+			}
+		case "HB":
+			// Interchange liveness echo; nothing to track beyond receipt.
+		}
+	}
+}
+
+// dispatchMPI sends one task to an idle rank, blocking until one frees.
+func (p *Pool) dispatchMPI(t serialize.TaskMsg) bool {
+	payload, err := serialize.EncodeTask(t)
+	if err != nil {
+		return true
+	}
+	for {
+		rank := -1
+		p.mu.Lock()
+		for r := 1; r < p.cfg.Ranks; r++ {
+			if !p.busy[r] {
+				p.busy[r] = true
+				rank = r
+				break
+			}
+		}
+		if rank >= 0 {
+			p.inflight[t.ID] = rank
+		}
+		p.mu.Unlock()
+		if rank >= 0 {
+			return p.comm.Send(0, rank, tagTask, payload) == nil
+		}
+		select {
+		case <-p.done:
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// managerResultLoop is rank 0's MPI-facing half: gather results from worker
+// ranks and batch them to the interchange.
+func (p *Pool) managerResultLoop() {
+	defer p.wg.Done()
+	var batch []serialize.ResultMsg
+	flushTimer := time.NewTimer(p.cfg.FlushInterval)
+	defer flushTimer.Stop()
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if payload, err := htex.EncodeResultBatch(batch); err == nil {
+			_ = p.dealer.Send(mq.Message{[]byte("RESULTS"), payload})
+		}
+		batch = nil
+	}
+	for {
+		select {
+		case <-p.done:
+			flush()
+			return
+		default:
+		}
+		ok, err := p.comm.Probe(0, mpi.AnySource, tagResult)
+		if err != nil {
+			flush()
+			p.Stop()
+			return
+		}
+		if !ok {
+			select {
+			case <-flushTimer.C:
+				flush()
+				flushTimer.Reset(p.cfg.FlushInterval)
+			case <-time.After(200 * time.Microsecond):
+			case <-p.done:
+				flush()
+				return
+			}
+			continue
+		}
+		env, err := p.comm.Recv(0, mpi.AnySource, tagResult)
+		if err != nil {
+			flush()
+			p.Stop()
+			return
+		}
+		res, err := serialize.DecodeResult(env.Data)
+		if err != nil {
+			continue
+		}
+		p.executed.Add(1)
+		p.mu.Lock()
+		p.busy[env.Source] = false
+		delete(p.inflight, res.ID)
+		p.mu.Unlock()
+		batch = append(batch, res)
+		if len(batch) >= p.cfg.ResultFlush {
+			flush()
+		}
+	}
+}
+
+func (p *Pool) heartbeatLoop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.HeartbeatPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-ticker.C:
+			if p.comm.Aborted() {
+				// MPI job died (rank failure): stop heartbeating so the
+				// interchange declares the pool lost.
+				p.Stop()
+				return
+			}
+			if err := p.dealer.Send(mq.Message{[]byte("HB")}); err != nil {
+				p.Stop()
+				return
+			}
+		}
+	}
+}
+
+// FailRank simulates a node/rank failure inside the pool, killing the whole
+// MPI job (§4.3.2's fault model).
+func (p *Pool) FailRank(rank int) { p.comm.Abort(rank) }
+
+// Drain announces clean departure, requeueing in-flight work.
+func (p *Pool) Drain() {
+	_ = p.dealer.Send(mq.Message{[]byte("BYE")})
+	p.Stop()
+}
+
+// Stop tears the pool down.
+func (p *Pool) Stop() {
+	p.once.Do(func() {
+		close(p.done)
+		p.comm.Abort(-1)
+		_ = p.dealer.Close()
+	})
+}
+
+// Config assembles an EXEX deployment: an HTEX-protocol interchange plus
+// MPI pools placed by the provider (one pool per node, the "several smaller
+// MPI worker pools within a single scheduler job" mitigation).
+type Config struct {
+	Label       string
+	Transport   simnet.Transport
+	Addr        string
+	Registry    *serialize.Registry
+	Provider    provider.Provider
+	InitBlocks  int
+	Pool        PoolConfig
+	Interchange htex.InterchangeConfig
+}
+
+// Executor is the EXEX client: the HTEX client/interchange machinery with
+// MPI pools as node payloads.
+type Executor struct {
+	*htex.Executor
+	poolSeq atomic.Int64
+}
+
+// New creates an EXEX executor.
+func New(cfg Config) *Executor {
+	if cfg.Label == "" {
+		cfg.Label = "exex"
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = simnet.NewNetwork(0)
+	}
+	cfg.Pool.normalize()
+	e := &Executor{}
+	inner := htex.New(htex.Config{
+		Label:       cfg.Label,
+		Transport:   cfg.Transport,
+		Addr:        cfg.Addr,
+		Registry:    cfg.Registry,
+		Provider:    cfg.Provider,
+		InitBlocks:  cfg.InitBlocks,
+		Manager:     htex.ManagerConfig{Workers: cfg.Pool.Ranks - 1},
+		Interchange: cfg.Interchange,
+		PayloadFactory: func(addr string, node provider.Node) (func(), error) {
+			id := fmt.Sprintf("pool-%s-%d", node.BlockID, e.poolSeq.Add(1))
+			pool, err := StartPool(cfg.Transport, addr, id, cfg.Registry, cfg.Pool)
+			if err != nil {
+				return nil, err
+			}
+			return pool.Drain, nil
+		},
+	})
+	e.Executor = inner
+	return e
+}

@@ -1,0 +1,229 @@
+package exex
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/executor/htex"
+	"repro/internal/future"
+	"repro/internal/provider"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+)
+
+func testRegistry(t *testing.T) *serialize.Registry {
+	t.Helper()
+	reg := serialize.NewRegistry()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(reg.Register("echo", func(args []any, _ map[string]any) (any, error) { return args[0], nil }))
+	must(reg.Register("sleep", func(args []any, _ map[string]any) (any, error) {
+		time.Sleep(time.Duration(args[0].(int)) * time.Millisecond)
+		return "slept", nil
+	}))
+	must(reg.Register("fail", func([]any, map[string]any) (any, error) { return nil, errors.New("boom") }))
+	return reg
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", what)
+}
+
+// newEXEX builds an executor with `pools` MPI pools of `ranks` ranks each.
+func newEXEX(t *testing.T, pools, ranks int, tune func(*Config)) *Executor {
+	t.Helper()
+	cfg := Config{
+		Label:       "exex-test",
+		Transport:   simnet.NewNetwork(0),
+		Registry:    testRegistry(t),
+		Provider:    provider.NewLocal(provider.Config{NodesPerBlock: pools}),
+		InitBlocks:  1,
+		Pool:        PoolConfig{Ranks: ranks, HeartbeatPeriod: 50 * time.Millisecond},
+		Interchange: htexInterchangeCfg(),
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Shutdown() })
+	waitCond(t, "pools registered", func() bool { return e.Interchange().ManagerCount() == pools })
+	return e
+}
+
+func TestRoundTripThroughMPIPool(t *testing.T) {
+	e := newEXEX(t, 1, 3, nil)
+	v, err := e.Submit(serialize.TaskMsg{ID: 1, App: "echo", Args: []any{"extreme"}}).Result()
+	if err != nil || v != "extreme" {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+}
+
+func TestHierarchicalDistribution(t *testing.T) {
+	e := newEXEX(t, 2, 5, nil) // 2 pools × 4 worker ranks
+	const n = 100
+	futs := make([]*future.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = e.Submit(serialize.TaskMsg{ID: int64(i), App: "echo", Args: []any{i}})
+	}
+	for i, f := range futs {
+		v, err := f.Result()
+		if err != nil || v != i {
+			t.Fatalf("task %d: %v %v", i, v, err)
+		}
+	}
+}
+
+func TestWorkerRanksRunInParallel(t *testing.T) {
+	e := newEXEX(t, 1, 5, nil) // 4 worker ranks
+	start := time.Now()
+	var futs []*future.Future
+	for i := 0; i < 8; i++ {
+		futs = append(futs, e.Submit(serialize.TaskMsg{ID: int64(i), App: "sleep", Args: []any{50}}))
+	}
+	if err := future.Wait(futs...); err != nil {
+		t.Fatal(err)
+	}
+	// 8×50 ms over 4 ranks ≈ 100 ms; sequential would be 400 ms.
+	if elapsed := time.Since(start); elapsed > 350*time.Millisecond {
+		t.Fatalf("ranks not parallel: %v", elapsed)
+	}
+}
+
+func TestAppErrorThroughPool(t *testing.T) {
+	e := newEXEX(t, 1, 2, nil)
+	_, err := e.Submit(serialize.TaskMsg{ID: 1, App: "fail"}).Result()
+	var re *executor.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRankFailureKillsWholePool(t *testing.T) {
+	// §4.3.2: "job and node failures can result in the loss of the entire
+	// MPI application". Killing one rank must fail in-flight tasks of the
+	// whole pool via heartbeat expiry.
+	tr := simnet.NewNetwork(0)
+	reg := testRegistry(t)
+	cfg := Config{
+		Label:       "exex-fault",
+		Transport:   tr,
+		Registry:    reg,
+		Provider:    provider.NewLocal(provider.Config{NodesPerBlock: 1}),
+		Pool:        PoolConfig{Ranks: 3, HeartbeatPeriod: 30 * time.Millisecond},
+		Interchange: htexInterchangeCfg(),
+	}
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+
+	pool, err := StartPool(tr, e.Interchange().Addr(), "pool-victim", reg, cfg.Pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "pool registered", func() bool { return e.Interchange().ManagerCount() == 1 })
+
+	fut := e.Submit(serialize.TaskMsg{ID: 5, App: "sleep", Args: []any{10000}})
+	waitCond(t, "task in flight on pool", func() bool {
+		return e.Interchange().OutstandingByManager()["pool-victim"] == 1
+	})
+
+	pool.FailRank(2) // one rank dies -> whole communicator aborts
+
+	_, err = fut.Result()
+	var lost *executor.LostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("err = %v, want LostError", err)
+	}
+	if !pool.Comm().Aborted() {
+		t.Fatal("communicator survived rank failure")
+	}
+	waitCond(t, "pool deregistered", func() bool { return e.Interchange().ManagerCount() == 0 })
+}
+
+func TestSmallPoolsIsolateFailures(t *testing.T) {
+	// The recommended mitigation: two pools; killing one leaves the other
+	// able to finish work.
+	tr := simnet.NewNetwork(0)
+	reg := testRegistry(t)
+	cfg := Config{
+		Label: "exex-isolate", Transport: tr, Registry: reg,
+		Provider:    provider.NewLocal(provider.Config{NodesPerBlock: 1}),
+		Pool:        PoolConfig{Ranks: 2, HeartbeatPeriod: 30 * time.Millisecond},
+		Interchange: htexInterchangeCfg(),
+	}
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+	dead, err := StartPool(tr, e.Interchange().Addr(), "pool-a", reg, cfg.Pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive, err := StartPool(tr, e.Interchange().Addr(), "pool-b", reg, cfg.Pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alive.Stop()
+	waitCond(t, "both pools", func() bool { return e.Interchange().ManagerCount() == 2 })
+
+	dead.FailRank(1)
+	waitCond(t, "one pool left", func() bool { return e.Interchange().ManagerCount() == 1 })
+
+	v, err := e.Submit(serialize.TaskMsg{ID: 9, App: "echo", Args: []any{"survived"}}).Result()
+	if err != nil || v != "survived" {
+		t.Fatalf("surviving pool: %v, %v", v, err)
+	}
+	if alive.Executed() == 0 {
+		t.Fatal("surviving pool executed nothing")
+	}
+}
+
+func TestPoolExecutedCounter(t *testing.T) {
+	e := newEXEX(t, 1, 3, nil)
+	var futs []*future.Future
+	for i := 0; i < 10; i++ {
+		futs = append(futs, e.Submit(serialize.TaskMsg{ID: int64(i), App: "echo", Args: []any{i}}))
+	}
+	if err := future.Wait(futs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleOutAddsPools(t *testing.T) {
+	e := newEXEX(t, 1, 2, nil)
+	if err := e.ScaleOut(2); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "3 pools", func() bool { return e.Interchange().ManagerCount() == 3 })
+	if err := e.ScaleIn(2); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "1 pool", func() bool { return e.Interchange().ManagerCount() == 1 })
+}
+
+func htexInterchangeCfg() htex.InterchangeConfig {
+	return htex.InterchangeConfig{
+		Seed:               1,
+		HeartbeatPeriod:    30 * time.Millisecond,
+		HeartbeatThreshold: 150 * time.Millisecond,
+	}
+}

@@ -1,0 +1,425 @@
+package htex
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/future"
+	"repro/internal/mq"
+	"repro/internal/provider"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+)
+
+// Config assembles a complete HTEX deployment: the interchange settings, the
+// per-node manager settings, and the provider that places managers on nodes.
+type Config struct {
+	Label     string
+	Transport simnet.Transport
+	// Addr is where the interchange listens ("" lets simnet auto-assign;
+	// use "127.0.0.1:0" over TCP).
+	Addr        string
+	Registry    *serialize.Registry
+	Provider    provider.Provider
+	InitBlocks  int
+	Manager     ManagerConfig
+	Interchange InterchangeConfig
+	// PayloadFactory overrides what runs on each provisioned node. The
+	// default starts a Manager; EXEX injects an MPI worker pool whose rank
+	// 0 speaks the same manager protocol (§4.3.2's hierarchical model).
+	PayloadFactory func(interchangeAddr string, node provider.Node) (stop func(), err error)
+}
+
+// Executor is the HTEX client-side executor: it owns the interchange, tracks
+// submitted tasks, and scales blocks of managers through its provider.
+type Executor struct {
+	cfg Config
+	ix  *Interchange
+
+	dealer *mq.Dealer
+
+	mu        sync.Mutex
+	pending   map[int64]*future.Future
+	inflight  map[int64]serialize.TaskMsg // for retransmit on manager loss
+	blocks    []string
+	blockMgrs map[string][]string // block id -> manager identities
+	mgrSeq    int64
+	started   bool
+	closed    bool
+
+	cmdMu      sync.Mutex
+	cmdReplies chan mq.Message
+
+	outstanding atomic.Int64
+	wg          sync.WaitGroup
+}
+
+// New creates an HTEX executor. Start launches the interchange and the
+// initial blocks.
+func New(cfg Config) *Executor {
+	if cfg.Label == "" {
+		cfg.Label = "htex"
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = simnet.NewNetwork(0)
+	}
+	return &Executor{
+		cfg:        cfg,
+		pending:    make(map[int64]*future.Future),
+		inflight:   make(map[int64]serialize.TaskMsg),
+		blockMgrs:  make(map[string][]string),
+		cmdReplies: make(chan mq.Message, 16),
+	}
+}
+
+// Label implements executor.Executor.
+func (e *Executor) Label() string { return e.cfg.Label }
+
+// Interchange exposes the broker (tests and monitoring).
+func (e *Executor) Interchange() *Interchange { return e.ix }
+
+// Start implements executor.Executor: bring up the interchange, connect the
+// client dealer, and provision InitBlocks.
+func (e *Executor) Start() error {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return nil
+	}
+	e.started = true
+	e.mu.Unlock()
+
+	addr := e.cfg.Addr
+	if addr == "" {
+		addr = ":0"
+	}
+	ix, err := StartInterchange(e.cfg.Transport, addr, e.cfg.Interchange)
+	if err != nil {
+		return err
+	}
+	e.ix = ix
+
+	dealer, err := mq.DialDealer(e.cfg.Transport, ix.Addr(), clientIdentity)
+	if err != nil {
+		_ = ix.Close()
+		return fmt.Errorf("htex: client dial: %w", err)
+	}
+	e.dealer = dealer
+	e.wg.Add(1)
+	go e.recvLoop()
+
+	for i := 0; i < e.cfg.InitBlocks; i++ {
+		if err := e.ScaleOut(1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Executor) recvLoop() {
+	defer e.wg.Done()
+	for {
+		msg, err := e.dealer.Recv()
+		if err != nil {
+			return
+		}
+		if len(msg) == 0 {
+			continue
+		}
+		switch string(msg[0]) {
+		case frameResults:
+			if len(msg) < 2 {
+				continue
+			}
+			results, err := decodeResults(msg[1])
+			if err != nil {
+				continue
+			}
+			for _, r := range results {
+				e.complete(r)
+			}
+		case frameLost:
+			if len(msg) < 2 {
+				continue
+			}
+			ids, err := decodeIDs(msg[1])
+			if err != nil {
+				continue
+			}
+			detail := "manager lost"
+			if len(msg) > 2 {
+				detail = string(msg[2])
+			}
+			for _, id := range ids {
+				e.fail(id, &executor.LostError{TaskID: id, Detail: detail})
+			}
+		case frameCmdRep:
+			select {
+			case e.cmdReplies <- msg:
+			default:
+			}
+		}
+	}
+}
+
+func (e *Executor) complete(r serialize.ResultMsg) {
+	e.mu.Lock()
+	fut, ok := e.pending[r.ID]
+	delete(e.pending, r.ID)
+	delete(e.inflight, r.ID)
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.outstanding.Add(-1)
+	executor.Complete(fut, r)
+}
+
+func (e *Executor) fail(id int64, err error) {
+	e.mu.Lock()
+	fut, ok := e.pending[id]
+	delete(e.pending, id)
+	delete(e.inflight, id)
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.outstanding.Add(-1)
+	_ = fut.SetError(err)
+}
+
+// Submit implements executor.Executor.
+func (e *Executor) Submit(msg serialize.TaskMsg) *future.Future {
+	fut := future.NewForTask(msg.ID)
+	e.mu.Lock()
+	if e.closed || !e.started {
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			_ = fut.SetError(executor.ErrShutdown)
+		} else {
+			_ = fut.SetError(errors.New("htex: Submit before Start"))
+		}
+		return fut
+	}
+	e.pending[msg.ID] = fut
+	e.inflight[msg.ID] = msg
+	e.mu.Unlock()
+	e.outstanding.Add(1)
+
+	payload, err := serialize.EncodeTask(msg)
+	if err != nil {
+		e.fail(msg.ID, err)
+		return fut
+	}
+	if err := e.dealer.Send(mq.Message{[]byte(frameTask), payload}); err != nil {
+		e.fail(msg.ID, fmt.Errorf("htex: submit: %w", err))
+	}
+	return fut
+}
+
+// Outstanding implements executor.Executor.
+func (e *Executor) Outstanding() int { return int(e.outstanding.Load()) }
+
+// ConnectedWorkers implements executor.Scalable: managers × workers.
+func (e *Executor) ConnectedWorkers() int {
+	if e.ix == nil {
+		return 0
+	}
+	return e.ix.ManagerCount() * e.cfg.Manager.Workers
+}
+
+// ActiveBlocks implements executor.Scalable.
+func (e *Executor) ActiveBlocks() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.blocks)
+}
+
+// ScaleOut implements executor.Scalable: one provider block per unit, with a
+// manager started on every node of the block.
+func (e *Executor) ScaleOut(n int) error {
+	if e.cfg.Provider == nil {
+		return errors.New("htex: no provider configured")
+	}
+	for i := 0; i < n; i++ {
+		blockID, err := e.cfg.Provider.SubmitBlock(e.managerPayload())
+		if err != nil {
+			return fmt.Errorf("htex: scale out: %w", err)
+		}
+		e.mu.Lock()
+		e.blocks = append(e.blocks, blockID)
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// managerPayload builds the per-node payload: start a manager connected to
+// the interchange; stopping it drains cleanly.
+func (e *Executor) managerPayload() provider.Payload {
+	if f := e.cfg.PayloadFactory; f != nil {
+		return func(node provider.Node) (func(), error) {
+			return f(e.ix.Addr(), node)
+		}
+	}
+	return func(node provider.Node) (func(), error) {
+		id := fmt.Sprintf("mgr-%s-%d", node.BlockID, atomic.AddInt64(&e.mgrSeq, 1))
+		mgr, err := StartManager(e.cfg.Transport, e.ix.Addr(), id, e.cfg.Registry, e.cfg.Manager)
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.blockMgrs[node.BlockID] = append(e.blockMgrs[node.BlockID], id)
+		e.mu.Unlock()
+		return mgr.Drain, nil
+	}
+}
+
+// idleBlocksFirst orders candidate blocks so that blocks whose managers have
+// no in-flight tasks are released first, avoiding needless requeues of
+// running work during scale-in.
+func (e *Executor) idleBlocksFirst(blocks []string) []string {
+	busy := e.ix.OutstandingByManager()
+	var idle, active []string
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, b := range blocks {
+		blockBusy := 0
+		for _, mgr := range e.blockMgrs[b] {
+			blockBusy += busy[mgr]
+		}
+		if blockBusy == 0 {
+			idle = append(idle, b)
+		} else {
+			active = append(active, b)
+		}
+	}
+	return append(idle, active...)
+}
+
+// ScaleIn implements executor.Scalable: cancel the most recent n blocks.
+func (e *Executor) ScaleIn(n int) error {
+	if e.cfg.Provider == nil {
+		return errors.New("htex: no provider configured")
+	}
+	e.mu.Lock()
+	candidates := make([]string, len(e.blocks))
+	copy(candidates, e.blocks)
+	e.mu.Unlock()
+	ordered := e.idleBlocksFirst(candidates)
+	if n > len(ordered) {
+		n = len(ordered)
+	}
+	victims := ordered[:n]
+	e.mu.Lock()
+	remaining := e.blocks[:0]
+	for _, b := range e.blocks {
+		keep := true
+		for _, v := range victims {
+			if b == v {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			remaining = append(remaining, b)
+		}
+	}
+	e.blocks = remaining
+	for _, v := range victims {
+		delete(e.blockMgrs, v)
+	}
+	e.mu.Unlock()
+	var first error
+	for _, id := range victims {
+		if err := e.cfg.Provider.CancelBlock(id); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Command issues a synchronous command-channel request (§4.3.1) and returns
+// the reply parts after the command echo.
+func (e *Executor) Command(name, arg string, timeout time.Duration) ([]string, error) {
+	e.cmdMu.Lock()
+	defer e.cmdMu.Unlock()
+	msg := mq.Message{[]byte(frameCmd), []byte(name)}
+	if arg != "" {
+		msg = append(msg, []byte(arg))
+	}
+	if err := e.dealer.Send(msg); err != nil {
+		return nil, fmt.Errorf("htex: command %s: %w", name, err)
+	}
+	select {
+	case rep := <-e.cmdReplies:
+		var out []string
+		for _, p := range rep[2:] {
+			out = append(out, string(p))
+		}
+		return out, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("htex: command %s timed out", name)
+	}
+}
+
+// OutstandingRemote asks the interchange for its task count via the command
+// channel.
+func (e *Executor) OutstandingRemote() (int, error) {
+	rep, err := e.Command("OUTSTANDING", "", 5*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	if len(rep) == 0 {
+		return 0, errors.New("htex: empty OUTSTANDING reply")
+	}
+	return strconv.Atoi(rep[0])
+}
+
+// Shutdown implements executor.Executor.
+func (e *Executor) Shutdown() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	started := e.started
+	blocks := e.blocks
+	e.blocks = nil
+	pending := e.pending
+	e.pending = make(map[int64]*future.Future)
+	e.inflight = make(map[int64]serialize.TaskMsg)
+	e.mu.Unlock()
+
+	if !started {
+		return nil
+	}
+	for _, id := range blocks {
+		if e.cfg.Provider != nil {
+			_ = e.cfg.Provider.CancelBlock(id)
+		}
+	}
+	for id, fut := range pending {
+		_ = fut.SetError(executor.ErrShutdown)
+		_ = id
+	}
+	var first error
+	if e.dealer != nil {
+		if err := e.dealer.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if e.ix != nil {
+		if err := e.ix.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.wg.Wait()
+	return first
+}

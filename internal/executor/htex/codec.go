@@ -1,0 +1,84 @@
+// Package htex implements Parsl's High Throughput Executor (§4.3.1): an
+// executor client, an interchange brokering between the client and
+// registered managers over the mq fabric, and multi-worker managers deployed
+// one per node by a provider. It supports task batching with prefetch,
+// randomized manager selection for fairness, heartbeat-based fault
+// detection, lost-manager exceptions, a synchronous command channel, and
+// block-based scaling.
+package htex
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/serialize"
+)
+
+// Wire message type tags (first frame part).
+const (
+	frameTask    = "TASK"    // client -> interchange: one TaskMsg
+	frameTasks   = "TASKS"   // interchange -> manager: batch of TaskMsg
+	frameResults = "RESULTS" // manager -> interchange -> client: batch of ResultMsg
+	frameReg     = "REG"     // manager -> interchange: registration
+	frameHB      = "HB"      // both directions
+	frameCmd     = "CMD"     // client -> interchange: command channel
+	frameCmdRep  = "CMDREP"  // interchange -> client: command reply
+	frameLost    = "LOST"    // interchange -> client: tasks lost with a manager
+	frameBye     = "BYE"     // manager -> interchange: clean departure
+)
+
+func encodeTasks(batch []serialize.TaskMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
+		return nil, fmt.Errorf("htex: encode batch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeTasks(b []byte) ([]serialize.TaskMsg, error) {
+	var batch []serialize.TaskMsg
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&batch); err != nil {
+		return nil, fmt.Errorf("htex: decode batch: %w", err)
+	}
+	return batch, nil
+}
+
+func encodeResults(batch []serialize.ResultMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
+		return nil, fmt.Errorf("htex: encode results: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeResults(b []byte) ([]serialize.ResultMsg, error) {
+	var batch []serialize.ResultMsg
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&batch); err != nil {
+		return nil, fmt.Errorf("htex: decode results: %w", err)
+	}
+	return batch, nil
+}
+
+// DecodeTaskBatch exposes the task-batch codec to sibling executors (EXEX
+// pools speak the same manager protocol).
+func DecodeTaskBatch(b []byte) ([]serialize.TaskMsg, error) { return decodeTasks(b) }
+
+// EncodeResultBatch exposes the result-batch codec to sibling executors.
+func EncodeResultBatch(batch []serialize.ResultMsg) ([]byte, error) { return encodeResults(batch) }
+
+func encodeIDs(ids []int64) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ids); err != nil {
+		return nil, fmt.Errorf("htex: encode ids: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeIDs(b []byte) ([]int64, error) {
+	var ids []int64
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&ids); err != nil {
+		return nil, fmt.Errorf("htex: decode ids: %w", err)
+	}
+	return ids, nil
+}

@@ -1,0 +1,355 @@
+package htex
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/future"
+	"repro/internal/provider"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+)
+
+func testRegistry(t *testing.T) *serialize.Registry {
+	t.Helper()
+	reg := serialize.NewRegistry()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(reg.Register("echo", func(args []any, _ map[string]any) (any, error) { return args[0], nil }))
+	must(reg.Register("sleep", func(args []any, _ map[string]any) (any, error) {
+		time.Sleep(time.Duration(args[0].(int)) * time.Millisecond)
+		return "slept", nil
+	}))
+	must(reg.Register("fail", func([]any, map[string]any) (any, error) { return nil, errors.New("boom") }))
+	return reg
+}
+
+// newHTEX builds an executor over a zero-latency simnet with a local
+// provider of one block × nodes, each with workers worker goroutines.
+func newHTEX(t *testing.T, nodes, workers int, tune func(*Config)) *Executor {
+	t.Helper()
+	reg := testRegistry(t)
+	cfg := Config{
+		Label:      "htex-test",
+		Transport:  simnet.NewNetwork(0),
+		Registry:   reg,
+		Provider:   provider.NewLocal(provider.Config{NodesPerBlock: nodes}),
+		InitBlocks: 1,
+		Manager:    ManagerConfig{Workers: workers, Prefetch: workers},
+		Interchange: InterchangeConfig{
+			Seed:               1,
+			HeartbeatPeriod:    50 * time.Millisecond,
+			HeartbeatThreshold: 250 * time.Millisecond,
+		},
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Shutdown() })
+	waitCond(t, "managers registered", func() bool { return e.ix.ManagerCount() == nodes })
+	return e
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", what)
+}
+
+func TestSubmitRoundTrip(t *testing.T) {
+	e := newHTEX(t, 1, 2, nil)
+	v, err := e.Submit(serialize.TaskMsg{ID: 1, App: "echo", Args: []any{"hello"}}).Result()
+	if err != nil || v != "hello" {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+}
+
+func TestManyTasksAcrossManagers(t *testing.T) {
+	e := newHTEX(t, 4, 2, nil)
+	const n = 200
+	futs := make([]*future.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = e.Submit(serialize.TaskMsg{ID: int64(i), App: "echo", Args: []any{i}})
+	}
+	for i, f := range futs {
+		v, err := f.Result()
+		if err != nil || v != i {
+			t.Fatalf("task %d: %v, %v", i, v, err)
+		}
+	}
+	if e.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", e.Outstanding())
+	}
+}
+
+func TestAppErrorPropagates(t *testing.T) {
+	e := newHTEX(t, 1, 1, nil)
+	_, err := e.Submit(serialize.TaskMsg{ID: 1, App: "fail"}).Result()
+	var re *executor.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParallelismUsesAllWorkers(t *testing.T) {
+	e := newHTEX(t, 2, 4, nil) // 8 workers
+	start := time.Now()
+	var futs []*future.Future
+	for i := 0; i < 16; i++ {
+		futs = append(futs, e.Submit(serialize.TaskMsg{ID: int64(i), App: "sleep", Args: []any{50}}))
+	}
+	if err := future.Wait(futs...); err != nil {
+		t.Fatal(err)
+	}
+	// 16×50ms over 8 workers ≈ 100 ms; sequential would be 800 ms.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("insufficient parallelism: %v", elapsed)
+	}
+}
+
+func TestAbruptManagerKillFailsInFlight(t *testing.T) {
+	reg := testRegistry(t)
+	tr := simnet.NewNetwork(0)
+	prov := provider.NewLocal(provider.Config{NodesPerBlock: 1})
+
+	cfg := Config{
+		Label:     "htex-kill",
+		Transport: tr,
+		Registry:  reg,
+		Provider:  prov,
+		Manager:   ManagerConfig{Workers: 1, HeartbeatPeriod: 30 * time.Millisecond},
+		Interchange: InterchangeConfig{
+			Seed: 1, HeartbeatPeriod: 30 * time.Millisecond, HeartbeatThreshold: 150 * time.Millisecond,
+		},
+	}
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+
+	// Start one manager by hand so we can kill it without Drain.
+	mgr, err := StartManager(tr, e.ix.Addr(), "mgr-victim", reg, cfg.Manager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "manager registered", func() bool { return e.ix.ManagerCount() == 1 })
+
+	fut := e.Submit(serialize.TaskMsg{ID: 42, App: "sleep", Args: []any{5000}})
+	waitCond(t, "task in flight on victim", func() bool {
+		return e.ix.OutstandingByManager()["mgr-victim"] == 1
+	})
+	mgr.Stop() // abrupt death: no BYE
+
+	_, err = fut.Result()
+	var lost *executor.LostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("err = %v, want LostError", err)
+	}
+	waitCond(t, "manager deregistered", func() bool { return e.ix.ManagerCount() == 0 })
+}
+
+func TestDrainRequeuesInFlight(t *testing.T) {
+	reg := testRegistry(t)
+	tr := simnet.NewNetwork(0)
+	cfg := Config{
+		Label: "htex-drain", Transport: tr, Registry: reg,
+		Provider: provider.NewLocal(provider.Config{NodesPerBlock: 1}),
+		Manager:  ManagerConfig{Workers: 1},
+		Interchange: InterchangeConfig{
+			Seed: 1, HeartbeatPeriod: 50 * time.Millisecond, HeartbeatThreshold: 10 * time.Second,
+		},
+	}
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+
+	slow, err := StartManager(tr, e.ix.Addr(), "mgr-slow", reg, cfg.Manager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "slow manager", func() bool { return e.ix.ManagerCount() == 1 })
+
+	// Fill the slow manager with a long task plus a queued one, then drain:
+	// the queued task must move to a fresh manager and still complete.
+	futLong := e.Submit(serialize.TaskMsg{ID: 1, App: "sleep", Args: []any{300}})
+	waitCond(t, "long task in flight", func() bool {
+		return e.ix.OutstandingByManager()["mgr-slow"] >= 1
+	})
+	futQueued := e.Submit(serialize.TaskMsg{ID: 2, App: "echo", Args: []any{"requeued"}})
+	time.Sleep(10 * time.Millisecond)
+	slow.Drain()
+
+	fresh, err := StartManager(tr, e.ix.Addr(), "mgr-fresh", reg, cfg.Manager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Stop()
+
+	v, err := futQueued.Result()
+	if err != nil || v != "requeued" {
+		t.Fatalf("requeued task: %v, %v", v, err)
+	}
+	// The long task was in flight on the drained manager; BYE requeues it
+	// too, so it eventually completes on the fresh manager.
+	v, err = futLong.Result()
+	if err != nil || v != "slept" {
+		t.Fatalf("long task: %v, %v", v, err)
+	}
+}
+
+func TestCommandChannel(t *testing.T) {
+	e := newHTEX(t, 2, 1, nil)
+	// MANAGERS lists both.
+	reps, err := e.Command("MANAGERS", "", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("managers = %v", reps)
+	}
+	// OUTSTANDING is zero when idle.
+	n, err := e.OutstandingRemote()
+	if err != nil || n != 0 {
+		t.Fatalf("outstanding = %d, %v", n, err)
+	}
+	// BLACKLIST removes a manager from dispatch.
+	if _, err := e.Command("BLACKLIST", reps[0], 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown command gets a reply, not a hang.
+	rep, err := e.Command("FLY", "", 2*time.Second)
+	if err != nil || len(rep) == 0 || rep[0] != "unknown-command" {
+		t.Fatalf("rep = %v, %v", rep, err)
+	}
+}
+
+func TestBlacklistedManagerGetsNoTasks(t *testing.T) {
+	e := newHTEX(t, 2, 1, nil)
+	reps, err := e.Command("MANAGERS", "", 2*time.Second)
+	if err != nil || len(reps) != 2 {
+		t.Fatalf("managers: %v %v", reps, err)
+	}
+	if _, err := e.Command("BLACKLIST", reps[0], 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var futs []*future.Future
+	for i := 0; i < 20; i++ {
+		futs = append(futs, e.Submit(serialize.TaskMsg{ID: int64(i), App: "echo", Args: []any{i}}))
+	}
+	if err := future.Wait(futs...); err != nil {
+		t.Fatal(err)
+	}
+	// All tasks completed despite one of two managers being blacklisted.
+}
+
+func TestScaleOutAndIn(t *testing.T) {
+	e := newHTEX(t, 1, 1, nil)
+	if e.ActiveBlocks() != 1 {
+		t.Fatalf("blocks = %d", e.ActiveBlocks())
+	}
+	if err := e.ScaleOut(2); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "3 managers", func() bool { return e.ix.ManagerCount() == 3 })
+	if e.ActiveBlocks() != 3 {
+		t.Fatalf("blocks = %d", e.ActiveBlocks())
+	}
+	if e.ConnectedWorkers() != 3 {
+		t.Fatalf("workers = %d", e.ConnectedWorkers())
+	}
+	if err := e.ScaleIn(2); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "1 manager", func() bool { return e.ix.ManagerCount() == 1 })
+	if e.ActiveBlocks() != 1 {
+		t.Fatalf("blocks = %d", e.ActiveBlocks())
+	}
+	// Still works after churn.
+	v, err := e.Submit(serialize.TaskMsg{ID: 99, App: "echo", Args: []any{"ok"}}).Result()
+	if err != nil || v != "ok" {
+		t.Fatalf("post-churn: %v, %v", v, err)
+	}
+}
+
+func TestSubmitAfterShutdown(t *testing.T) {
+	e := newHTEX(t, 1, 1, nil)
+	_ = e.Shutdown()
+	_, err := e.Submit(serialize.TaskMsg{ID: 1, App: "echo", Args: []any{1}}).Result()
+	if !errors.Is(err, executor.ErrShutdown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestShutdownFailsPending(t *testing.T) {
+	e := newHTEX(t, 1, 1, nil)
+	fut := e.Submit(serialize.TaskMsg{ID: 1, App: "sleep", Args: []any{10000}})
+	time.Sleep(20 * time.Millisecond)
+	_ = e.Shutdown()
+	if _, err := fut.Result(); err == nil {
+		t.Fatal("pending task succeeded across shutdown")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	reg := testRegistry(t)
+	cfg := Config{
+		Label:      "htex-tcp",
+		Transport:  simnet.TCP{},
+		Addr:       "127.0.0.1:0",
+		Registry:   reg,
+		Provider:   provider.NewLocal(provider.Config{NodesPerBlock: 1}),
+		InitBlocks: 1,
+		Manager:    ManagerConfig{Workers: 2},
+		Interchange: InterchangeConfig{
+			Seed: 1, HeartbeatPeriod: 100 * time.Millisecond, HeartbeatThreshold: time.Second,
+		},
+	}
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	defer e.Shutdown()
+	waitCond(t, "tcp manager", func() bool { return e.ix.ManagerCount() == 1 })
+	v, err := e.Submit(serialize.TaskMsg{ID: 1, App: "echo", Args: []any{"tcp"}}).Result()
+	if err != nil || v != "tcp" {
+		t.Fatalf("tcp round trip: %v, %v", v, err)
+	}
+}
+
+func TestRandomizedDistributionFairness(t *testing.T) {
+	e := newHTEX(t, 4, 1, func(c *Config) {
+		c.Manager.Prefetch = 4
+	})
+	const n = 400
+	futs := make([]*future.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = e.Submit(serialize.TaskMsg{ID: int64(i), App: "echo", Args: []any{i}})
+	}
+	if err := future.Wait(futs...); err != nil {
+		t.Fatal(err)
+	}
+	// Fairness is enforced inside the interchange by random selection; all
+	// four managers must have executed something.
+	reps, err := e.Command("MANAGERS", "", 2*time.Second)
+	if err != nil || len(reps) != 4 {
+		t.Fatalf("managers: %v %v", reps, err)
+	}
+}

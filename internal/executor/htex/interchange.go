@@ -1,0 +1,410 @@
+package htex
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/mq"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+)
+
+// clientIdentity is the dealer identity of the executor client.
+const clientIdentity = "htex-client"
+
+// Selection is the manager-selection policy for task dispatch.
+type Selection int
+
+const (
+	// SelectRandom is the paper's policy: "a randomized selection method
+	// to ensure task distribution fairness" (§4.3.1).
+	SelectRandom Selection = iota
+	// SelectRoundRobin cycles deterministically — the ablation arm.
+	SelectRoundRobin
+)
+
+// InterchangeConfig tunes the broker.
+type InterchangeConfig struct {
+	// BatchSize caps tasks per dispatch message to one manager.
+	BatchSize int
+	// HeartbeatPeriod is how often liveness is checked.
+	HeartbeatPeriod time.Duration
+	// HeartbeatThreshold is silence after which a manager is declared lost.
+	HeartbeatThreshold time.Duration
+	// Seed fixes the randomized manager selection for tests (0 = time).
+	Seed int64
+	// Selection picks the dispatch policy (default SelectRandom).
+	Selection Selection
+}
+
+func (c *InterchangeConfig) normalize() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 200 * time.Millisecond
+	}
+	if c.HeartbeatThreshold <= 0 {
+		c.HeartbeatThreshold = 5 * c.HeartbeatPeriod
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+}
+
+// managerState is the interchange's view of one registered manager.
+type managerState struct {
+	id          string
+	capacity    int // workers + prefetch slots
+	outstanding map[int64]serialize.TaskMsg
+	lastSeen    time.Time
+	blacklisted bool
+}
+
+func (m *managerState) free() int { return m.capacity - len(m.outstanding) }
+
+// Interchange is the hub: it queues tasks from the client, matches them to
+// managers with advertised capacity (random among eligible, §4.3.1), relays
+// result batches back, and polices heartbeats.
+type Interchange struct {
+	cfg    InterchangeConfig
+	router *mq.Router
+	rng    *rand.Rand
+
+	mu       sync.Mutex
+	managers map[string]*managerState
+	queue    []serialize.TaskMsg
+	client   string // identity of the connected client, "" until it speaks
+	rrNext   int    // round-robin cursor (SelectRoundRobin)
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartInterchange launches an interchange listening at addr on tr.
+func StartInterchange(tr simnet.Transport, addr string, cfg InterchangeConfig) (*Interchange, error) {
+	cfg.normalize()
+	r, err := mq.NewRouter(tr, addr)
+	if err != nil {
+		return nil, fmt.Errorf("htex: interchange: %w", err)
+	}
+	ix := &Interchange{
+		cfg:      cfg,
+		router:   r,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		managers: make(map[string]*managerState),
+		done:     make(chan struct{}),
+	}
+	ix.wg.Add(2)
+	go ix.mainLoop()
+	go ix.heartbeatLoop()
+	return ix, nil
+}
+
+// Addr returns the interchange's bound address.
+func (ix *Interchange) Addr() string { return ix.router.Addr() }
+
+func (ix *Interchange) mainLoop() {
+	defer ix.wg.Done()
+	for {
+		select {
+		case <-ix.done:
+			return
+		case ev := <-ix.router.Events():
+			if !ev.Joined {
+				ix.managerLost(ev.ID, "disconnected")
+			}
+		case del, ok := <-ix.router.Incoming():
+			if !ok {
+				return
+			}
+			ix.handle(del)
+		}
+	}
+}
+
+func (ix *Interchange) handle(del mq.Delivery) {
+	if len(del.Msg) == 0 {
+		return
+	}
+	switch string(del.Msg[0]) {
+	case frameTask:
+		ix.mu.Lock()
+		ix.client = del.From
+		ix.mu.Unlock()
+		if len(del.Msg) < 2 {
+			return
+		}
+		task, err := serialize.DecodeTask(del.Msg[1])
+		if err != nil {
+			return
+		}
+		ix.mu.Lock()
+		ix.queue = append(ix.queue, task)
+		ix.mu.Unlock()
+		ix.dispatch()
+	case frameReg:
+		if len(del.Msg) < 2 {
+			return
+		}
+		capacity, err := strconv.Atoi(string(del.Msg[1]))
+		if err != nil || capacity <= 0 {
+			return
+		}
+		ix.mu.Lock()
+		ix.managers[del.From] = &managerState{
+			id:          del.From,
+			capacity:    capacity,
+			outstanding: make(map[int64]serialize.TaskMsg),
+			lastSeen:    time.Now(),
+		}
+		ix.mu.Unlock()
+		ix.dispatch()
+	case frameResults:
+		if len(del.Msg) < 2 {
+			return
+		}
+		results, err := decodeResults(del.Msg[1])
+		if err != nil {
+			return
+		}
+		ix.mu.Lock()
+		if m, ok := ix.managers[del.From]; ok {
+			m.lastSeen = time.Now()
+			for _, r := range results {
+				delete(m.outstanding, r.ID)
+			}
+		}
+		client := ix.client
+		ix.mu.Unlock()
+		if client != "" {
+			_ = ix.router.SendTo(client, mq.Message{[]byte(frameResults), del.Msg[1]})
+		}
+		ix.dispatch()
+	case frameHB:
+		ix.mu.Lock()
+		if m, ok := ix.managers[del.From]; ok {
+			m.lastSeen = time.Now()
+		}
+		ix.mu.Unlock()
+		// Echo so managers can police us too.
+		_ = ix.router.SendTo(del.From, mq.Message{[]byte(frameHB)})
+	case frameBye:
+		ix.mu.Lock()
+		m, ok := ix.managers[del.From]
+		if ok {
+			// Clean departure: requeue outstanding instead of failing.
+			for _, t := range m.outstanding {
+				ix.queue = append(ix.queue, t)
+			}
+			delete(ix.managers, del.From)
+		}
+		ix.mu.Unlock()
+		// Hang up on the peer so its Drain can observe the ack.
+		ix.router.Disconnect(del.From)
+		ix.dispatch()
+	case frameCmd:
+		ix.mu.Lock()
+		ix.client = del.From
+		ix.mu.Unlock()
+		ix.command(del)
+	}
+}
+
+// command implements the synchronous administrative channel (§4.3.1):
+// outstanding-task queries, manager listing, blacklisting, shutdown.
+func (ix *Interchange) command(del mq.Delivery) {
+	if len(del.Msg) < 2 {
+		return
+	}
+	name := string(del.Msg[1])
+	arg := ""
+	if len(del.Msg) > 2 {
+		arg = string(del.Msg[2])
+	}
+	reply := func(parts ...string) {
+		m := mq.Message{[]byte(frameCmdRep), []byte(name)}
+		for _, p := range parts {
+			m = append(m, []byte(p))
+		}
+		_ = ix.router.SendTo(del.From, m)
+	}
+	switch name {
+	case "OUTSTANDING":
+		ix.mu.Lock()
+		n := len(ix.queue)
+		for _, m := range ix.managers {
+			n += len(m.outstanding)
+		}
+		ix.mu.Unlock()
+		reply(strconv.Itoa(n))
+	case "MANAGERS":
+		ix.mu.Lock()
+		var ids []string
+		for id := range ix.managers {
+			ids = append(ids, id)
+		}
+		ix.mu.Unlock()
+		reply(ids...)
+	case "BLACKLIST":
+		ix.mu.Lock()
+		if m, ok := ix.managers[arg]; ok {
+			m.blacklisted = true
+		}
+		ix.mu.Unlock()
+		reply("ok")
+	case "SHUTDOWN":
+		reply("ok")
+		go ix.Close()
+	default:
+		reply("unknown-command")
+	}
+}
+
+// dispatch matches queued tasks to managers with free capacity, choosing
+// uniformly at random among eligible managers for fairness.
+func (ix *Interchange) dispatch() {
+	for {
+		ix.mu.Lock()
+		if len(ix.queue) == 0 {
+			ix.mu.Unlock()
+			return
+		}
+		var eligible []*managerState
+		for _, m := range ix.managers {
+			if !m.blacklisted && m.free() > 0 {
+				eligible = append(eligible, m)
+			}
+		}
+		if len(eligible) == 0 {
+			ix.mu.Unlock()
+			return
+		}
+		var m *managerState
+		if ix.cfg.Selection == SelectRoundRobin {
+			// Stable order for determinism: sort by identity.
+			sort.Slice(eligible, func(i, j int) bool { return eligible[i].id < eligible[j].id })
+			m = eligible[ix.rrNext%len(eligible)]
+			ix.rrNext++
+		} else {
+			m = eligible[ix.rng.Intn(len(eligible))]
+		}
+		n := m.free()
+		if n > ix.cfg.BatchSize {
+			n = ix.cfg.BatchSize
+		}
+		if n > len(ix.queue) {
+			n = len(ix.queue)
+		}
+		batch := make([]serialize.TaskMsg, n)
+		copy(batch, ix.queue[:n])
+		ix.queue = ix.queue[n:]
+		for _, t := range batch {
+			m.outstanding[t.ID] = t
+		}
+		id := m.id
+		ix.mu.Unlock()
+
+		payload, err := encodeTasks(batch)
+		if err != nil {
+			continue
+		}
+		if err := ix.router.SendTo(id, mq.Message{[]byte(frameTasks), payload}); err != nil {
+			// Send failed: the manager is gone; requeue via loss path.
+			ix.managerLost(id, "send failed")
+		}
+	}
+}
+
+// heartbeatLoop expires silent managers.
+func (ix *Interchange) heartbeatLoop() {
+	defer ix.wg.Done()
+	ticker := time.NewTicker(ix.cfg.HeartbeatPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ix.done:
+			return
+		case <-ticker.C:
+			ix.mu.Lock()
+			var lost []string
+			for id, m := range ix.managers {
+				if time.Since(m.lastSeen) > ix.cfg.HeartbeatThreshold {
+					lost = append(lost, id)
+				}
+			}
+			ix.mu.Unlock()
+			for _, id := range lost {
+				ix.managerLost(id, "heartbeat expired")
+			}
+		}
+	}
+}
+
+// managerLost handles a lost manager: its outstanding tasks are reported to
+// the client as LOST so the DFK can retry or rescale (§4.3.1).
+func (ix *Interchange) managerLost(id, reason string) {
+	ix.mu.Lock()
+	m, ok := ix.managers[id]
+	if !ok {
+		ix.mu.Unlock()
+		return
+	}
+	delete(ix.managers, id)
+	var lostIDs []int64
+	for tid := range m.outstanding {
+		lostIDs = append(lostIDs, tid)
+	}
+	client := ix.client
+	ix.mu.Unlock()
+
+	ix.router.Disconnect(id)
+	if client != "" && len(lostIDs) > 0 {
+		if payload, err := encodeIDs(lostIDs); err == nil {
+			_ = ix.router.SendTo(client, mq.Message{[]byte(frameLost), payload, []byte(reason)})
+		}
+	}
+}
+
+// ManagerCount reports registered managers (monitoring/tests).
+func (ix *Interchange) ManagerCount() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.managers)
+}
+
+// OutstandingByManager reports in-flight tasks per manager — what scale-in
+// uses to prefer idle blocks.
+func (ix *Interchange) OutstandingByManager() map[string]int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	out := make(map[string]int, len(ix.managers))
+	for id, m := range ix.managers {
+		out[id] = len(m.outstanding)
+	}
+	return out
+}
+
+// QueueDepth reports tasks waiting for capacity.
+func (ix *Interchange) QueueDepth() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.queue)
+}
+
+// Close shuts the interchange down.
+func (ix *Interchange) Close() error {
+	select {
+	case <-ix.done:
+		return nil
+	default:
+	}
+	close(ix.done)
+	err := ix.router.Close()
+	ix.wg.Wait()
+	return err
+}

@@ -1,0 +1,256 @@
+package htex
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/mq"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+)
+
+// ManagerConfig tunes one pilot agent.
+type ManagerConfig struct {
+	// Workers is the number of worker goroutines (one per core in the
+	// paper's deployments).
+	Workers int
+	// Prefetch is extra task slots advertised beyond Workers, letting the
+	// manager buffer tasks and hide interchange round trips (§4.3.1:
+	// "configurable batching and prefetching of tasks to minimize
+	// communication overheads").
+	Prefetch int
+	// ResultFlush batches results until this many accumulate or
+	// FlushInterval passes.
+	ResultFlush   int
+	FlushInterval time.Duration
+	// HeartbeatPeriod is how often the manager pings the interchange; if
+	// the interchange stays silent for 5 periods the manager exits
+	// ("managers, upon losing contact with the interchange, exit
+	// immediately to avoid resource wastage").
+	HeartbeatPeriod time.Duration
+}
+
+func (c *ManagerConfig) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Prefetch < 0 {
+		c.Prefetch = 0
+	}
+	if c.ResultFlush <= 0 {
+		c.ResultFlush = 16
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 5 * time.Millisecond
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 200 * time.Millisecond
+	}
+}
+
+// Manager is the per-node pilot agent: it registers capacity with the
+// interchange, feeds a pool of worker goroutines, and streams result batches
+// back.
+type Manager struct {
+	id     string
+	cfg    ManagerConfig
+	reg    *serialize.Registry
+	dealer *mq.Dealer
+
+	tasks   chan serialize.TaskMsg
+	results chan serialize.ResultMsg
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	mu       sync.Mutex
+	lastSeen time.Time
+	executed int64
+}
+
+// StartManager connects a manager to the interchange at addr and begins
+// executing tasks from reg.
+func StartManager(tr simnet.Transport, addr, id string, reg *serialize.Registry, cfg ManagerConfig) (*Manager, error) {
+	cfg.normalize()
+	dealer, err := mq.DialDealer(tr, addr, id)
+	if err != nil {
+		return nil, fmt.Errorf("htex: manager %s: %w", id, err)
+	}
+	m := &Manager{
+		id:       id,
+		cfg:      cfg,
+		reg:      reg,
+		dealer:   dealer,
+		tasks:    make(chan serialize.TaskMsg, cfg.Workers+cfg.Prefetch),
+		results:  make(chan serialize.ResultMsg, cfg.Workers+cfg.Prefetch),
+		done:     make(chan struct{}),
+		lastSeen: time.Now(),
+	}
+	capacity := cfg.Workers + cfg.Prefetch
+	if err := dealer.Send(mq.Message{[]byte(frameReg), []byte(strconv.Itoa(capacity))}); err != nil {
+		_ = dealer.Close()
+		return nil, fmt.Errorf("htex: manager %s register: %w", id, err)
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker(fmt.Sprintf("%s/w%d", id, i))
+	}
+	m.wg.Add(3)
+	go m.recvLoop()
+	go m.resultLoop()
+	go m.heartbeatLoop()
+	return m, nil
+}
+
+// ID returns the manager's identity.
+func (m *Manager) ID() string { return m.id }
+
+// Executed returns the number of tasks this manager has run.
+func (m *Manager) Executed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.executed
+}
+
+func (m *Manager) recvLoop() {
+	defer m.wg.Done()
+	for {
+		msg, err := m.dealer.Recv()
+		if err != nil {
+			m.Stop() // interchange gone: exit immediately
+			return
+		}
+		if len(msg) == 0 {
+			continue
+		}
+		switch string(msg[0]) {
+		case frameTasks:
+			if len(msg) < 2 {
+				continue
+			}
+			batch, err := decodeTasks(msg[1])
+			if err != nil {
+				continue
+			}
+			for _, t := range batch {
+				select {
+				case m.tasks <- t:
+				case <-m.done:
+					return
+				}
+			}
+		case frameHB:
+			m.mu.Lock()
+			m.lastSeen = time.Now()
+			m.mu.Unlock()
+		}
+	}
+}
+
+func (m *Manager) worker(workerID string) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case t := <-m.tasks:
+			res := executor.RunKernel(m.reg, t, workerID)
+			m.mu.Lock()
+			m.executed++
+			m.mu.Unlock()
+			select {
+			case m.results <- res:
+			case <-m.done:
+				return
+			}
+		}
+	}
+}
+
+// resultLoop aggregates results and sends them in batches (§4.3.1: "results
+// are aggregated from workers and sent to the interchange in batches").
+func (m *Manager) resultLoop() {
+	defer m.wg.Done()
+	var batch []serialize.ResultMsg
+	timer := time.NewTimer(m.cfg.FlushInterval)
+	defer timer.Stop()
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if payload, err := encodeResults(batch); err == nil {
+			_ = m.dealer.Send(mq.Message{[]byte(frameResults), payload})
+		}
+		batch = nil
+	}
+	for {
+		select {
+		case <-m.done:
+			flush()
+			return
+		case r := <-m.results:
+			batch = append(batch, r)
+			if len(batch) >= m.cfg.ResultFlush {
+				flush()
+			}
+		case <-timer.C:
+			flush()
+			timer.Reset(m.cfg.FlushInterval)
+		}
+	}
+}
+
+func (m *Manager) heartbeatLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.HeartbeatPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+			if err := m.dealer.Send(mq.Message{[]byte(frameHB)}); err != nil {
+				m.Stop()
+				return
+			}
+			m.mu.Lock()
+			silent := time.Since(m.lastSeen)
+			m.mu.Unlock()
+			if silent > 5*m.cfg.HeartbeatPeriod {
+				m.Stop()
+				return
+			}
+		}
+	}
+}
+
+// Drain announces clean departure so in-flight tasks are requeued rather
+// than reported lost, then stops. It waits (bounded) for the interchange to
+// acknowledge by hanging up, so the BYE is processed before the connection
+// drops — otherwise the disconnect would race the BYE and the interchange
+// would report the tasks lost instead of requeueing them.
+func (m *Manager) Drain() {
+	if err := m.dealer.Send(mq.Message{[]byte(frameBye)}); err == nil {
+		select {
+		case <-m.done: // recvLoop saw the interchange hang up
+		case <-time.After(2 * time.Second):
+		}
+	}
+	m.Stop()
+}
+
+// Stop terminates the manager's goroutines and connection.
+func (m *Manager) Stop() {
+	m.closeOnce.Do(func() {
+		close(m.done)
+		_ = m.dealer.Close()
+	})
+}
+
+// Wait blocks until all manager goroutines exit (tests).
+func (m *Manager) Wait() { m.wg.Wait() }

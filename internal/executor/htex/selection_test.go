@@ -1,0 +1,109 @@
+package htex
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/future"
+	"repro/internal/mq"
+	"repro/internal/provider"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+)
+
+func trackingRegistry(t *testing.T) *serialize.Registry {
+	t.Helper()
+	reg := serialize.NewRegistry()
+	if err := reg.Register("who", func(_ []any, _ map[string]any) (any, error) {
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func runSelection(t *testing.T, sel Selection, tasks int) {
+	t.Helper()
+	reg := trackingRegistry(t)
+	e := New(Config{
+		Label:       "sel",
+		Transport:   simnet.NewNetwork(0),
+		Registry:    reg,
+		Provider:    provider.NewLocal(provider.Config{NodesPerBlock: 3}),
+		InitBlocks:  1,
+		Manager:     ManagerConfig{Workers: 1},
+		Interchange: InterchangeConfig{Seed: 7, Selection: sel, BatchSize: 1},
+	})
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Shutdown() })
+	waitCond(t, "managers", func() bool { return e.ix.ManagerCount() == 3 })
+
+	futs := make([]*future.Future, tasks)
+	for i := 0; i < tasks; i++ {
+		futs[i] = e.Submit(serialize.TaskMsg{ID: int64(i), App: "who"})
+	}
+	if err := future.Wait(futs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinCompletesAll(t *testing.T)      { runSelection(t, SelectRoundRobin, 30) }
+func TestRandomSelectionCompletesAll(t *testing.T) { runSelection(t, SelectRandom, 30) }
+
+func TestRoundRobinCyclesManagersEvenly(t *testing.T) {
+	// Direct policy check: three single-worker managers, batch size 1,
+	// round-robin — every manager must execute exactly n/3 tasks.
+	reg := trackingRegistry(t)
+	tr := simnet.NewNetwork(0)
+	ix, err := StartInterchange(tr, "ix-rr", InterchangeConfig{
+		Seed: 1, Selection: SelectRoundRobin, BatchSize: 1,
+		HeartbeatPeriod: time.Hour, HeartbeatThreshold: 2 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	var mgrs []*Manager
+	for _, id := range []string{"mgr-a", "mgr-b", "mgr-c"} {
+		m, err := StartManager(tr, ix.Addr(), id, reg, ManagerConfig{Workers: 1, HeartbeatPeriod: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Stop()
+		mgrs = append(mgrs, m)
+	}
+	waitCond(t, "3 managers", func() bool { return ix.ManagerCount() == 3 })
+
+	// A bare client dealer submits tasks straight to the interchange.
+	client, err := mq.DialDealer(tr, ix.Addr(), clientIdentity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		payload, err := serialize.EncodeTask(serialize.TaskMsg{ID: int64(i), App: "who"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Send(mq.Message{[]byte(frameTask), payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCond(t, "all executed", func() bool {
+		total := int64(0)
+		for _, m := range mgrs {
+			total += m.Executed()
+		}
+		return total == n
+	})
+	for _, m := range mgrs {
+		if got := m.Executed(); got != n/3 {
+			t.Fatalf("manager %s executed %d, want %d (round robin)", m.ID(), got, n/3)
+		}
+	}
+}

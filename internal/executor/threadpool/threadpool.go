@@ -1,0 +1,130 @@
+// Package threadpool implements the in-process executor corresponding to
+// Python's ThreadPoolExecutor, which Parsl wraps for single-node use and
+// which serves as the latency floor in Fig. 3: no serialization boundary, no
+// network hop, just a queue and worker goroutines.
+package threadpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/executor"
+	"repro/internal/future"
+	"repro/internal/serialize"
+)
+
+// Executor is a fixed-size pool of worker goroutines.
+type Executor struct {
+	label   string
+	workers int
+	reg     *serialize.Registry
+
+	queue       chan item
+	outstanding atomic.Int64
+	wg          sync.WaitGroup
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+}
+
+type item struct {
+	msg serialize.TaskMsg
+	fut *future.Future
+}
+
+// New creates a thread-pool executor with the given worker count (minimum 1)
+// executing apps from reg.
+func New(label string, workers int, reg *serialize.Registry) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Executor{
+		label:   label,
+		workers: workers,
+		reg:     reg,
+		queue:   make(chan item, 4096),
+	}
+}
+
+// Label implements executor.Executor.
+func (e *Executor) Label() string { return e.label }
+
+// Start implements executor.Executor.
+func (e *Executor) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return nil
+	}
+	e.started = true
+	for i := 0; i < e.workers; i++ {
+		e.wg.Add(1)
+		go e.worker(fmt.Sprintf("%s/thread-%d", e.label, i))
+	}
+	return nil
+}
+
+func (e *Executor) worker(id string) {
+	defer e.wg.Done()
+	for it := range e.queue {
+		// Deep-copy arguments so an impure app cannot mutate caller state:
+		// the same isolation the serialization boundary gives remote
+		// executors (§3.2).
+		args, kwargs, err := serialize.DeepCopyArgs(it.msg.Args, it.msg.Kwargs)
+		var res serialize.ResultMsg
+		if err != nil {
+			res = serialize.ResultMsg{ID: it.msg.ID, WorkerID: id, Err: err.Error()}
+		} else {
+			msg := it.msg
+			msg.Args, msg.Kwargs = args, kwargs
+			res = executor.RunKernel(e.reg, msg, id)
+		}
+		e.outstanding.Add(-1)
+		executor.Complete(it.fut, res)
+	}
+}
+
+// Submit implements executor.Executor.
+func (e *Executor) Submit(msg serialize.TaskMsg) *future.Future {
+	fut := future.NewForTask(msg.ID)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		_ = fut.SetError(executor.ErrShutdown)
+		return fut
+	}
+	if !e.started {
+		e.mu.Unlock()
+		_ = fut.SetError(fmt.Errorf("threadpool %s: Submit before Start", e.label))
+		return fut
+	}
+	e.mu.Unlock()
+	e.outstanding.Add(1)
+	e.queue <- item{msg: msg, fut: fut}
+	return fut
+}
+
+// Outstanding implements executor.Executor.
+func (e *Executor) Outstanding() int { return int(e.outstanding.Load()) }
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Shutdown implements executor.Executor: it drains queued tasks and stops.
+func (e *Executor) Shutdown() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	started := e.started
+	e.mu.Unlock()
+	close(e.queue)
+	if started {
+		e.wg.Wait()
+	}
+	return nil
+}

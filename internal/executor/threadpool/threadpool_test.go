@@ -1,0 +1,194 @@
+package threadpool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/future"
+	"repro/internal/serialize"
+)
+
+func newPool(t *testing.T, workers int) *Executor {
+	t.Helper()
+	reg := serialize.NewRegistry()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(reg.Register("echo", func(args []any, _ map[string]any) (any, error) {
+		return args[0], nil
+	}))
+	must(reg.Register("sleep", func(args []any, _ map[string]any) (any, error) {
+		time.Sleep(time.Duration(args[0].(int)) * time.Millisecond)
+		return nil, nil
+	}))
+	must(reg.Register("fail", func([]any, map[string]any) (any, error) {
+		return nil, errors.New("app failed")
+	}))
+	must(reg.Register("mutate", func(args []any, _ map[string]any) (any, error) {
+		s := args[0].([]int)
+		s[0] = 999
+		return s[0], nil
+	}))
+	e := New("tp", workers, reg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Shutdown() })
+	return e
+}
+
+func TestSubmitAndResult(t *testing.T) {
+	e := newPool(t, 2)
+	fut := e.Submit(serialize.TaskMsg{ID: 1, App: "echo", Args: []any{"hi"}})
+	v, err := fut.Result()
+	if err != nil || v != "hi" {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+}
+
+func TestParallelismBoundedByWorkers(t *testing.T) {
+	e := newPool(t, 4)
+	start := time.Now()
+	var futs []*future.Future
+	for i := 0; i < 8; i++ {
+		futs = append(futs, e.Submit(serialize.TaskMsg{ID: int64(i), App: "sleep", Args: []any{50}}))
+	}
+	if err := future.Wait(futs...); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// 8 tasks × 50 ms on 4 workers = 2 waves ≈ 100 ms; sequential would be 400.
+	if elapsed > 300*time.Millisecond {
+		t.Fatalf("no parallelism: %v", elapsed)
+	}
+	if elapsed < 90*time.Millisecond {
+		t.Fatalf("parallelism exceeded worker count: %v", elapsed)
+	}
+}
+
+func TestAppErrorPropagates(t *testing.T) {
+	e := newPool(t, 1)
+	_, err := e.Submit(serialize.TaskMsg{ID: 1, App: "fail"}).Result()
+	var re *executor.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	e := newPool(t, 1)
+	if _, err := e.Submit(serialize.TaskMsg{ID: 1, App: "nope"}).Result(); err == nil {
+		t.Fatal("unknown app succeeded")
+	}
+}
+
+func TestArgumentIsolation(t *testing.T) {
+	e := newPool(t, 1)
+	orig := []int{1, 2, 3}
+	v, err := e.Submit(serialize.TaskMsg{ID: 1, App: "mutate", Args: []any{orig}}).Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 999 {
+		t.Fatalf("v = %v", v)
+	}
+	if orig[0] != 1 {
+		t.Fatal("app mutated the caller's slice through the executor boundary")
+	}
+}
+
+func TestOutstandingCount(t *testing.T) {
+	e := newPool(t, 1)
+	fut := e.Submit(serialize.TaskMsg{ID: 1, App: "sleep", Args: []any{50}})
+	if e.Outstanding() < 1 {
+		t.Fatal("outstanding not counted")
+	}
+	_, _ = fut.Result()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && e.Outstanding() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after completion", e.Outstanding())
+	}
+}
+
+func TestSubmitBeforeStart(t *testing.T) {
+	e := New("tp", 1, serialize.NewRegistry())
+	if _, err := e.Submit(serialize.TaskMsg{ID: 1, App: "x"}).Result(); err == nil {
+		t.Fatal("submit before start succeeded")
+	}
+}
+
+func TestSubmitAfterShutdown(t *testing.T) {
+	e := newPool(t, 1)
+	_ = e.Shutdown()
+	_, err := e.Submit(serialize.TaskMsg{ID: 1, App: "echo", Args: []any{1}}).Result()
+	if !errors.Is(err, executor.ErrShutdown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestShutdownDrainsQueue(t *testing.T) {
+	e := newPool(t, 2)
+	var futs []*future.Future
+	for i := 0; i < 20; i++ {
+		futs = append(futs, e.Submit(serialize.TaskMsg{ID: int64(i), App: "echo", Args: []any{i}}))
+	}
+	if err := e.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		v, err := f.Result()
+		if err != nil || v != i {
+			t.Fatalf("task %d after shutdown: %v, %v", i, v, err)
+		}
+	}
+}
+
+func TestDoubleStartAndShutdown(t *testing.T) {
+	e := newPool(t, 1)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimumOneWorker(t *testing.T) {
+	e := New("tp", 0, serialize.NewRegistry())
+	if e.Workers() != 1 {
+		t.Fatalf("workers = %d", e.Workers())
+	}
+}
+
+func TestHighConcurrencySubmission(t *testing.T) {
+	e := newPool(t, 8)
+	const n = 500
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := e.Submit(serialize.TaskMsg{ID: int64(i), App: "echo", Args: []any{i}}).Result()
+			if err != nil || v != i {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package ftp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	root := t.TempDir()
+	s, err := NewServer("127.0.0.1:0", root)
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, root
+}
+
+func TestRetrRoundTrip(t *testing.T) {
+	s, root := newServer(t)
+	want := []byte("sequence data: ACGTACGT")
+	if err := os.WriteFile(filepath.Join(root, "reads.fq"), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	got, err := c.Retr("reads.fq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRetrMissingFile(t *testing.T) {
+	s, _ := newServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	if _, err := c.Retr("absent.bin"); err == nil {
+		t.Fatal("missing file retrieved")
+	}
+	// Connection still usable after a failed RETR.
+	if err := os.WriteFile(filepath.Join(t.TempDir(), "x"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorThenRetr(t *testing.T) {
+	s, root := newServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	payload := bytes.Repeat([]byte("output-block "), 1000)
+	if err := c.Stor("results/out.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(root, "results", "out.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, payload) {
+		t.Fatal("stored bytes differ")
+	}
+	got, err := c.Retr("results/out.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("retr after stor: %v", err)
+	}
+}
+
+func TestSize(t *testing.T) {
+	s, root := newServer(t)
+	if err := os.WriteFile(filepath.Join(root, "f"), make([]byte, 1234), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	n, err := c.Size("f")
+	if err != nil || n != 1234 {
+		t.Fatalf("size = %d, %v", n, err)
+	}
+	if _, err := c.Size("ghost"); err == nil {
+		t.Fatal("size of missing file succeeded")
+	}
+}
+
+func TestPathEscapeRejected(t *testing.T) {
+	s, root := newServer(t)
+	// Plant a file outside the root.
+	outside := filepath.Join(filepath.Dir(root), "secret.txt")
+	if err := os.WriteFile(outside, []byte("secret"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(outside)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	got, err := c.Retr("../secret.txt")
+	if err == nil && strings.Contains(string(got), "secret") {
+		t.Fatal("path traversal leaked a file outside the root")
+	}
+}
+
+func TestLargeTransfer(t *testing.T) {
+	s, root := newServer(t)
+	want := make([]byte, 4<<20) // 4 MiB
+	for i := range want {
+		want[i] = byte(i * 31)
+	}
+	if err := os.WriteFile(filepath.Join(root, "big.bin"), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	got, err := c.Retr("big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestMultipleTransfersOneSession(t *testing.T) {
+	s, root := newServer(t)
+	for i := 0; i < 5; i++ {
+		name := filepath.Join(root, "f"+string(rune('0'+i)))
+		if err := os.WriteFile(name, []byte{byte(i)}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Quit()
+	for i := 0; i < 5; i++ {
+		got, err := c.Retr("f" + string(rune('0'+i)))
+		if err != nil || len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("transfer %d: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, root := newServer(t)
+	if err := os.WriteFile(filepath.Join(root, "shared"), []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Quit()
+			got, err := c.Retr("shared")
+			if err != nil || string(got) != "data" {
+				t.Errorf("retr: %q %v", got, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s, _ := newServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(s.Addr()); err == nil {
+		t.Fatal("dial to closed server succeeded")
+	}
+}

@@ -1,0 +1,226 @@
+// Package future implements the single-update future abstraction that Parsl
+// (HPDC'19, §3.1.2) uses as its only synchronization primitive.
+//
+// A Future is created pending and transitions exactly once to either a value
+// or an error; further writes are rejected. Callbacks registered with
+// AddDoneCallback fire exactly once, on the goroutine that completes the
+// future (or immediately, on the caller's goroutine, if the future is already
+// done). The DataFlowKernel encodes task-graph edges as these callbacks,
+// which is what makes dependency resolution event driven with O(n+e) cost.
+package future
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrAlreadySet is returned by SetResult/SetError when the future has already
+// been completed. A future is a single-update variable.
+var ErrAlreadySet = errors.New("future: result already set")
+
+// ErrCanceled is the error stored in a future completed by Cancel.
+var ErrCanceled = errors.New("future: canceled")
+
+// State describes the lifecycle of a Future.
+type State int32
+
+const (
+	// Pending means no result has been set.
+	Pending State = iota
+	// Resolved means a value was set.
+	Resolved
+	// Failed means an error was set.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Resolved:
+		return "resolved"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Future is a single-assignment container for the eventual result of an
+// asynchronous App invocation. The zero value is not usable; construct with
+// New, Completed, or FromError.
+type Future struct {
+	mu        sync.Mutex
+	done      chan struct{}
+	state     State
+	value     any
+	err       error
+	callbacks []func(*Future)
+
+	// TaskID is the identifier of the task that will complete this future,
+	// or a negative value when the future is not bound to a task (for
+	// example, futures created by Completed).
+	TaskID int64
+}
+
+// New returns a pending future not yet bound to a task.
+func New() *Future {
+	return &Future{done: make(chan struct{}), TaskID: -1}
+}
+
+// NewForTask returns a pending future bound to the given task id.
+func NewForTask(taskID int64) *Future {
+	return &Future{done: make(chan struct{}), TaskID: taskID}
+}
+
+// Completed returns a future already resolved with v.
+func Completed(v any) *Future {
+	f := New()
+	// Cannot fail: the future is fresh.
+	_ = f.SetResult(v)
+	return f
+}
+
+// FromError returns a future already failed with err.
+func FromError(err error) *Future {
+	f := New()
+	_ = f.SetError(err)
+	return f
+}
+
+// SetResult completes the future with a value. It returns ErrAlreadySet if
+// the future was previously completed.
+func (f *Future) SetResult(v any) error {
+	return f.complete(Resolved, v, nil)
+}
+
+// SetError completes the future with an error. It returns ErrAlreadySet if
+// the future was previously completed.
+func (f *Future) SetError(err error) error {
+	if err == nil {
+		err = errors.New("future: SetError called with nil error")
+	}
+	return f.complete(Failed, nil, err)
+}
+
+// Cancel completes a pending future with ErrCanceled. It reports whether the
+// cancellation won the race (false if the future was already done).
+func (f *Future) Cancel() bool {
+	return f.complete(Failed, nil, ErrCanceled) == nil
+}
+
+func (f *Future) complete(s State, v any, err error) error {
+	f.mu.Lock()
+	if f.state != Pending {
+		f.mu.Unlock()
+		return ErrAlreadySet
+	}
+	f.state = s
+	f.value = v
+	f.err = err
+	cbs := f.callbacks
+	f.callbacks = nil
+	close(f.done)
+	f.mu.Unlock()
+	for _, cb := range cbs {
+		cb(f)
+	}
+	return nil
+}
+
+// Done reports, without blocking, whether the future has completed. This is
+// the analogue of Parsl's future.done().
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// DoneChan returns a channel closed when the future completes, so futures can
+// participate in select statements.
+func (f *Future) DoneChan() <-chan struct{} { return f.done }
+
+// State returns the current lifecycle state.
+func (f *Future) State() State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state
+}
+
+// Result blocks until the future completes and returns its value or error.
+// This is the analogue of Parsl's future.result().
+func (f *Future) Result() (any, error) {
+	<-f.done
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.value, f.err
+}
+
+// ResultCtx is Result with context cancellation. If ctx expires first, the
+// future is left untouched and the context error is returned.
+func (f *Future) ResultCtx(ctx context.Context) (any, error) {
+	select {
+	case <-f.done:
+		return f.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// ResultTimeout is Result bounded by a timeout.
+func (f *Future) ResultTimeout(d time.Duration) (any, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return f.ResultCtx(ctx)
+}
+
+// Err returns the future's error without blocking. It returns nil when the
+// future is pending or resolved.
+func (f *Future) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Value returns the future's value without blocking (nil while pending).
+func (f *Future) Value() any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.value
+}
+
+// AddDoneCallback registers cb to run when the future completes. If the
+// future is already done, cb runs synchronously before AddDoneCallback
+// returns. Callbacks must not block: the DataFlowKernel relies on them for
+// edge triggering and a blocking callback stalls the completing goroutine.
+func (f *Future) AddDoneCallback(cb func(*Future)) {
+	f.mu.Lock()
+	if f.state == Pending {
+		f.callbacks = append(f.callbacks, cb)
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	cb(f)
+}
+
+// String implements fmt.Stringer for debugging and monitoring output.
+func (f *Future) String() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch f.state {
+	case Pending:
+		return fmt.Sprintf("Future{task=%d pending}", f.TaskID)
+	case Resolved:
+		return fmt.Sprintf("Future{task=%d resolved %v}", f.TaskID, f.value)
+	default:
+		return fmt.Sprintf("Future{task=%d failed %v}", f.TaskID, f.err)
+	}
+}

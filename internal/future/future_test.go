@@ -1,0 +1,330 @@
+package future
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewIsPending(t *testing.T) {
+	f := New()
+	if f.Done() {
+		t.Fatal("new future reports done")
+	}
+	if got := f.State(); got != Pending {
+		t.Fatalf("state = %v, want Pending", got)
+	}
+	if f.Err() != nil {
+		t.Fatalf("pending Err = %v, want nil", f.Err())
+	}
+	if f.Value() != nil {
+		t.Fatalf("pending Value = %v, want nil", f.Value())
+	}
+}
+
+func TestSetResultResolves(t *testing.T) {
+	f := New()
+	if err := f.SetResult(42); err != nil {
+		t.Fatalf("SetResult: %v", err)
+	}
+	if !f.Done() {
+		t.Fatal("future not done after SetResult")
+	}
+	v, err := f.Result()
+	if err != nil {
+		t.Fatalf("Result err = %v", err)
+	}
+	if v != 42 {
+		t.Fatalf("Result = %v, want 42", v)
+	}
+	if got := f.State(); got != Resolved {
+		t.Fatalf("state = %v, want Resolved", got)
+	}
+}
+
+func TestSetErrorFails(t *testing.T) {
+	f := New()
+	want := errors.New("boom")
+	if err := f.SetError(want); err != nil {
+		t.Fatalf("SetError: %v", err)
+	}
+	_, err := f.Result()
+	if !errors.Is(err, want) {
+		t.Fatalf("Result err = %v, want %v", err, want)
+	}
+	if got := f.State(); got != Failed {
+		t.Fatalf("state = %v, want Failed", got)
+	}
+}
+
+func TestSingleUpdateSemantics(t *testing.T) {
+	f := New()
+	if err := f.SetResult(1); err != nil {
+		t.Fatalf("first SetResult: %v", err)
+	}
+	if err := f.SetResult(2); !errors.Is(err, ErrAlreadySet) {
+		t.Fatalf("second SetResult err = %v, want ErrAlreadySet", err)
+	}
+	if err := f.SetError(errors.New("x")); !errors.Is(err, ErrAlreadySet) {
+		t.Fatalf("SetError after SetResult err = %v, want ErrAlreadySet", err)
+	}
+	if v, _ := f.Result(); v != 1 {
+		t.Fatalf("value overwritten: %v", v)
+	}
+}
+
+func TestSetErrorNil(t *testing.T) {
+	f := New()
+	if err := f.SetError(nil); err != nil {
+		t.Fatalf("SetError(nil): %v", err)
+	}
+	if _, err := f.Result(); err == nil {
+		t.Fatal("SetError(nil) should still fail the future with a non-nil error")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	f := New()
+	if !f.Cancel() {
+		t.Fatal("Cancel on pending future returned false")
+	}
+	if _, err := f.Result(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	g := Completed(1)
+	if g.Cancel() {
+		t.Fatal("Cancel on resolved future returned true")
+	}
+}
+
+func TestCompletedAndFromError(t *testing.T) {
+	f := Completed("hi")
+	if v, err := f.Result(); err != nil || v != "hi" {
+		t.Fatalf("Completed: %v, %v", v, err)
+	}
+	e := errors.New("bad")
+	g := FromError(e)
+	if _, err := g.Result(); !errors.Is(err, e) {
+		t.Fatalf("FromError: %v", err)
+	}
+}
+
+func TestResultBlocksUntilSet(t *testing.T) {
+	f := New()
+	start := make(chan struct{})
+	go func() {
+		close(start)
+		time.Sleep(10 * time.Millisecond)
+		_ = f.SetResult("late")
+	}()
+	<-start
+	v, err := f.Result()
+	if err != nil || v != "late" {
+		t.Fatalf("Result = %v, %v", v, err)
+	}
+}
+
+func TestResultCtxCancellation(t *testing.T) {
+	f := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.ResultCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Future is untouched and can still resolve.
+	if err := f.SetResult(7); err != nil {
+		t.Fatalf("SetResult after ctx cancel: %v", err)
+	}
+}
+
+func TestResultTimeout(t *testing.T) {
+	f := New()
+	if _, err := f.ResultTimeout(5 * time.Millisecond); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	_ = f.SetResult(1)
+	if v, err := f.ResultTimeout(time.Second); err != nil || v != 1 {
+		t.Fatalf("after set: %v, %v", v, err)
+	}
+}
+
+func TestCallbackOnCompletion(t *testing.T) {
+	f := New()
+	var got atomic.Value
+	f.AddDoneCallback(func(g *Future) { got.Store(g.Value()) })
+	_ = f.SetResult("cb")
+	if got.Load() != "cb" {
+		t.Fatalf("callback saw %v", got.Load())
+	}
+}
+
+func TestCallbackAfterCompletionRunsImmediately(t *testing.T) {
+	f := Completed(3)
+	ran := false
+	f.AddDoneCallback(func(g *Future) { ran = true })
+	if !ran {
+		t.Fatal("callback on done future did not run synchronously")
+	}
+}
+
+func TestCallbacksRunOnce(t *testing.T) {
+	f := New()
+	var n atomic.Int32
+	for i := 0; i < 10; i++ {
+		f.AddDoneCallback(func(*Future) { n.Add(1) })
+	}
+	_ = f.SetResult(nil)
+	if n.Load() != 10 {
+		t.Fatalf("callbacks ran %d times, want 10", n.Load())
+	}
+}
+
+func TestDoneChanSelect(t *testing.T) {
+	f := New()
+	select {
+	case <-f.DoneChan():
+		t.Fatal("done chan fired early")
+	default:
+	}
+	_ = f.SetError(errors.New("x"))
+	select {
+	case <-f.DoneChan():
+	case <-time.After(time.Second):
+		t.Fatal("done chan never fired")
+	}
+}
+
+func TestConcurrentSetExactlyOneWins(t *testing.T) {
+	for iter := 0; iter < 100; iter++ {
+		f := New()
+		var wins atomic.Int32
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if err := f.SetResult(i); err == nil {
+					wins.Add(1)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if wins.Load() != 1 {
+			t.Fatalf("iter %d: %d winners, want 1", iter, wins.Load())
+		}
+	}
+}
+
+func TestConcurrentResultReaders(t *testing.T) {
+	f := New()
+	const readers = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := f.Result()
+			if err != nil || v != 99 {
+				errs <- fmt.Errorf("got %v, %v", v, err)
+			}
+		}()
+	}
+	_ = f.SetResult(99)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{Pending: "pending", Resolved: "resolved", Failed: "failed", State(9): "State(9)"}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestFutureString(t *testing.T) {
+	f := NewForTask(7)
+	if s := f.String(); s != "Future{task=7 pending}" {
+		t.Fatalf("pending string = %q", s)
+	}
+	_ = f.SetResult(1)
+	if s := f.String(); s != "Future{task=7 resolved 1}" {
+		t.Fatalf("resolved string = %q", s)
+	}
+	g := FromError(errors.New("e"))
+	if s := g.String(); s != "Future{task=-1 failed e}" {
+		t.Fatalf("failed string = %q", s)
+	}
+}
+
+// Property: for any sequence of values, a future set with value v always
+// yields exactly v, and repeated Result calls are stable.
+func TestQuickSingleAssignmentStability(t *testing.T) {
+	prop := func(v int64, repeats uint8) bool {
+		f := New()
+		if f.SetResult(v) != nil {
+			return false
+		}
+		n := int(repeats%16) + 1
+		for i := 0; i < n; i++ {
+			got, err := f.Result()
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: completing futures in any order always resolves All with values
+// in argument order.
+func TestQuickAllOrderIndependence(t *testing.T) {
+	prop := func(perm []int) bool {
+		n := len(perm)%8 + 1
+		futs := make([]*Future, n)
+		for i := range futs {
+			futs[i] = New()
+		}
+		all := All(futs...)
+		// Complete in a permutation order derived from input.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for i, p := range perm {
+			j := ((p % n) + n) % n
+			k := i % n
+			order[j], order[k] = order[k], order[j]
+		}
+		for _, idx := range order {
+			_ = futs[idx].SetResult(idx * 10)
+		}
+		v, err := all.Result()
+		if err != nil {
+			return false
+		}
+		vals := v.([]any)
+		for i := range vals {
+			if vals[i] != i*10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

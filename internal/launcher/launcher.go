@@ -1,0 +1,144 @@
+// Package launcher implements Parsl's Launcher abstraction (§4.2.2): the
+// system-specific mechanism that fans a single worker command out across the
+// cores and nodes of an allocation. A Launcher rewrites the worker command
+// into the site's spawn idiom (srun for Slurm, aprun for Crays, mpiexec for
+// MPI, GNU parallel, or a plain fork loop); the provider submits the result.
+//
+// In simulation the generated command line is what travels through a
+// Channel to the cluster substrate; its Fanout is what tells the simulated
+// allocation how many worker processes to start per node.
+package launcher
+
+import "fmt"
+
+// Launcher rewrites a worker command for an allocation of nodes×tasksPerNode.
+type Launcher interface {
+	// Wrap produces the launch command line.
+	Wrap(cmd string, nodes, tasksPerNode int) string
+	// Name identifies the launcher in configs.
+	Name() string
+	// Fanout returns how many copies of the command run per node.
+	Fanout(tasksPerNode int) int
+}
+
+// Single runs exactly one copy of the command on one node — Parsl's
+// SingleNodeLauncher, the default for pilot agents that manage their own
+// workers (HTEX managers).
+type Single struct{}
+
+// Name implements Launcher.
+func (Single) Name() string { return "single" }
+
+// Wrap implements Launcher.
+func (Single) Wrap(cmd string, _, _ int) string { return cmd }
+
+// Fanout implements Launcher: the manager itself forks workers.
+func (Single) Fanout(int) int { return 1 }
+
+// Fork starts tasksPerNode copies per node with a shell loop — Parsl's
+// simple fork launcher for workstations.
+type Fork struct{}
+
+// Name implements Launcher.
+func (Fork) Name() string { return "fork" }
+
+// Wrap implements Launcher.
+func (Fork) Wrap(cmd string, _, tasksPerNode int) string {
+	return fmt.Sprintf("for i in $(seq 1 %d); do ( %s ) & done; wait", tasksPerNode, cmd)
+}
+
+// Fanout implements Launcher.
+func (Fork) Fanout(tasksPerNode int) int { return tasksPerNode }
+
+// Srun uses Slurm's srun to place tasks — the Midway idiom.
+type Srun struct {
+	// Overrides are extra srun flags (e.g. "--exclusive").
+	Overrides string
+}
+
+// Name implements Launcher.
+func (Srun) Name() string { return "srun" }
+
+// Wrap implements Launcher.
+func (s Srun) Wrap(cmd string, nodes, tasksPerNode int) string {
+	extra := s.Overrides
+	if extra != "" {
+		extra = " " + extra
+	}
+	return fmt.Sprintf("srun --nodes=%d --ntasks-per-node=%d%s bash -c %q",
+		nodes, tasksPerNode, extra, cmd)
+}
+
+// Fanout implements Launcher.
+func (Srun) Fanout(tasksPerNode int) int { return tasksPerNode }
+
+// Aprun uses ALPS aprun — the Blue Waters idiom.
+type Aprun struct {
+	Overrides string
+}
+
+// Name implements Launcher.
+func (Aprun) Name() string { return "aprun" }
+
+// Wrap implements Launcher.
+func (a Aprun) Wrap(cmd string, nodes, tasksPerNode int) string {
+	extra := a.Overrides
+	if extra != "" {
+		extra = " " + extra
+	}
+	return fmt.Sprintf("aprun -n %d -N %d%s /bin/bash -c %q",
+		nodes*tasksPerNode, tasksPerNode, extra, cmd)
+}
+
+// Fanout implements Launcher.
+func (Aprun) Fanout(tasksPerNode int) int { return tasksPerNode }
+
+// MpiExec launches via mpiexec — the generic MPI idiom EXEX deployments use.
+type MpiExec struct{}
+
+// Name implements Launcher.
+func (MpiExec) Name() string { return "mpiexec" }
+
+// Wrap implements Launcher.
+func (MpiExec) Wrap(cmd string, nodes, tasksPerNode int) string {
+	return fmt.Sprintf("mpiexec -n %d -ppn %d %s", nodes*tasksPerNode, tasksPerNode, cmd)
+}
+
+// Fanout implements Launcher.
+func (MpiExec) Fanout(tasksPerNode int) int { return tasksPerNode }
+
+// GnuParallel spreads copies with GNU parallel over ssh — Parsl's
+// GnuParallelLauncher.
+type GnuParallel struct{}
+
+// Name implements Launcher.
+func (GnuParallel) Name() string { return "gnu_parallel" }
+
+// Wrap implements Launcher.
+func (GnuParallel) Wrap(cmd string, nodes, tasksPerNode int) string {
+	return fmt.Sprintf("parallel --ungroup -j %d --sshloginfile $PBS_NODEFILE %q ::: $(seq 1 %d)",
+		tasksPerNode, cmd, nodes*tasksPerNode)
+}
+
+// Fanout implements Launcher.
+func (GnuParallel) Fanout(tasksPerNode int) int { return tasksPerNode }
+
+// ByName returns a launcher from its config name.
+func ByName(name string) (Launcher, error) {
+	switch name {
+	case "single", "":
+		return Single{}, nil
+	case "fork":
+		return Fork{}, nil
+	case "srun":
+		return Srun{}, nil
+	case "aprun":
+		return Aprun{}, nil
+	case "mpiexec":
+		return MpiExec{}, nil
+	case "gnu_parallel":
+		return GnuParallel{}, nil
+	default:
+		return nil, fmt.Errorf("launcher: unknown launcher %q", name)
+	}
+}

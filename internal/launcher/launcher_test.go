@@ -1,0 +1,93 @@
+package launcher
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingle(t *testing.T) {
+	var l Single
+	if got := l.Wrap("worker --port 9000", 4, 32); got != "worker --port 9000" {
+		t.Fatalf("wrap = %q", got)
+	}
+	if l.Fanout(32) != 1 {
+		t.Fatal("single launcher fanout != 1")
+	}
+}
+
+func TestFork(t *testing.T) {
+	var l Fork
+	cmd := l.Wrap("worker", 1, 4)
+	if !strings.Contains(cmd, "seq 1 4") || !strings.Contains(cmd, "worker") {
+		t.Fatalf("wrap = %q", cmd)
+	}
+	if l.Fanout(4) != 4 {
+		t.Fatal("fanout")
+	}
+}
+
+func TestSrun(t *testing.T) {
+	l := Srun{}
+	cmd := l.Wrap("worker", 128, 28)
+	for _, want := range []string{"srun", "--nodes=128", "--ntasks-per-node=28", "worker"} {
+		if !strings.Contains(cmd, want) {
+			t.Fatalf("wrap = %q missing %q", cmd, want)
+		}
+	}
+	withFlags := Srun{Overrides: "--exclusive"}.Wrap("w", 1, 1)
+	if !strings.Contains(withFlags, "--exclusive") {
+		t.Fatalf("overrides lost: %q", withFlags)
+	}
+}
+
+func TestAprun(t *testing.T) {
+	cmd := Aprun{}.Wrap("worker", 8192, 32)
+	for _, want := range []string{"aprun", "-n 262144", "-N 32"} {
+		if !strings.Contains(cmd, want) {
+			t.Fatalf("wrap = %q missing %q", cmd, want)
+		}
+	}
+}
+
+func TestMpiExec(t *testing.T) {
+	cmd := MpiExec{}.Wrap("exex-worker", 4, 32)
+	if !strings.Contains(cmd, "mpiexec -n 128 -ppn 32") {
+		t.Fatalf("wrap = %q", cmd)
+	}
+}
+
+func TestGnuParallel(t *testing.T) {
+	cmd := GnuParallel{}.Wrap("worker", 2, 3)
+	if !strings.Contains(cmd, "parallel") || !strings.Contains(cmd, "-j 3") {
+		t.Fatalf("wrap = %q", cmd)
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	cases := []struct {
+		l    Launcher
+		want int
+	}{
+		{Single{}, 1}, {Fork{}, 16}, {Srun{}, 16}, {Aprun{}, 16}, {MpiExec{}, 16}, {GnuParallel{}, 16},
+	}
+	for _, c := range cases {
+		if got := c.l.Fanout(16); got != c.want {
+			t.Errorf("%s fanout = %d, want %d", c.l.Name(), got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"single", "fork", "srun", "aprun", "mpiexec", "gnu_parallel", ""} {
+		l, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if name != "" && l.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, l.Name())
+		}
+	}
+	if _, err := ByName("warp-drive"); err == nil {
+		t.Fatal("unknown launcher accepted")
+	}
+}

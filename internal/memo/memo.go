@@ -1,0 +1,172 @@
+// Package memo implements Parsl's app memoization and checkpointing (§4.1,
+// §4.6): the DataFlowKernel computes a key from the app's name, a hash of
+// its body, and a hash of its arguments, and consults a memo table (and,
+// when configured, an on-disk checkpoint file) before launching a task.
+// Program-level fault tolerance (§3.7) falls out of the checkpoint file: a
+// re-executed program skips every app already called with the same
+// arguments.
+package memo
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/serialize"
+)
+
+// Key builds a memoization key from app identity and arguments — the
+// "function name, body hash, and arguments" triple of §4.1.
+func Key(appName, bodyHash string, args []any, kwargs map[string]any) (string, error) {
+	ah, err := serialize.ArgsHash(args, kwargs)
+	if err != nil {
+		return "", fmt.Errorf("memo: args not hashable: %w", err)
+	}
+	return appName + "|" + bodyHash + "|" + ah, nil
+}
+
+// entry is one memoized result. Failed results are never memoized — Parsl
+// retries failures rather than caching them.
+type entry struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Memoizer is the in-memory memo table with optional checkpoint persistence.
+type Memoizer struct {
+	mu    sync.RWMutex
+	table map[string]any
+
+	cpMu   sync.Mutex
+	cpPath string
+	cpFile *os.File
+	enc    *json.Encoder
+
+	hits, misses int64
+}
+
+// New returns an empty memoizer with no checkpoint file.
+func New() *Memoizer {
+	return &Memoizer{table: make(map[string]any)}
+}
+
+// NewWithCheckpoint returns a memoizer that appends every stored result to
+// the JSONL checkpoint file at path, creating it if needed, and preloads any
+// results already in it (the "re-execute a program without re-running
+// completed apps" workflow).
+func NewWithCheckpoint(path string) (*Memoizer, error) {
+	m := New()
+	if err := m.LoadCheckpoint(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("memo: checkpoint dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("memo: open checkpoint: %w", err)
+	}
+	m.cpPath = path
+	m.cpFile = f
+	m.enc = json.NewEncoder(f)
+	return m, nil
+}
+
+// LoadCheckpoint merges entries from a JSONL checkpoint file into the table.
+// Corrupt trailing lines (from a crash mid-write) are skipped, not fatal:
+// losing the last checkpoint entry only costs one re-execution.
+func (m *Memoizer) LoadCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	loaded := 0
+	for sc.Scan() {
+		var e entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue
+		}
+		m.mu.Lock()
+		m.table[e.Key] = e.Value
+		m.mu.Unlock()
+		loaded++
+	}
+	return sc.Err()
+}
+
+// Lookup returns the memoized value for key, if any.
+func (m *Memoizer) Lookup(key string) (any, bool) {
+	m.mu.RLock()
+	v, ok := m.table[key]
+	m.mu.RUnlock()
+	m.cpMu.Lock()
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	m.cpMu.Unlock()
+	return v, ok
+}
+
+// Store records a successful result under key and, when checkpointing is
+// enabled, appends it durably.
+func (m *Memoizer) Store(key string, value any) error {
+	m.mu.Lock()
+	m.table[key] = value
+	m.mu.Unlock()
+
+	m.cpMu.Lock()
+	defer m.cpMu.Unlock()
+	if m.enc == nil {
+		return nil
+	}
+	if err := m.enc.Encode(entry{Key: key, Value: value}); err != nil {
+		return fmt.Errorf("memo: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of memoized entries.
+func (m *Memoizer) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.table)
+}
+
+// Stats returns cumulative (hits, misses).
+func (m *Memoizer) Stats() (hits, misses int64) {
+	m.cpMu.Lock()
+	defer m.cpMu.Unlock()
+	return m.hits, m.misses
+}
+
+// Sync flushes the checkpoint file to stable storage.
+func (m *Memoizer) Sync() error {
+	m.cpMu.Lock()
+	defer m.cpMu.Unlock()
+	if m.cpFile == nil {
+		return nil
+	}
+	return m.cpFile.Sync()
+}
+
+// Close flushes and closes the checkpoint file.
+func (m *Memoizer) Close() error {
+	m.cpMu.Lock()
+	defer m.cpMu.Unlock()
+	if m.cpFile == nil {
+		return nil
+	}
+	err := m.cpFile.Close()
+	m.cpFile = nil
+	m.enc = nil
+	return err
+}

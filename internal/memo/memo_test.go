@@ -1,0 +1,176 @@
+package memo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyComponents(t *testing.T) {
+	k1, err := Key("f", "h1", []any{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key("f", "h1", []any{2}, nil)
+	k3, _ := Key("f", "h2", []any{1}, nil)
+	k4, _ := Key("g", "h1", []any{1}, nil)
+	if k1 == k2 || k1 == k3 || k1 == k4 {
+		t.Fatalf("keys collide: %s %s %s %s", k1, k2, k3, k4)
+	}
+	k5, _ := Key("f", "h1", []any{1}, nil)
+	if k1 != k5 {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestKeyUnhashableArgs(t *testing.T) {
+	if _, err := Key("f", "h", []any{make(chan int)}, nil); err == nil {
+		t.Fatal("unhashable args produced a key")
+	}
+}
+
+func TestLookupStoreAndStats(t *testing.T) {
+	m := New()
+	if _, ok := m.Lookup("k"); ok {
+		t.Fatal("empty table hit")
+	}
+	if err := m.Store("k", 42); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.Lookup("k")
+	if !ok || v != 42 {
+		t.Fatalf("lookup = %v, %v", v, ok)
+	}
+	hits, misses := m.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestCheckpointPersistsAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run", "checkpoint.jsonl")
+	m1, err := NewWithCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := m1.Store(fmt.Sprintf("k%d", i), float64(i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart the program": a fresh memoizer on the same file sees all
+	// completed results.
+	m2, err := NewWithCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != 10 {
+		t.Fatalf("recovered %d entries, want 10", m2.Len())
+	}
+	v, ok := m2.Lookup("k7")
+	if !ok || v.(float64) != 49 {
+		t.Fatalf("k7 = %v, %v", v, ok)
+	}
+}
+
+func TestCheckpointCorruptTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	m1, err := NewWithCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m1.Store("good", "v")
+	_ = m1.Close()
+	// Simulate a crash mid-write.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	_, _ = f.WriteString(`{"key":"half`)
+	_ = f.Close()
+
+	m2, err := NewWithCheckpoint(path)
+	if err != nil {
+		t.Fatalf("corrupt tail should not be fatal: %v", err)
+	}
+	defer m2.Close()
+	if _, ok := m2.Lookup("good"); !ok {
+		t.Fatal("good entry lost")
+	}
+	if m2.Len() != 1 {
+		t.Fatalf("len = %d", m2.Len())
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	m := New()
+	if err := m.LoadCheckpoint(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file load returned nil")
+	}
+}
+
+func TestSyncAndCloseWithoutCheckpoint(t *testing.T) {
+	m := New()
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStoreLookup(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%8)
+			_ = m.Store(key, i)
+			m.Lookup(key)
+		}(i)
+	}
+	wg.Wait()
+	if m.Len() != 8 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+// Property: store-then-lookup always round-trips the JSON-compatible value
+// through the checkpoint file.
+func TestQuickCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	prop := func(k string, v float64) bool {
+		n++
+		path := filepath.Join(dir, fmt.Sprintf("cp-%d.jsonl", n))
+		m1, err := NewWithCheckpoint(path)
+		if err != nil {
+			return false
+		}
+		key := "key-" + k
+		if m1.Store(key, v) != nil {
+			return false
+		}
+		_ = m1.Close()
+		m2, err := NewWithCheckpoint(path)
+		if err != nil {
+			return false
+		}
+		defer m2.Close()
+		got, ok := m2.Lookup(key)
+		return ok && got.(float64) == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package monitor
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(task int64, to string, at time.Time) Event {
+	return Event{Kind: KindTaskState, TaskID: task, To: to, At: at}
+}
+
+func TestStoreEmitAndQuery(t *testing.T) {
+	s := NewStore()
+	now := time.Now()
+	s.Emit(ev(1, "pending", now))
+	s.Emit(ev(1, "launched", now.Add(time.Millisecond)))
+	s.Emit(Event{Kind: KindWorkerInfo, Worker: "w1", At: now})
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.Events(KindTaskState); len(got) != 2 {
+		t.Fatalf("task events = %d", len(got))
+	}
+	if got := s.Events(""); len(got) != 3 {
+		t.Fatalf("all events = %d", len(got))
+	}
+	hist := s.TaskHistory(1)
+	if len(hist) != 2 || hist[0].To != "pending" || hist[1].To != "launched" {
+		t.Fatalf("history = %+v", hist)
+	}
+}
+
+func TestStateCountsUsesFinalState(t *testing.T) {
+	s := NewStore()
+	now := time.Now()
+	s.Emit(ev(1, "pending", now))
+	s.Emit(ev(1, "done", now))
+	s.Emit(ev(2, "pending", now))
+	s.Emit(ev(3, "failed", now))
+	counts := s.StateCounts()
+	if counts["done"] != 1 || counts["pending"] != 1 || counts["failed"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestExecutionSpans(t *testing.T) {
+	s := NewStore()
+	t0 := time.Now()
+	s.Emit(Event{Kind: KindTaskState, TaskID: 1, To: "running", Worker: "w1", At: t0})
+	s.Emit(ev(1, "done", t0.Add(100*time.Millisecond)))
+	s.Emit(Event{Kind: KindTaskState, TaskID: 2, To: "running", Worker: "w2", At: t0.Add(10 * time.Millisecond)})
+	s.Emit(ev(2, "failed", t0.Add(50*time.Millisecond)))
+	s.Emit(Event{Kind: KindTaskState, TaskID: 3, To: "running", At: t0}) // never finished
+	spans := s.ExecutionSpans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].TaskID != 1 || spans[0].Worker != "w1" {
+		t.Fatalf("span0 = %+v", spans[0])
+	}
+	if d := spans[0].End.Sub(spans[0].Start); d != 100*time.Millisecond {
+		t.Fatalf("span0 duration = %v", d)
+	}
+}
+
+func TestFileSinkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mon.jsonl")
+	fs, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().Round(0)
+	fs.Emit(ev(1, "done", now))
+	fs.Emit(Event{Kind: KindResource, Worker: "w", Detail: "cpu=0.5", At: now})
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events", len(events))
+	}
+	if events[0].TaskID != 1 || events[0].To != "done" {
+		t.Fatalf("event0 = %+v", events[0])
+	}
+	if events[1].Detail != "cpu=0.5" {
+		t.Fatalf("event1 = %+v", events[1])
+	}
+}
+
+func TestFileSinkEmitAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mon.jsonl")
+	fs, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fs.Close()
+	fs.Emit(ev(1, "done", time.Now())) // must not panic
+	if err := fs.Close(); err != nil { // double close safe
+		t.Fatal(err)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	m := Multi{a, b}
+	m.Emit(ev(1, "done", time.Now()))
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan out: %d, %d", a.Len(), b.Len())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNopSink(t *testing.T) {
+	var n Nop
+	n.Emit(ev(1, "done", time.Now()))
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Emit(ev(int64(i), "running", time.Now()))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 3200 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}

@@ -1,0 +1,240 @@
+// Package mpi simulates the MPI communication fabric that EXEX uses via
+// mpi4py on Cray systems (§4.3.2). A Comm is a set of ranks backed by
+// goroutines and channels: rank 0 conventionally acts as the manager and the
+// remaining ranks as workers, mirroring EXEX's deployment.
+//
+// The simulation reproduces MPI's many-task drawback the paper calls out: a
+// rank failure aborts the whole communicator ("job and node failures can
+// result in the loss of the entire MPI application"), which is exercised by
+// the EXEX fault-tolerance tests.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AnySource matches any sending rank in Recv, like MPI_ANY_SOURCE.
+const AnySource = -1
+
+// ErrAborted is returned by operations on a communicator that has been
+// aborted (by Abort or by a simulated rank failure).
+var ErrAborted = errors.New("mpi: communicator aborted")
+
+// ErrRankRange indicates a rank outside [0, Size).
+var ErrRankRange = errors.New("mpi: rank out of range")
+
+// Envelope is a received message with its metadata.
+type Envelope struct {
+	Source int
+	Tag    int
+	Data   []byte
+}
+
+// Comm is a simulated MPI communicator of Size ranks. Point-to-point latency
+// models the optimized HPC interconnect and defaults to zero.
+type Comm struct {
+	size    int
+	latency time.Duration
+
+	mu      sync.Mutex
+	queues  [][]Envelope // per-destination mailbox
+	conds   []*sync.Cond
+	aborted bool
+	abortBy int
+	abortMu sync.RWMutex
+}
+
+// NewComm creates a communicator with n ranks.
+func NewComm(n int) (*Comm, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: communicator size %d", n)
+	}
+	c := &Comm{size: n, queues: make([][]Envelope, n), conds: make([]*sync.Cond, n)}
+	for i := range c.conds {
+		c.conds[i] = sync.NewCond(&c.mu)
+	}
+	return c, nil
+}
+
+// SetLatency sets the simulated point-to-point one-way latency.
+func (c *Comm) SetLatency(d time.Duration) { c.latency = d }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Aborted reports whether the communicator has been torn down.
+func (c *Comm) Aborted() bool {
+	c.abortMu.RLock()
+	defer c.abortMu.RUnlock()
+	return c.aborted
+}
+
+// AbortedBy returns the rank that aborted the communicator (-1 if alive).
+func (c *Comm) AbortedBy() int {
+	c.abortMu.RLock()
+	defer c.abortMu.RUnlock()
+	if !c.aborted {
+		return -1
+	}
+	return c.abortBy
+}
+
+// Abort tears down the communicator on behalf of rank. Every blocked and
+// future operation returns ErrAborted — the whole "MPI job" dies, which is
+// exactly the fault model §4.3.2 describes.
+func (c *Comm) Abort(rank int) {
+	c.abortMu.Lock()
+	if c.aborted {
+		c.abortMu.Unlock()
+		return
+	}
+	c.aborted = true
+	c.abortBy = rank
+	c.abortMu.Unlock()
+
+	c.mu.Lock()
+	for _, cond := range c.conds {
+		cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+func (c *Comm) checkRank(r int) error {
+	if r < 0 || r >= c.size {
+		return fmt.Errorf("%w: %d (size %d)", ErrRankRange, r, c.size)
+	}
+	return nil
+}
+
+// Send delivers data to rank dest with the given tag. It does not block on
+// the receiver (buffered/eager semantics, like small-message MPI sends).
+func (c *Comm) Send(src, dest, tag int, data []byte) error {
+	if c.Aborted() {
+		return ErrAborted
+	}
+	if err := c.checkRank(src); err != nil {
+		return err
+	}
+	if err := c.checkRank(dest); err != nil {
+		return err
+	}
+	if c.latency > 0 {
+		time.Sleep(c.latency)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.mu.Lock()
+	c.queues[dest] = append(c.queues[dest], Envelope{Source: src, Tag: tag, Data: cp})
+	c.conds[dest].Broadcast()
+	c.mu.Unlock()
+	return nil
+}
+
+// Recv blocks until a message for rank dest matching source (or AnySource)
+// and tag arrives, or the communicator aborts.
+func (c *Comm) Recv(dest, source, tag int) (Envelope, error) {
+	if err := c.checkRank(dest); err != nil {
+		return Envelope{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.Aborted() {
+			return Envelope{}, ErrAborted
+		}
+		for i, env := range c.queues[dest] {
+			if (source == AnySource || env.Source == source) && env.Tag == tag {
+				c.queues[dest] = append(c.queues[dest][:i], c.queues[dest][i+1:]...)
+				return env, nil
+			}
+		}
+		c.conds[dest].Wait()
+	}
+}
+
+// Probe reports without blocking whether a matching message is queued.
+func (c *Comm) Probe(dest, source, tag int) (bool, error) {
+	if c.Aborted() {
+		return false, ErrAborted
+	}
+	if err := c.checkRank(dest); err != nil {
+		return false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, env := range c.queues[dest] {
+		if (source == AnySource || env.Source == source) && env.Tag == tag {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Bcast sends data from root to every other rank under tag.
+func (c *Comm) Bcast(root, tag int, data []byte) error {
+	if err := c.checkRank(root); err != nil {
+		return err
+	}
+	for r := 0; r < c.size; r++ {
+		if r == root {
+			continue
+		}
+		if err := c.Send(root, r, tag, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Barrier blocks rank until all ranks have entered the barrier with the same
+// generation tag. It is implemented as gather-to-0 plus broadcast.
+type Barrier struct {
+	comm *Comm
+	mu   sync.Mutex
+	gen  int
+	n    int
+	cond *sync.Cond
+	err  error
+}
+
+// NewBarrier creates a barrier across all ranks of comm.
+func NewBarrier(comm *Comm) *Barrier {
+	b := &Barrier{comm: comm}
+	b.cond = sync.NewCond(&b.mu)
+	go b.watchAbort()
+	return b
+}
+
+func (b *Barrier) watchAbort() {
+	for !b.comm.Aborted() {
+		time.Sleep(time.Millisecond)
+	}
+	b.mu.Lock()
+	b.err = ErrAborted
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Wait blocks until every rank has called Wait for this generation.
+func (b *Barrier) Wait() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	gen := b.gen
+	b.n++
+	if b.n == b.comm.Size() {
+		b.n = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for b.gen == gen && b.err == nil {
+		b.cond.Wait()
+	}
+	return b.err
+}

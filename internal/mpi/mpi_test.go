@@ -1,0 +1,303 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewCommValidation(t *testing.T) {
+	if _, err := NewComm(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := NewComm(-3); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	c, err := NewComm(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 4 {
+		t.Fatalf("size = %d", c.Size())
+	}
+}
+
+func TestSendRecvPointToPoint(t *testing.T) {
+	c, _ := NewComm(2)
+	if err := c.Send(0, 1, 7, []byte("task")); err != nil {
+		t.Fatal(err)
+	}
+	env, err := c.Recv(1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Source != 0 || env.Tag != 7 || string(env.Data) != "task" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	c, _ := NewComm(2)
+	done := make(chan Envelope, 1)
+	go func() {
+		env, err := c.Recv(1, AnySource, 0)
+		if err == nil {
+			done <- env
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("recv returned before send")
+	default:
+	}
+	_ = c.Send(0, 1, 0, []byte("x"))
+	select {
+	case env := <-done:
+		if string(env.Data) != "x" {
+			t.Fatalf("env = %+v", env)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("recv never returned")
+	}
+}
+
+func TestRecvAnySource(t *testing.T) {
+	c, _ := NewComm(4)
+	_ = c.Send(3, 0, 1, []byte("from-3"))
+	env, err := c.Recv(0, AnySource, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Source != 3 {
+		t.Fatalf("source = %d", env.Source)
+	}
+}
+
+func TestRecvTagFiltering(t *testing.T) {
+	c, _ := NewComm(2)
+	_ = c.Send(0, 1, 5, []byte("five"))
+	_ = c.Send(0, 1, 9, []byte("nine"))
+	env, err := c.Recv(1, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env.Data) != "nine" {
+		t.Fatalf("tag filter failed: %+v", env)
+	}
+	env, _ = c.Recv(1, 0, 5)
+	if string(env.Data) != "five" {
+		t.Fatalf("remaining message lost: %+v", env)
+	}
+}
+
+func TestFIFOPerSourceAndTag(t *testing.T) {
+	c, _ := NewComm(2)
+	for i := 0; i < 10; i++ {
+		_ = c.Send(0, 1, 0, []byte{byte(i)})
+	}
+	for i := 0; i < 10; i++ {
+		env, err := c.Recv(1, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Data[0] != byte(i) {
+			t.Fatalf("order violated at %d: got %d", i, env.Data[0])
+		}
+	}
+}
+
+func TestRankRangeErrors(t *testing.T) {
+	c, _ := NewComm(2)
+	if err := c.Send(0, 5, 0, nil); !errors.Is(err, ErrRankRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Send(-1, 0, 0, nil); !errors.Is(err, ErrRankRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Recv(9, 0, 0); !errors.Is(err, ErrRankRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProbe(t *testing.T) {
+	c, _ := NewComm(2)
+	ok, err := c.Probe(1, AnySource, 0)
+	if err != nil || ok {
+		t.Fatalf("probe empty = %v, %v", ok, err)
+	}
+	_ = c.Send(0, 1, 0, []byte("x"))
+	ok, err = c.Probe(1, 0, 0)
+	if err != nil || !ok {
+		t.Fatalf("probe = %v, %v", ok, err)
+	}
+	// Probe must not consume.
+	if _, err := c.Recv(1, 0, 0); err != nil {
+		t.Fatal("probe consumed the message")
+	}
+}
+
+func TestBcast(t *testing.T) {
+	c, _ := NewComm(5)
+	if err := c.Bcast(0, 3, []byte("all")); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 5; r++ {
+		env, err := c.Recv(r, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(env.Data) != "all" {
+			t.Fatalf("rank %d got %q", r, env.Data)
+		}
+	}
+	// Root must not receive its own broadcast.
+	if ok, _ := c.Probe(0, AnySource, 3); ok {
+		t.Fatal("root received its own bcast")
+	}
+}
+
+func TestAbortUnblocksRecv(t *testing.T) {
+	c, _ := NewComm(3)
+	errs := make(chan error, 2)
+	for r := 1; r <= 2; r++ {
+		go func(r int) {
+			_, err := c.Recv(r, AnySource, 0)
+			errs <- err
+		}(r)
+	}
+	time.Sleep(5 * time.Millisecond)
+	c.Abort(2)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrAborted) {
+				t.Fatalf("err = %v", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("recv not unblocked by abort")
+		}
+	}
+	if c.AbortedBy() != 2 {
+		t.Fatalf("AbortedBy = %d", c.AbortedBy())
+	}
+}
+
+func TestAbortFailsFutureOps(t *testing.T) {
+	c, _ := NewComm(2)
+	c.Abort(0)
+	if err := c.Send(0, 1, 0, nil); !errors.Is(err, ErrAborted) {
+		t.Fatalf("send after abort = %v", err)
+	}
+	if _, err := c.Probe(1, 0, 0); !errors.Is(err, ErrAborted) {
+		t.Fatalf("probe after abort = %v", err)
+	}
+	// Double abort is a no-op and keeps the first reporter.
+	c.Abort(1)
+	if c.AbortedBy() != 0 {
+		t.Fatalf("AbortedBy = %d", c.AbortedBy())
+	}
+}
+
+func TestAbortedByAliveIsMinusOne(t *testing.T) {
+	c, _ := NewComm(2)
+	if c.AbortedBy() != -1 {
+		t.Fatal("alive communicator reports aborter")
+	}
+}
+
+func TestDataIsolation(t *testing.T) {
+	c, _ := NewComm(2)
+	buf := []byte("mutable")
+	_ = c.Send(0, 1, 0, buf)
+	buf[0] = 'X'
+	env, _ := c.Recv(1, 0, 0)
+	if string(env.Data) != "mutable" {
+		t.Fatalf("sender mutation visible: %q", env.Data)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	c, _ := NewComm(2)
+	c.SetLatency(10 * time.Millisecond)
+	start := time.Now()
+	_ = c.Send(0, 1, 0, []byte("x"))
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestBarrierAllRanks(t *testing.T) {
+	c, _ := NewComm(4)
+	b := NewBarrier(c)
+	var phase1 sync.WaitGroup
+	reached := make(chan int, 4)
+	for r := 0; r < 4; r++ {
+		phase1.Add(1)
+		go func(r int) {
+			defer phase1.Done()
+			if err := b.Wait(); err != nil {
+				t.Error(err)
+				return
+			}
+			reached <- r
+		}(r)
+	}
+	phase1.Wait()
+	if len(reached) != 4 {
+		t.Fatalf("%d ranks passed barrier", len(reached))
+	}
+}
+
+func TestBarrierAbort(t *testing.T) {
+	c, _ := NewComm(2)
+	b := NewBarrier(c)
+	errCh := make(chan error, 1)
+	go func() { errCh <- b.Wait() }()
+	time.Sleep(5 * time.Millisecond)
+	c.Abort(1)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("barrier never unblocked after abort")
+	}
+}
+
+func TestManagerWorkerPattern(t *testing.T) {
+	// The EXEX deployment shape: rank 0 distributes, ranks 1..n echo back.
+	const n = 8
+	c, _ := NewComm(n)
+	var wg sync.WaitGroup
+	for r := 1; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			env, err := c.Recv(r, 0, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_ = c.Send(r, 0, 2, append([]byte("done-"), env.Data...))
+		}(r)
+	}
+	for r := 1; r < n; r++ {
+		_ = c.Send(0, r, 1, []byte(fmt.Sprintf("t%d", r)))
+	}
+	results := map[int]bool{}
+	for i := 1; i < n; i++ {
+		env, err := c.Recv(0, AnySource, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[env.Source] = true
+	}
+	wg.Wait()
+	if len(results) != n-1 {
+		t.Fatalf("results from %d workers, want %d", len(results), n-1)
+	}
+}

@@ -1,0 +1,335 @@
+// Package mq is the message-fabric substrate standing in for ZeroMQ (§4.3:
+// "the interchange is a hub to which the executor client and registered
+// managers connect using ZeroMQ queues"). It provides multipart framed
+// messages over any net.Conn, a Dealer (identified client) and a Router
+// (identity-routing hub) — the two socket patterns Parsl's executors use.
+package mq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// MaxPartSize bounds a single frame part; larger parts indicate corruption
+// or a protocol error rather than a legitimate task payload.
+const MaxPartSize = 64 << 20
+
+// MaxParts bounds the number of parts in one message.
+const MaxParts = 1 << 16
+
+// ErrClosed is returned by operations on a closed socket.
+var ErrClosed = errors.New("mq: socket closed")
+
+// Message is a multipart message, mirroring ZeroMQ frames.
+type Message [][]byte
+
+// writeFrame writes one multipart message: u32 part count, then u32
+// length-prefixed parts.
+func writeFrame(w io.Writer, m Message) error {
+	if len(m) > MaxParts {
+		return fmt.Errorf("mq: %d parts exceeds limit", len(m))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(m)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, part := range m {
+		if len(part) > MaxPartSize {
+			return fmt.Errorf("mq: part of %d bytes exceeds limit", len(part))
+		}
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(part)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one multipart message.
+func readFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	nparts := binary.BigEndian.Uint32(hdr[:])
+	if nparts > MaxParts {
+		return nil, fmt.Errorf("mq: frame claims %d parts", nparts)
+	}
+	m := make(Message, 0, nparts)
+	for i := uint32(0); i < nparts; i++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > MaxPartSize {
+			return nil, fmt.Errorf("mq: part claims %d bytes", n)
+		}
+		part := make([]byte, n)
+		if _, err := io.ReadFull(r, part); err != nil {
+			return nil, err
+		}
+		m = append(m, part)
+	}
+	return m, nil
+}
+
+// Conn is a framed connection with a serialized writer, safe for concurrent
+// Send from multiple goroutines. Recv must be called from one goroutine.
+type Conn struct {
+	raw net.Conn
+	wmu sync.Mutex
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewConn wraps a raw connection.
+func NewConn(raw net.Conn) *Conn { return &Conn{raw: raw} }
+
+// Send writes one multipart message.
+func (c *Conn) Send(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.raw, m)
+}
+
+// Recv reads one multipart message.
+func (c *Conn) Recv() (Message, error) { return readFrame(c.raw) }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.raw.Close() })
+	return c.closeErr
+}
+
+// Dealer is an identified client socket: it dials a Router, announces its
+// identity, and then exchanges messages. Parsl's managers and executor
+// clients are dealers.
+type Dealer struct {
+	id   string
+	conn *Conn
+}
+
+// DialDealer connects to a router at addr over tr and performs the identity
+// handshake.
+func DialDealer(tr simnet.Transport, addr, identity string) (*Dealer, error) {
+	if identity == "" {
+		return nil, errors.New("mq: dealer requires a non-empty identity")
+	}
+	raw, err := tr.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("mq: dial %s: %w", addr, err)
+	}
+	c := NewConn(raw)
+	if err := c.Send(Message{[]byte("HELLO"), []byte(identity)}); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("mq: handshake: %w", err)
+	}
+	return &Dealer{id: identity, conn: c}, nil
+}
+
+// Identity returns the dealer's identity string.
+func (d *Dealer) Identity() string { return d.id }
+
+// Send transmits a message to the router.
+func (d *Dealer) Send(m Message) error { return d.conn.Send(m) }
+
+// Recv blocks for the next message from the router.
+func (d *Dealer) Recv() (Message, error) { return d.conn.Recv() }
+
+// Close tears down the connection.
+func (d *Dealer) Close() error { return d.conn.Close() }
+
+// Delivery is a message received by a Router, tagged with the sender.
+type Delivery struct {
+	From string
+	Msg  Message
+}
+
+// PeerEvent notifies router users of peer arrival/departure, which the HTEX
+// interchange turns into manager registration and loss detection.
+type PeerEvent struct {
+	ID     string
+	Joined bool // false = disconnected
+}
+
+// Router is the hub socket: it accepts dealer connections, learns their
+// identities from the handshake, and routes outbound messages by identity.
+type Router struct {
+	l          net.Listener
+	incoming   chan Delivery
+	events     chan PeerEvent
+	mu         sync.Mutex
+	peers      map[string]*Conn
+	closed     bool
+	acceptDone sync.WaitGroup
+}
+
+// NewRouter starts a router listening on addr over tr.
+func NewRouter(tr simnet.Transport, addr string) (*Router, error) {
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("mq: listen %s: %w", addr, err)
+	}
+	r := &Router{
+		l:        l,
+		incoming: make(chan Delivery, 4096),
+		events:   make(chan PeerEvent, 1024),
+		peers:    make(map[string]*Conn),
+	}
+	r.acceptDone.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the bound address (useful with ":0" TCP listeners).
+func (r *Router) Addr() string { return r.l.Addr().String() }
+
+func (r *Router) acceptLoop() {
+	defer r.acceptDone.Done()
+	for {
+		raw, err := r.l.Accept()
+		if err != nil {
+			return
+		}
+		go r.serveConn(NewConn(raw))
+	}
+}
+
+func (r *Router) serveConn(c *Conn) {
+	hello, err := c.Recv()
+	if err != nil || len(hello) != 2 || string(hello[0]) != "HELLO" {
+		_ = c.Close()
+		return
+	}
+	id := string(hello[1])
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	if old, dup := r.peers[id]; dup {
+		// Last writer wins, as with ZeroMQ identity reuse; drop the old conn.
+		_ = old.Close()
+	}
+	r.peers[id] = c
+	r.mu.Unlock()
+	r.notify(PeerEvent{ID: id, Joined: true})
+
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			break
+		}
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			break
+		}
+		r.incoming <- Delivery{From: id, Msg: m}
+	}
+
+	r.mu.Lock()
+	// Only deregister if we are still the registered conn for this id.
+	if cur, ok := r.peers[id]; ok && cur == c {
+		delete(r.peers, id)
+		r.mu.Unlock()
+		r.notify(PeerEvent{ID: id, Joined: false})
+	} else {
+		r.mu.Unlock()
+	}
+	_ = c.Close()
+}
+
+func (r *Router) notify(ev PeerEvent) {
+	select {
+	case r.events <- ev:
+	default: // event buffer full: drop rather than deadlock the read loop
+	}
+}
+
+// Incoming returns the delivery channel. It is closed by Close.
+func (r *Router) Incoming() <-chan Delivery { return r.incoming }
+
+// Events returns peer join/leave notifications.
+func (r *Router) Events() <-chan PeerEvent { return r.events }
+
+// SendTo routes a message to the peer with the given identity.
+func (r *Router) SendTo(id string, m Message) error {
+	r.mu.Lock()
+	c, ok := r.peers[id]
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("mq: no peer %q", id)
+	}
+	return c.Send(m)
+}
+
+// Peers returns the identities currently connected.
+func (r *Router) Peers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.peers))
+	for id := range r.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// HasPeer reports whether id is connected.
+func (r *Router) HasPeer(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.peers[id]
+	return ok
+}
+
+// Disconnect drops a peer (used by the HTEX command channel's blacklist).
+func (r *Router) Disconnect(id string) {
+	r.mu.Lock()
+	c, ok := r.peers[id]
+	r.mu.Unlock()
+	if ok {
+		_ = c.Close()
+	}
+}
+
+// Close shuts the router down, closing all peer connections.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	peers := make([]*Conn, 0, len(r.peers))
+	for _, c := range r.peers {
+		peers = append(peers, c)
+	}
+	r.peers = map[string]*Conn{}
+	r.mu.Unlock()
+
+	err := r.l.Close()
+	for _, c := range peers {
+		_ = c.Close()
+	}
+	r.acceptDone.Wait()
+	return err
+}

@@ -1,0 +1,201 @@
+package scalesim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestThroughputMatchesTable2Shape(t *testing.T) {
+	// Paper (Table 2): IPP 330, HTEX 1181, EXEX 1176, FireWorks 4, Dask
+	// 2617 tasks/s. The model must land within 15% of each and preserve
+	// the ordering Dask > HTEX ≈ EXEX > IPP > FireWorks.
+	want := map[string]float64{
+		"parsl-htex": 1181, "parsl-exex": 1176, "parsl-ipp": 330,
+		"dask": 2617, "fireworks": 4,
+	}
+	got := map[string]float64{}
+	for _, p := range All() {
+		workers := 256
+		if p.MaxWorkers > 0 && workers > p.MaxWorkers {
+			workers = p.MaxWorkers
+		}
+		got[p.Name] = Throughput(p, workers).Rate
+	}
+	for name, w := range want {
+		g := got[name]
+		if g < w*0.85 || g > w*1.15 {
+			t.Errorf("%s throughput = %.0f tasks/s, paper %.0f", name, g, w)
+		}
+	}
+	if !(got["dask"] > got["parsl-htex"] && got["parsl-htex"] >= got["parsl-exex"] &&
+		got["parsl-exex"] > got["parsl-ipp"] && got["parsl-ipp"] > got["fireworks"]) {
+		t.Errorf("throughput ordering violated: %v", got)
+	}
+}
+
+func TestProbeMaxWorkersMatchesTable2(t *testing.T) {
+	// Paper (Table 2): IPP 2048 w / 64 n; HTEX 65536 w / 2048 n*; EXEX
+	// 262144 w / 8192 n*; FireWorks 1024 w / 32 n; Dask 8192 w / 256 n.
+	// (* allocation-limited, not architectural.)
+	cases := []struct {
+		p         Params
+		alloc     int
+		workers   int
+		nodes     int
+		limitedBy string
+	}{
+		{HTEX(), 2048, 65536, 2048, "allocation"},
+		{EXEX(), 8192, 262144, 8192, "allocation"},
+		{IPP(), 8192, 2048, 64, "architecture"},
+		{Dask(), 8192, 8192, 256, "architecture"},
+		{FireWorks(), 8192, 1024, 32, "architecture"},
+	}
+	for _, c := range cases {
+		got := ProbeMaxWorkers(c.p, c.alloc)
+		if got.MaxWorkers != c.workers || got.MaxNodes != c.nodes || got.LimitedBy != c.limitedBy {
+			t.Errorf("%s probe = %+v, want %d workers / %d nodes (%s)",
+				c.p.Name, got, c.workers, c.nodes, c.limitedBy)
+		}
+	}
+}
+
+func TestStrongScalingHTEXNearlyConstant(t *testing.T) {
+	// §5.2: "both HTEX and EXEX remain nearly constant" with increasing
+	// workers for the no-op strong-scaling workload.
+	sweep := []int{256, 1024, 4096, 16384, 65536}
+	res := StrongScaling(HTEX(), 50000, 0, sweep)
+	base := res[0].Makespan
+	for _, r := range res[1:] {
+		ratio := float64(r.Makespan) / float64(base)
+		if ratio > 1.3 || ratio < 0.5 {
+			t.Errorf("HTEX makespan at %d workers = %v (base %v): not near-constant",
+				r.Workers, r.Makespan, base)
+		}
+	}
+}
+
+func TestStrongScalingIPPDegradesBeyondKnee(t *testing.T) {
+	// IPP and Dask "exhibit a similar trend of increasing overhead as the
+	// number of workers increases beyond 512".
+	at512 := Run(IPP(), 50000, 0, 512).Makespan
+	at2048 := Run(IPP(), 50000, 0, 2048).Makespan
+	if at2048 <= at512 {
+		t.Errorf("IPP did not degrade past the knee: 512w=%v 2048w=%v", at512, at2048)
+	}
+}
+
+func TestStrongScalingSpeedupWithLongTasks(t *testing.T) {
+	// For 1000 ms tasks, more workers must mean (near-)linear speedup
+	// until the central stage dominates.
+	p := HTEX()
+	r64 := Run(p, 5000, time.Second, 64)
+	r512 := Run(p, 5000, time.Second, 512)
+	speedup := float64(r64.Makespan) / float64(r512.Makespan)
+	if speedup < 6 || speedup > 8.5 { // ideal 8×
+		t.Errorf("speedup 64→512 workers = %.2f, want ≈8", speedup)
+	}
+}
+
+func TestStrongScalingFireWorksOrderOfMagnitudeWorse(t *testing.T) {
+	// "FireWorks has the highest overhead even with only 5000 tasks:
+	// almost an order of magnitude greater."
+	fw := Run(FireWorks(), 5000, 0, 256)
+	htex := Run(HTEX(), 50000, 0, 256)
+	// Normalize per task: FireWorks per-task cost must be ≳ 100× HTEX's.
+	fwPerTask := fw.Makespan.Seconds() / 5000
+	htexPerTask := htex.Makespan.Seconds() / 50000
+	if fwPerTask < 50*htexPerTask {
+		t.Errorf("fireworks per-task %.4fs vs htex %.6fs: gap too small", fwPerTask, htexPerTask)
+	}
+}
+
+func TestWeakScalingKneeOrdering(t *testing.T) {
+	// Fig. 4 bottom: FireWorks goes sublinear ~32 workers, IPP ~256,
+	// Dask/HTEX/EXEX ~1024. Measure the knee as the first sweep point
+	// where makespan exceeds 1.5× the single-worker makespan.
+	sweep := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	knee := func(p Params) int {
+		res := WeakScaling(p, 10, time.Second, sweep)
+		base := res[0].Makespan
+		for _, r := range res[1:] {
+			if float64(r.Makespan) > 1.5*float64(base) {
+				return r.Workers
+			}
+		}
+		return 1 << 30
+	}
+	fw, ipp, dask, htex := knee(FireWorks()), knee(IPP()), knee(Dask()), knee(HTEX())
+	if !(fw < ipp && ipp < dask && dask <= htex) {
+		t.Errorf("knee ordering: fw=%d ipp=%d dask=%d htex=%d", fw, ipp, dask, htex)
+	}
+	if fw > 64 {
+		t.Errorf("fireworks knee = %d, paper ≈32", fw)
+	}
+	if ipp < 128 || ipp > 1024 {
+		t.Errorf("ipp knee = %d, paper ≈256", ipp)
+	}
+	if htex < 512 {
+		t.Errorf("htex knee = %d, paper ≈1024", htex)
+	}
+}
+
+func TestWeakScalingFlatBeforeKnee(t *testing.T) {
+	res := WeakScaling(HTEX(), 10, time.Second, []int{1, 8, 64, 256})
+	base := res[0].Makespan
+	for _, r := range res {
+		if float64(r.Makespan) > 1.3*float64(base) {
+			t.Errorf("pre-knee weak scaling not flat: %d workers → %v (base %v)",
+				r.Workers, r.Makespan, base)
+		}
+	}
+}
+
+func TestSweepStopsAtArchitecturalCap(t *testing.T) {
+	res := StrongScaling(IPP(), 1000, 0, []int{1024, 2048, 4096, 8192})
+	if len(res) != 2 {
+		t.Fatalf("IPP sweep returned %d points, want 2 (cap 2048)", len(res))
+	}
+}
+
+func TestMillionTaskRunCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-task DES run")
+	}
+	// The paper's largest weak-scaling point: 3125 nodes × 32 workers ×
+	// 10 tasks = 1M tasks. Virtual time must remain finite and sane.
+	p := EXEX()
+	r := Run(p, 1_000_000, time.Second, 100_000)
+	if r.Makespan <= 0 {
+		t.Fatal("million-task run produced no makespan")
+	}
+	// Central stage: 1M × 0.85 ms = 850 s is the floor.
+	if r.Makespan < 800*time.Second || r.Makespan > 2000*time.Second {
+		t.Fatalf("makespan = %v, expected ≈850–900 s", r.Makespan)
+	}
+}
+
+func TestRunClampsWorkersToCap(t *testing.T) {
+	r := Run(Dask(), 100, 0, 100000)
+	if r.Workers != DaskMax() {
+		t.Fatalf("workers = %d", r.Workers)
+	}
+}
+
+func DaskMax() int { return Dask().MaxWorkers }
+
+func TestEffCentralInflation(t *testing.T) {
+	p := IPP()
+	base := p.effCentral(100)
+	if base != p.CentralService {
+		t.Fatal("inflation applied below knee")
+	}
+	at4096 := p.effCentral(4096) // 3 doublings past 512
+	want := time.Duration(float64(p.CentralService) * (1 + 0.5*3))
+	if at4096 != want {
+		t.Fatalf("effCentral(4096) = %v, want %v", at4096, want)
+	}
+	flat := HTEX()
+	if flat.effCentral(1<<20) != flat.CentralService {
+		t.Fatal("HTEX central inflated")
+	}
+}

@@ -1,0 +1,222 @@
+// Package serialize is the wire format and code-shipping layer, standing in
+// for Parsl's use of pickle/dill (§3.2). Go functions cannot be serialized,
+// so apps are registered by name in a Registry and only the name plus
+// gob-encoded arguments travel to workers — the same way a pickled Python
+// function resolves against the module namespace on the executing side.
+//
+// Encoding arguments through gob also supplies Parsl's immutability
+// guarantee: the executing side always operates on a deep copy, so mutations
+// cannot leak back to the submitting program.
+package serialize
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Fn is the executable form of an app: positional args plus keyword args, one
+// result value or an error. Apps must be pure functions of their inputs.
+type Fn func(args []any, kwargs map[string]any) (any, error)
+
+// Entry is a registered app.
+type Entry struct {
+	Name    string
+	Fn      Fn
+	Version string // bumping invalidates memoized results, like editing a body
+}
+
+// BodyHash returns the hash that memoization uses in its lookup key. It
+// plays the role of Parsl's hash of the function body: Go cannot hash
+// compiled code, so the (name, version) pair is hashed instead, and changing
+// Version models editing the function.
+func (e Entry) BodyHash() string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(e.Name))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(e.Version))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Registry maps app names to executable functions. Workers hold a registry
+// mirroring the client's; a task referencing an unregistered name fails with
+// a descriptive error (the analogue of an ImportError on a Parsl worker).
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]Entry)}
+}
+
+// Register adds an app under name. Duplicate names are rejected so that a
+// memoization key can never silently refer to two different functions.
+func (r *Registry) Register(name string, fn Fn) error {
+	return r.RegisterVersion(name, "v1", fn)
+}
+
+// RegisterVersion adds an app with an explicit version string.
+func (r *Registry) RegisterVersion(name, version string, fn Fn) error {
+	if name == "" {
+		return fmt.Errorf("serialize: empty app name")
+	}
+	if fn == nil {
+		return fmt.Errorf("serialize: nil fn for app %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("serialize: app %q already registered", name)
+	}
+	r.entries[name] = Entry{Name: name, Fn: fn, Version: version}
+	return nil
+}
+
+// Lookup returns the entry for name.
+func (r *Registry) Lookup(name string) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Names returns the sorted registered app names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TaskMsg is the on-the-wire form of a task: app name plus fully resolved
+// arguments (futures have been replaced by their values before encoding).
+type TaskMsg struct {
+	ID     int64
+	App    string
+	Args   []any
+	Kwargs map[string]any
+}
+
+// ResultMsg carries a task result back from a worker. Err is a string because
+// error values do not gob-encode portably; the empty string means success.
+type ResultMsg struct {
+	ID       int64
+	Value    any
+	Err      string
+	WorkerID string
+}
+
+func init() {
+	// Base argument types every deployment can rely on. Composite user
+	// types are added via RegisterType.
+	gob.Register([]any{})
+	gob.Register(map[string]any{})
+	gob.Register(map[string]string{})
+	gob.Register([]string{})
+	gob.Register([]int{})
+	gob.Register([]float64{})
+	gob.Register([]byte{})
+	gob.Register(time0{})
+}
+
+// time0 exists only to reserve a concrete type in gob's registry from this
+// package's init; it is never sent.
+type time0 struct{}
+
+// RegisterType makes a concrete argument/result type encodable, mirroring
+// how pickle needs importable classes.
+func RegisterType(v any) { gob.Register(v) }
+
+// EncodeTask serializes a TaskMsg.
+func EncodeTask(m TaskMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("serialize: encode task %d: %w", m.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTask deserializes a TaskMsg.
+func DecodeTask(b []byte) (TaskMsg, error) {
+	var m TaskMsg
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return TaskMsg{}, fmt.Errorf("serialize: decode task: %w", err)
+	}
+	return m, nil
+}
+
+// EncodeResult serializes a ResultMsg.
+func EncodeResult(m ResultMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("serialize: encode result %d: %w", m.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeResult deserializes a ResultMsg.
+func DecodeResult(b []byte) (ResultMsg, error) {
+	var m ResultMsg
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return ResultMsg{}, fmt.Errorf("serialize: decode result: %w", err)
+	}
+	return m, nil
+}
+
+// DeepCopyArgs round-trips args through gob, producing the defensive copy
+// handed to in-process executors so that apps cannot mutate caller state.
+// Values that cannot be encoded (channels, funcs) produce an error.
+func DeepCopyArgs(args []any, kwargs map[string]any) ([]any, map[string]any, error) {
+	m := TaskMsg{Args: args, Kwargs: kwargs}
+	b, err := EncodeTask(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := DecodeTask(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.Args, out.Kwargs, nil
+}
+
+// ArgsHash produces a deterministic digest of the argument list for
+// memoization keys. It gob-encodes the arguments (map iteration order is
+// neutralized by hashing sorted kwarg keys with their individually encoded
+// values) and hashes the bytes.
+func ArgsHash(args []any, kwargs map[string]any) (string, error) {
+	h := fnv.New64a()
+	for i, a := range args {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&a); err != nil {
+			return "", fmt.Errorf("serialize: hash arg %d: %w", i, err)
+		}
+		_, _ = h.Write(buf.Bytes())
+		_, _ = h.Write([]byte{0})
+	}
+	keys := make([]string, 0, len(kwargs))
+	for k := range kwargs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		_, _ = h.Write([]byte(k))
+		_, _ = h.Write([]byte{1})
+		v := kwargs[k]
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+			return "", fmt.Errorf("serialize: hash kwarg %q: %w", k, err)
+		}
+		_, _ = h.Write(buf.Bytes())
+		_, _ = h.Write([]byte{2})
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}

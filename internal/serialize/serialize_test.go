@@ -1,0 +1,237 @@
+package serialize
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	fn := func(args []any, kwargs map[string]any) (any, error) { return "ok", nil }
+	if err := r.Register("hello", fn); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.Lookup("hello")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	v, err := e.Fn(nil, nil)
+	if err != nil || v != "ok" {
+		t.Fatalf("fn: %v %v", v, err)
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Fatal("lookup of missing app succeeded")
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndInvalid(t *testing.T) {
+	r := NewRegistry()
+	fn := func([]any, map[string]any) (any, error) { return nil, nil }
+	if err := r.Register("a", fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("a", fn); err == nil {
+		t.Fatal("duplicate registration allowed")
+	}
+	if err := r.Register("", fn); err == nil {
+		t.Fatal("empty name allowed")
+	}
+	if err := r.Register("b", nil); err == nil {
+		t.Fatal("nil fn allowed")
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	fn := func([]any, map[string]any) (any, error) { return nil, nil }
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := r.Register(n, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := r.Names()
+	if strings.Join(names, ",") != "alpha,mid,zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	fn := func([]any, map[string]any) (any, error) { return nil, nil }
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = r.Register(strings.Repeat("x", i+1), fn)
+			r.Lookup("x")
+			r.Names()
+		}(i)
+	}
+	wg.Wait()
+	if len(r.Names()) != 50 {
+		t.Fatalf("got %d names", len(r.Names()))
+	}
+}
+
+func TestBodyHashDependsOnNameAndVersion(t *testing.T) {
+	a := Entry{Name: "f", Version: "v1"}
+	b := Entry{Name: "f", Version: "v2"}
+	c := Entry{Name: "g", Version: "v1"}
+	if a.BodyHash() == b.BodyHash() {
+		t.Fatal("version change did not change hash")
+	}
+	if a.BodyHash() == c.BodyHash() {
+		t.Fatal("name change did not change hash")
+	}
+	if a.BodyHash() != (Entry{Name: "f", Version: "v1"}).BodyHash() {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestTaskRoundTrip(t *testing.T) {
+	m := TaskMsg{
+		ID:     42,
+		App:    "align",
+		Args:   []any{"chr1", 3, 2.5, []string{"a", "b"}},
+		Kwargs: map[string]any{"threads": 4},
+	}
+	b, err := EncodeTask(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTask(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.App != "align" || len(got.Args) != 4 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Args[0] != "chr1" || got.Args[1] != 3 || got.Args[2] != 2.5 {
+		t.Fatalf("args = %v", got.Args)
+	}
+	if got.Kwargs["threads"] != 4 {
+		t.Fatalf("kwargs = %v", got.Kwargs)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	m := ResultMsg{ID: 7, Value: "done", Err: "", WorkerID: "w3"}
+	b, err := EncodeResult(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := DecodeTask([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded as task")
+	}
+	if _, err := DecodeResult([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage decoded as result")
+	}
+}
+
+func TestDeepCopyArgsIsolation(t *testing.T) {
+	orig := []any{[]string{"a", "b"}}
+	kw := map[string]any{"list": []int{1, 2, 3}}
+	cargs, ckw, err := DeepCopyArgs(orig, kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the copies; originals must be untouched.
+	cargs[0].([]string)[0] = "MUTATED"
+	ckw["list"].([]int)[0] = 999
+	if orig[0].([]string)[0] != "a" {
+		t.Fatal("arg mutation leaked to original")
+	}
+	if kw["list"].([]int)[0] != 1 {
+		t.Fatal("kwarg mutation leaked to original")
+	}
+}
+
+func TestDeepCopyUnencodable(t *testing.T) {
+	if _, _, err := DeepCopyArgs([]any{make(chan int)}, nil); err == nil {
+		t.Fatal("channel arg encoded")
+	}
+}
+
+func TestArgsHashDeterministicAcrossKwargOrder(t *testing.T) {
+	// Build the same map twice with different insertion orders.
+	kw1 := map[string]any{}
+	kw2 := map[string]any{}
+	keys := []string{"a", "b", "c", "d", "e"}
+	for _, k := range keys {
+		kw1[k] = k + "-v"
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		kw2[keys[i]] = keys[i] + "-v"
+	}
+	h1, err := ArgsHash([]any{1, "x"}, kw1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ArgsHash([]any{1, "x"}, kw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash differs across map order: %s %s", h1, h2)
+	}
+}
+
+func TestArgsHashDistinguishesArgs(t *testing.T) {
+	h1, _ := ArgsHash([]any{1}, nil)
+	h2, _ := ArgsHash([]any{2}, nil)
+	h3, _ := ArgsHash([]any{1, 0}, nil)
+	if h1 == h2 || h1 == h3 {
+		t.Fatalf("collisions: %s %s %s", h1, h2, h3)
+	}
+}
+
+func TestArgsHashErrorOnUnencodable(t *testing.T) {
+	if _, err := ArgsHash([]any{func() {}}, nil); err == nil {
+		t.Fatal("func arg hashed")
+	}
+}
+
+// Property: encode/decode is lossless for int/string/float payloads.
+func TestQuickTaskRoundTrip(t *testing.T) {
+	prop := func(id int64, app string, i int, s string, f float64) bool {
+		m := TaskMsg{ID: id, App: app, Args: []any{i, s, f}}
+		b, err := EncodeTask(m)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTask(b)
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.App == app &&
+			got.Args[0] == i && got.Args[1] == s && got.Args[2] == f
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ArgsHash is a pure function of its inputs.
+func TestQuickArgsHashPure(t *testing.T) {
+	prop := func(a int, b string) bool {
+		h1, e1 := ArgsHash([]any{a, b}, map[string]any{"k": a})
+		h2, e2 := ArgsHash([]any{a, b}, map[string]any{"k": a})
+		return e1 == nil && e2 == nil && h1 == h2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package sim is a discrete-event simulation engine with a virtual clock.
+// It is the substrate for the Blue Waters-scale experiments (Fig. 4 and
+// Table 2): executing 1M sleep tasks across 262 144 workers needs either a
+// Cray or virtual time, so internal/scalesim builds framework models on this
+// engine and advances simulated seconds in microseconds of wall time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq int64 // tie-breaker preserving schedule order at equal times
+	fn  func()
+	idx int
+	off bool // canceled
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine runs events in virtual-time order. It is single-goroutine: models
+// call Schedule from inside event callbacks and the engine never blocks.
+type Engine struct {
+	now   time.Duration
+	seq   int64
+	queue eventQueue
+	steps int64
+}
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Handle identifies a scheduled event for cancellation.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling a fired or already
+// canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.off = true
+	}
+}
+
+// Schedule runs fn at now+delay. Negative delays are clamped to zero.
+func (e *Engine) Schedule(delay time.Duration, fn func()) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev: ev}
+}
+
+// At runs fn at the absolute virtual time t (clamped to now).
+func (e *Engine) At(t time.Duration, fn func()) Handle {
+	return e.Schedule(t-e.now, fn)
+}
+
+// Run executes events until the queue empties. It returns the final virtual
+// time.
+func (e *Engine) Run() time.Duration { return e.RunUntil(time.Duration(math.MaxInt64)) }
+
+// RunUntil executes events with at <= limit; later events stay queued. The
+// clock never exceeds limit.
+func (e *Engine) RunUntil(limit time.Duration) time.Duration {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > limit {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.off {
+			continue
+		}
+		if next.at > e.now {
+			e.now = next.at
+		}
+		e.steps++
+		next.fn()
+	}
+	if e.now < limit && limit != time.Duration(math.MaxInt64) {
+		e.now = limit
+	}
+	return e.now
+}
+
+// Pending returns the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// String implements fmt.Stringer for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%v pending=%d steps=%d}", e.now, len(e.queue), e.steps)
+}
+
+// Resource models a counted resource with FIFO waiters (e.g., worker slots
+// in a framework model). Acquire/Release run inside engine callbacks.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []func()
+}
+
+// NewResource creates a resource with the given capacity on eng.
+func NewResource(eng *Engine, capacity int) *Resource {
+	return &Resource{eng: eng, capacity: capacity}
+}
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire grabs one unit, invoking fn immediately if capacity is available
+// or queueing it FIFO otherwise.
+func (r *Resource) Acquire(fn func()) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		fn()
+		return
+	}
+	r.waiters = append(r.waiters, fn)
+}
+
+// Release returns one unit, waking the longest-waiting acquirer.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Hand the unit directly to the waiter.
+		r.eng.Schedule(0, next)
+		return
+	}
+	if r.inUse > 0 {
+		r.inUse--
+	}
+}
+
+// QueueLen returns the number of blocked acquirers.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Server models a single-queue service center with deterministic service
+// time — the building block for centralized schedulers (Dask's scheduler,
+// IPP's hub, FireWorks' database). Jobs arriving while busy queue FIFO, so
+// the server naturally produces the saturation knees in Fig. 4.
+type Server struct {
+	eng     *Engine
+	service time.Duration
+	busyAt  time.Duration // virtual time the server frees up
+	served  int64
+}
+
+// NewServer creates a service center with the given per-job service time.
+func NewServer(eng *Engine, service time.Duration) *Server {
+	return &Server{eng: eng, service: service}
+}
+
+// Submit enqueues a job; done runs when service completes.
+func (s *Server) Submit(done func()) {
+	start := s.eng.Now()
+	if s.busyAt > start {
+		start = s.busyAt
+	}
+	finish := start + s.service
+	s.busyAt = finish
+	s.served++
+	s.eng.At(finish, done)
+}
+
+// Served returns the number of jobs accepted so far.
+func (s *Server) Served() int64 { return s.served }
+
+// Backlog returns how far the server is behind the current clock.
+func (s *Server) Backlog() time.Duration {
+	if s.busyAt <= s.eng.Now() {
+		return 0
+	}
+	return s.busyAt - s.eng.Now()
+}

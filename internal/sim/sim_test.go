@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleAndRunOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 3*time.Second {
+		t.Fatalf("end = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.Schedule(time.Second, func() {
+		times = append(times, e.Now())
+		e.Schedule(2*time.Second, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(5*time.Second, func() {
+		e.Schedule(-time.Hour, func() {
+			fired = true
+			if e.Now() != 5*time.Second {
+				t.Errorf("clock moved backwards: %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("clamped event never fired")
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(1*time.Second, func() { fired = append(fired, 1) })
+	e.Schedule(10*time.Second, func() { fired = append(fired, 10) })
+	e.RunUntil(5 * time.Second)
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("now = %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired after Run = %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.Schedule(time.Second, func() { fired = true })
+	h.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	h.Cancel() // double cancel safe
+}
+
+func TestAtAbsolute(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(2*time.Second, func() {
+		e.At(7*time.Second, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 7*time.Second {
+		t.Fatalf("at = %v", at)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.Run()
+	if e.Steps() != 5 {
+		t.Fatalf("steps = %d", e.Steps())
+	}
+}
+
+func TestResourceImmediateAndQueued(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	var running, maxRunning int
+	task := func(d time.Duration) func() {
+		return func() {
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			e.Schedule(d, func() {
+				running--
+				r.Release()
+			})
+		}
+	}
+	e.Schedule(0, func() {
+		for i := 0; i < 6; i++ {
+			r.Acquire(task(time.Second))
+		}
+	})
+	e.Run()
+	if maxRunning != 2 {
+		t.Fatalf("maxRunning = %d, want capacity 2", maxRunning)
+	}
+	if r.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", r.QueueLen())
+	}
+}
+
+func TestResourceAccounting(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 3)
+	if r.Capacity() != 3 || r.InUse() != 0 {
+		t.Fatal("fresh resource accounting wrong")
+	}
+	e.Schedule(0, func() {
+		r.Acquire(func() {})
+		r.Acquire(func() {})
+	})
+	e.Run()
+	if r.InUse() != 2 {
+		t.Fatalf("inUse = %d", r.InUse())
+	}
+	r.Release()
+	if r.InUse() != 1 {
+		t.Fatalf("after release inUse = %d", r.InUse())
+	}
+}
+
+func TestServerSerializesJobs(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 10*time.Millisecond)
+	var completions []time.Duration
+	e.Schedule(0, func() {
+		for i := 0; i < 5; i++ {
+			s.Submit(func() { completions = append(completions, e.Now()) })
+		}
+	})
+	e.Run()
+	if len(completions) != 5 {
+		t.Fatalf("completions = %v", completions)
+	}
+	for i, c := range completions {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if c != want {
+			t.Fatalf("completion %d at %v, want %v", i, c, want)
+		}
+	}
+	if s.Served() != 5 {
+		t.Fatalf("served = %d", s.Served())
+	}
+}
+
+func TestServerBacklog(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, time.Second)
+	e.Schedule(0, func() {
+		s.Submit(func() {})
+		s.Submit(func() {})
+		if s.Backlog() != 2*time.Second {
+			t.Errorf("backlog = %v", s.Backlog())
+		}
+	})
+	e.Run()
+	if s.Backlog() != 0 {
+		t.Fatalf("final backlog = %v", s.Backlog())
+	}
+}
+
+func TestServerIdleGapRestartsClock(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, time.Second)
+	var second time.Duration
+	e.Schedule(0, func() { s.Submit(func() {}) })
+	e.Schedule(10*time.Second, func() {
+		s.Submit(func() { second = e.Now() })
+	})
+	e.Run()
+	if second != 11*time.Second {
+		t.Fatalf("second completion at %v, want 11s", second)
+	}
+}
+
+// Property: N events with arbitrary non-negative delays always execute in
+// nondecreasing virtual-time order and the engine terminates.
+func TestQuickEventOrdering(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				seen = append(seen, e.Now())
+			})
+		}
+		e.Run()
+		if len(seen) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Server with service time s completes n jobs submitted together
+// at exactly n*s.
+func TestQuickServerThroughput(t *testing.T) {
+	prop := func(n uint8) bool {
+		jobs := int(n%50) + 1
+		e := NewEngine()
+		s := NewServer(e, 3*time.Millisecond)
+		done := 0
+		e.Schedule(0, func() {
+			for i := 0; i < jobs; i++ {
+				s.Submit(func() { done++ })
+			}
+		})
+		end := e.Run()
+		return done == jobs && end == time.Duration(jobs)*3*time.Millisecond
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

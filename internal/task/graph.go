@@ -1,0 +1,148 @@
+package task
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Graph is the dynamic task dependency DAG held by the DataFlowKernel
+// (§3.4). Nodes are task records; a directed edge u→v means v consumes u's
+// future. The graph is dynamic: nodes and edges are added as the program
+// submits apps, and execution begins as soon as the first ready task exists.
+type Graph struct {
+	mu    sync.RWMutex
+	tasks map[int64]*Record
+	// deps[v] = ids v waits on; dependents[u] = ids waiting on u.
+	deps       map[int64][]int64
+	dependents map[int64][]int64
+	nextID     int64
+}
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph {
+	return &Graph{
+		tasks:      make(map[int64]*Record),
+		deps:       make(map[int64][]int64),
+		dependents: make(map[int64][]int64),
+	}
+}
+
+// NextID reserves and returns a fresh task id.
+func (g *Graph) NextID() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id := g.nextID
+	g.nextID++
+	return id
+}
+
+// Add inserts a record. It panics if the id is already present — ids are
+// reserved through NextID, so a duplicate means engine corruption.
+func (g *Graph) Add(r *Record) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.tasks[r.ID]; dup {
+		panic(fmt.Sprintf("task graph: duplicate id %d", r.ID))
+	}
+	g.tasks[r.ID] = r
+}
+
+// AddEdge records that task to depends on task from. Unknown endpoints are
+// rejected. Because tasks can only depend on futures that already exist,
+// cycles cannot be constructed, which keeps the graph a DAG by construction;
+// AddEdge still guards against from==to.
+func (g *Graph) AddEdge(from, to int64) error {
+	if from == to {
+		return fmt.Errorf("task graph: self edge on %d", from)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.tasks[from]; !ok {
+		return fmt.Errorf("task graph: edge from unknown task %d", from)
+	}
+	if _, ok := g.tasks[to]; !ok {
+		return fmt.Errorf("task graph: edge to unknown task %d", to)
+	}
+	g.deps[to] = append(g.deps[to], from)
+	g.dependents[from] = append(g.dependents[from], to)
+	return nil
+}
+
+// Get returns the record for id, or nil.
+func (g *Graph) Get(id int64) *Record {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.tasks[id]
+}
+
+// Len returns the number of tasks.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.tasks)
+}
+
+// EdgeCount returns the number of dependency edges.
+func (g *Graph) EdgeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, d := range g.deps {
+		n += len(d)
+	}
+	return n
+}
+
+// Deps returns a copy of the ids task id depends on.
+func (g *Graph) Deps(id int64) []int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]int64, len(g.deps[id]))
+	copy(out, g.deps[id])
+	return out
+}
+
+// Dependents returns a copy of the ids that depend on task id.
+func (g *Graph) Dependents(id int64) []int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]int64, len(g.dependents[id]))
+	copy(out, g.dependents[id])
+	return out
+}
+
+// Tasks returns a snapshot of all records (unordered).
+func (g *Graph) Tasks() []*Record {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Record, 0, len(g.tasks))
+	for _, r := range g.tasks {
+		out = append(out, r)
+	}
+	return out
+}
+
+// CountByState tallies tasks per state; used by the elasticity strategy to
+// measure workload pressure and by monitoring summaries.
+func (g *Graph) CountByState() map[State]int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	counts := make(map[State]int)
+	for _, r := range g.tasks {
+		counts[r.State()]++
+	}
+	return counts
+}
+
+// Outstanding returns the number of tasks not yet in a terminal state.
+func (g *Graph) Outstanding() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, r := range g.tasks {
+		if !r.State().Terminal() {
+			n++
+		}
+	}
+	return n
+}

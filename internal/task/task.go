@@ -1,0 +1,270 @@
+// Package task defines the task record and dependency-graph bookkeeping used
+// by the DataFlowKernel. A task is a node in the dynamic DAG (§3.4); edges
+// are the futures exchanged between tasks. The DFK owns state transitions;
+// this package provides the data structures and their invariants.
+package task
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/future"
+)
+
+// State is the lifecycle of a task inside the DataFlowKernel, mirroring the
+// states Parsl's monitoring records (§4.6).
+type State int32
+
+const (
+	// Unsched: created but dependencies not yet examined.
+	Unsched State = iota
+	// Pending: waiting on unresolved dependencies.
+	Pending
+	// DataStaging: waiting on injected data-transfer tasks (§4.5).
+	DataStaging
+	// Launched: handed to an executor, result future outstanding.
+	Launched
+	// Running: executor reported the task as started (best effort).
+	Running
+	// Retrying: failed and resubmitted; Attempts has been incremented.
+	Retrying
+	// Done: completed successfully; result set on the AppFuture.
+	Done
+	// Failed: exhausted retries; exception set on the AppFuture.
+	Failed
+	// Memoized: completed from the memo table / checkpoint without launch.
+	Memoized
+)
+
+var stateNames = map[State]string{
+	Unsched:     "unsched",
+	Pending:     "pending",
+	DataStaging: "data_staging",
+	Launched:    "launched",
+	Running:     "running",
+	Retrying:    "retrying",
+	Done:        "done",
+	Failed:      "failed",
+	Memoized:    "memoized",
+}
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Memoized }
+
+// validNext encodes the permitted state machine. The DFK enforces it via
+// Record.SetState; invalid transitions indicate engine bugs and are surfaced
+// as errors rather than silently accepted.
+var validNext = map[State][]State{
+	Unsched:     {Pending, DataStaging, Launched, Memoized, Failed},
+	Pending:     {Launched, DataStaging, Memoized, Failed},
+	DataStaging: {Pending, Launched, Failed},
+	Launched:    {Running, Done, Failed, Retrying},
+	Running:     {Done, Failed, Retrying},
+	Retrying:    {Launched, Failed},
+}
+
+// Record is a node in the task graph. Fields under mu are mutated by the DFK
+// as execution progresses; immutable identity fields are set at creation.
+type Record struct {
+	ID       int64
+	AppName  string
+	FuncHash string // hash of the app "body" used by memoization keys
+	Args     []any  // raw args as submitted (may contain futures)
+	Kwargs   map[string]any
+
+	// Future is the AppFuture returned to the program at submission time.
+	Future *future.Future
+
+	// Hints restrict which executors may run the task; empty means any.
+	Hints []string
+
+	mu          sync.Mutex
+	state       State
+	attempts    int
+	maxRetries  int
+	executor    string // label of the executor the task was launched on
+	memoKey     string
+	pendingDeps int
+
+	// Timestamps for monitoring and the elasticity utilization metric.
+	SubmitTime time.Time
+	launchTime time.Time
+	startTime  time.Time
+	endTime    time.Time
+
+	transitions []Transition
+}
+
+// Transition records one state change for monitoring.
+type Transition struct {
+	From State
+	To   State
+	At   time.Time
+}
+
+// NewRecord creates a task record in the Unsched state with its AppFuture.
+func NewRecord(id int64, appName string, args []any, kwargs map[string]any) *Record {
+	return &Record{
+		ID:         id,
+		AppName:    appName,
+		Args:       args,
+		Kwargs:     kwargs,
+		Future:     future.NewForTask(id),
+		state:      Unsched,
+		SubmitTime: time.Now(),
+	}
+}
+
+// State returns the current state.
+func (r *Record) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// SetState transitions the task, validating against the state machine. It
+// returns an error on an illegal transition. Terminal states are sticky.
+func (r *Record) SetState(s State) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == s {
+		return nil
+	}
+	if r.state.Terminal() {
+		return fmt.Errorf("task %d: transition %v -> %v from terminal state", r.ID, r.state, s)
+	}
+	ok := false
+	for _, n := range validNext[r.state] {
+		if n == s {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("task %d: illegal transition %v -> %v", r.ID, r.state, s)
+	}
+	now := time.Now()
+	r.transitions = append(r.transitions, Transition{From: r.state, To: s, At: now})
+	switch s {
+	case Launched:
+		r.launchTime = now
+	case Running:
+		r.startTime = now
+	case Done, Failed, Memoized:
+		r.endTime = now
+	}
+	r.state = s
+	return nil
+}
+
+// Transitions returns a copy of the recorded state changes.
+func (r *Record) Transitions() []Transition {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Transition, len(r.transitions))
+	copy(out, r.transitions)
+	return out
+}
+
+// Attempts returns how many times the task has been (re)launched.
+func (r *Record) Attempts() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attempts
+}
+
+// IncAttempts bumps the attempt counter and returns the new value.
+func (r *Record) IncAttempts() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attempts++
+	return r.attempts
+}
+
+// SetMaxRetries configures the retry budget for this task.
+func (r *Record) SetMaxRetries(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxRetries = n
+}
+
+// MaxRetries returns the retry budget.
+func (r *Record) MaxRetries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxRetries
+}
+
+// SetExecutor records which executor the task was launched on.
+func (r *Record) SetExecutor(label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.executor = label
+}
+
+// Executor returns the label of the executor that ran (or is running) the task.
+func (r *Record) Executor() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executor
+}
+
+// SetMemoKey stores the memoization key computed at submit time.
+func (r *Record) SetMemoKey(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.memoKey = k
+}
+
+// MemoKey returns the memoization key ("" when memoization is off).
+func (r *Record) MemoKey() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.memoKey
+}
+
+// SetPendingDeps initializes the unresolved-dependency counter.
+func (r *Record) SetPendingDeps(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pendingDeps = n
+}
+
+// DepResolved decrements the unresolved-dependency counter and returns the
+// remaining count. The DFK launches the task when it reaches zero.
+func (r *Record) DepResolved() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pendingDeps > 0 {
+		r.pendingDeps--
+	}
+	return r.pendingDeps
+}
+
+// PendingDeps returns the unresolved-dependency count.
+func (r *Record) PendingDeps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pendingDeps
+}
+
+// Timings returns (launch, start, end) timestamps; zero values when unset.
+func (r *Record) Timings() (launch, start, end time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.launchTime, r.startTime, r.endTime
+}
+
+// String implements fmt.Stringer.
+func (r *Record) String() string {
+	return fmt.Sprintf("Task{%d %s %s}", r.ID, r.AppName, r.State())
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dfk"
+	"repro/internal/executor"
+	"repro/internal/executor/htex"
+	"repro/internal/future"
+	"repro/internal/provider"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+	"repro/internal/strategy"
+)
+
+// ElasticityConfig parameterizes the Fig. 6 experiment. The paper ran the
+// Fig. 5 workflow on Midway with and without elasticity; here one paper
+// second is scaled to TimeScale of wall time so the experiment runs in
+// seconds instead of minutes.
+type ElasticityConfig struct {
+	// TimeScale is the wall-clock length of one paper second (default 10 ms).
+	TimeScale time.Duration
+	// Elastic enables the scaling strategy; false is the control arm.
+	Elastic bool
+	// Parallelism is the Simple-strategy knob (§4.4); default 1.
+	Parallelism float64
+	// WorkersPerBlock: the paper scaled in blocks; 5 workers/block × 4
+	// blocks covers the 20-wide stages.
+	WorkersPerBlock int
+	// MaxBlocks bounds scale-out (default 4 = 20 workers).
+	MaxBlocks int
+	// QueueDelaySeconds is LRM queue latency in paper seconds (default 3).
+	QueueDelaySeconds int
+}
+
+func (c *ElasticityConfig) normalize() {
+	if c.TimeScale <= 0 {
+		c.TimeScale = 10 * time.Millisecond
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	if c.WorkersPerBlock <= 0 {
+		c.WorkersPerBlock = 5
+	}
+	if c.MaxBlocks <= 0 {
+		c.MaxBlocks = 4
+	}
+	if c.QueueDelaySeconds <= 0 {
+		c.QueueDelaySeconds = 3
+	}
+}
+
+// ElasticityResult reports the Fig. 6 metrics, normalized back to paper
+// seconds.
+type ElasticityResult struct {
+	// MakespanSeconds is workflow completion time in paper seconds
+	// (paper: 301 s fixed, 331 s elastic).
+	MakespanSeconds float64
+	// Utilization is task-seconds / worker-seconds (paper: 68.15% fixed,
+	// 84.28% elastic).
+	Utilization float64
+	// WorkerSeconds and TaskSeconds are the raw integrals.
+	WorkerSeconds float64
+	TaskSeconds   float64
+	// PeakWorkers and MinWorkers trace the elasticity behaviour.
+	PeakWorkers int
+	MinWorkers  int
+}
+
+// RunElasticity executes the Fig. 5 workflow and measures utilization and
+// makespan, reproducing the Fig. 6 experiment.
+func RunElasticity(cfg ElasticityConfig) (ElasticityResult, error) {
+	cfg.normalize()
+	stages := Fig5Workflow(cfg.TimeScale)
+
+	// A Midway-like simulated cluster: one worker per node, block = 5 nodes.
+	cl, err := cluster.New(cluster.Config{
+		Name:         "midway",
+		Nodes:        cfg.WorkersPerBlock * cfg.MaxBlocks,
+		CoresPerNode: 1,
+		QueueDelay:   time.Duration(cfg.QueueDelaySeconds) * cfg.TimeScale,
+	})
+	if err != nil {
+		return ElasticityResult{}, err
+	}
+	defer cl.Close()
+
+	reg := serialize.NewRegistry()
+	prov := provider.NewSlurm(cl, provider.Config{NodesPerBlock: cfg.WorkersPerBlock})
+
+	initBlocks := cfg.MaxBlocks // fixed arm: full allocation for the run
+	minBlocks := cfg.MaxBlocks
+	if cfg.Elastic {
+		initBlocks = 1
+		minBlocks = 1
+	}
+	ex := htex.New(htex.Config{
+		Label:      "htex",
+		Transport:  simnet.NewNetwork(0),
+		Registry:   reg,
+		Provider:   prov,
+		InitBlocks: initBlocks,
+		Manager:    htex.ManagerConfig{Workers: 1, HeartbeatPeriod: 50 * time.Millisecond},
+		Interchange: htex.InterchangeConfig{
+			Seed:               1,
+			HeartbeatPeriod:    50 * time.Millisecond,
+			HeartbeatThreshold: 5 * time.Second,
+		},
+	})
+
+	d, err := dfk.New(dfk.Config{Registry: reg, Executors: []executor.Executor{ex}, Seed: 1})
+	if err != nil {
+		return ElasticityResult{}, err
+	}
+	defer d.Shutdown()
+
+	sleepApp, err := d.PythonApp("fig5-sleep", func(args []any, _ map[string]any) (any, error) {
+		time.Sleep(time.Duration(args[0].(int)) * time.Millisecond)
+		return nil, nil
+	})
+	if err != nil {
+		return ElasticityResult{}, err
+	}
+
+	var ctrl *strategy.Controller
+	if cfg.Elastic {
+		ctrl = strategy.NewController(ex, strategy.Simple{Parallelism: cfg.Parallelism},
+			strategy.ControllerConfig{
+				Interval:        cfg.TimeScale, // one decision per paper second
+				WorkersPerBlock: cfg.WorkersPerBlock,
+				MinBlocks:       minBlocks,
+				MaxBlocks:       cfg.MaxBlocks,
+				ScaleInHoldoff:  3 * cfg.TimeScale,
+			})
+		ctrl.Start()
+		defer ctrl.Stop()
+	}
+
+	// Wait for the initial allocation to come up before starting the clock,
+	// as the paper's runs did (workers deployed, then tasks submitted).
+	deadline := time.Now().Add(30 * time.Second)
+	for ex.ConnectedWorkers() < initBlocks*cfg.WorkersPerBlock {
+		if time.Now().After(deadline) {
+			return ElasticityResult{}, fmt.Errorf("workload: initial blocks never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Utilization sampler: integrate connected workers over the run.
+	var (
+		samplerDone = make(chan struct{})
+		samplerWG   sync.WaitGroup
+		mu          sync.Mutex
+		workerInt   float64 // worker-seconds in paper units
+		peak        int
+		minW        = 1 << 30
+	)
+	sampleEvery := cfg.TimeScale / 2
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		ticker := time.NewTicker(sampleEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-samplerDone:
+				return
+			case <-ticker.C:
+				w := ex.ConnectedWorkers()
+				mu.Lock()
+				workerInt += float64(w) * (float64(sampleEvery) / float64(cfg.TimeScale))
+				if w > peak {
+					peak = w
+				}
+				if w < minW {
+					minW = w
+				}
+				mu.Unlock()
+			}
+		}
+	}()
+
+	start := time.Now()
+	var prev []*future.Future
+	for _, st := range stages {
+		ms := int(st.Duration / time.Millisecond)
+		futs := make([]*future.Future, st.Tasks)
+		for i := 0; i < st.Tasks; i++ {
+			args := []any{ms}
+			if len(prev) > 0 {
+				// Stage barrier: every task consumes all prior futures.
+				args = append(args, anySlice(prev))
+			}
+			futs[i] = sleepApp.Call(args...)
+		}
+		prev = futs
+	}
+	if err := future.Wait(prev...); err != nil {
+		close(samplerDone)
+		samplerWG.Wait()
+		return ElasticityResult{}, err
+	}
+	makespan := time.Since(start)
+	close(samplerDone)
+	samplerWG.Wait()
+
+	taskSeconds := float64(TaskSeconds(stages)) / float64(cfg.TimeScale)
+	mu.Lock()
+	defer mu.Unlock()
+	util := 0.0
+	if workerInt > 0 {
+		util = taskSeconds / workerInt
+	}
+	if util > 1 {
+		util = 1
+	}
+	return ElasticityResult{
+		MakespanSeconds: float64(makespan) / float64(cfg.TimeScale),
+		Utilization:     util,
+		WorkerSeconds:   workerInt,
+		TaskSeconds:     taskSeconds,
+		PeakWorkers:     peak,
+		MinWorkers:      minW,
+	}, nil
+}
+
+func anySlice(futs []*future.Future) []any {
+	out := make([]any, len(futs))
+	for i, f := range futs {
+		out[i] = f
+	}
+	return out
+}

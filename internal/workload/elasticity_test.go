@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFig6ElasticityShape reproduces the headline Fig. 6 comparison at a
+// compressed time scale: elasticity must raise utilization substantially (at
+// the cost of a modest makespan increase), and the fixed arm must sit near
+// the analytic 68% utilization.
+func TestFig6ElasticityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second elasticity run")
+	}
+	scale := 8 * time.Millisecond
+
+	fixed, err := RunElasticity(ElasticityConfig{TimeScale: scale, Elastic: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elastic, err := RunElasticity(ElasticityConfig{TimeScale: scale, Elastic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fixed:   makespan=%.0fs util=%.1f%% peak=%d min=%d",
+		fixed.MakespanSeconds, fixed.Utilization*100, fixed.PeakWorkers, fixed.MinWorkers)
+	t.Logf("elastic: makespan=%.0fs util=%.1f%% peak=%d min=%d",
+		elastic.MakespanSeconds, elastic.Utilization*100, elastic.PeakWorkers, elastic.MinWorkers)
+
+	// Paper: 68.15% → 84.28% utilization; 301 s → 331 s makespan.
+	if fixed.Utilization < 0.55 || fixed.Utilization > 0.75 {
+		t.Errorf("fixed utilization = %.1f%%, paper 68.15%%", fixed.Utilization*100)
+	}
+	if elastic.Utilization < fixed.Utilization+0.05 {
+		t.Errorf("elasticity did not raise utilization: %.1f%% vs %.1f%%",
+			elastic.Utilization*100, fixed.Utilization*100)
+	}
+	if fixed.MakespanSeconds < 295 || fixed.MakespanSeconds > 340 {
+		t.Errorf("fixed makespan = %.0f paper-seconds, paper 301", fixed.MakespanSeconds)
+	}
+	if elastic.MakespanSeconds < fixed.MakespanSeconds {
+		t.Errorf("elastic makespan %.0f < fixed %.0f: queue delays should cost something",
+			elastic.MakespanSeconds, fixed.MakespanSeconds)
+	}
+	if elastic.MakespanSeconds > fixed.MakespanSeconds*1.35 {
+		t.Errorf("elastic makespan %.0f too much worse than fixed %.0f (paper: +9.9%%)",
+			elastic.MakespanSeconds, fixed.MakespanSeconds)
+	}
+	// Elastic arm must actually have scaled: peak at full allocation,
+	// trough at one block.
+	if elastic.PeakWorkers != 20 {
+		t.Errorf("elastic peak workers = %d, want 20", elastic.PeakWorkers)
+	}
+	if elastic.MinWorkers > 5 {
+		t.Errorf("elastic min workers = %d, want <= 5 (scaled in)", elastic.MinWorkers)
+	}
+	// Fixed arm holds 20 workers throughout.
+	if fixed.PeakWorkers != 20 || fixed.MinWorkers != 20 {
+		t.Errorf("fixed arm workers varied: peak=%d min=%d", fixed.PeakWorkers, fixed.MinWorkers)
+	}
+}

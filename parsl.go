@@ -1,0 +1,188 @@
+// Package parsl is a Go reproduction of Parsl (Babuji et al., "Parsl:
+// Pervasive Parallel Programming in Python", HPDC 2019): a parallel
+// scripting library built around two constructs — Apps (functions that run
+// asynchronously, possibly remotely) and Futures (single-update result
+// handles) — executed by a DataFlowKernel over an extensible family of
+// executors (thread pool, high-throughput, extreme-scale, low-latency) and
+// resource providers (local, batch schedulers, clouds).
+//
+// Quick start:
+//
+//	d, _ := parsl.NewLocal(4)          // 4-worker thread-pool DFK
+//	defer d.Shutdown()
+//	hello, _ := d.PythonApp("hello", func(args []any, _ map[string]any) (any, error) {
+//	    return "Hello " + args[0].(string), nil
+//	})
+//	fut := hello.Call("World")         // returns immediately
+//	v, _ := fut.Result()               // blocks for the result
+//
+// See examples/ for dataflow composition, Bash apps, file staging, and
+// elastic execution on the simulated cluster substrate.
+package parsl
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/data"
+	"repro/internal/dfk"
+	"repro/internal/executor"
+	"repro/internal/executor/exex"
+	"repro/internal/executor/htex"
+	"repro/internal/executor/llex"
+	"repro/internal/executor/threadpool"
+	"repro/internal/future"
+	"repro/internal/monitor"
+	"repro/internal/provider"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+)
+
+// Re-exported core types, so programs only import this package.
+type (
+	// DFK is the DataFlowKernel (§4.1).
+	DFK = dfk.DFK
+	// Config configures a DFK (§3.5: separation of code and configuration).
+	Config = dfk.Config
+	// App is an invocable Parsl app (§3.1.1).
+	App = dfk.App
+	// Future is the single-update result handle (§3.1.2).
+	Future = future.Future
+	// File is a location-independent file reference (§4.5).
+	File = data.File
+	// BashResult is what Bash apps resolve to.
+	BashResult = app.BashResult
+	// Registry maps app names to functions for worker-side resolution.
+	Registry = serialize.Registry
+	// Fn is the executable app signature.
+	Fn = serialize.Fn
+)
+
+// Re-exported constructors and options.
+var (
+	// New builds a DFK from a Config.
+	New = dfk.New
+	// NewFile parses a file URL (file://, http://, ftp://, globus://).
+	NewFile = data.NewFile
+	// MustFile is NewFile or panic.
+	MustFile = data.MustFile
+	// NewRegistry creates an app registry.
+	NewRegistry = serialize.NewRegistry
+	// WithMemoize, WithExecutors, WithVersion, WithBashOptions customize
+	// app registration.
+	WithMemoize     = dfk.WithMemoize
+	WithExecutors   = dfk.WithExecutors
+	WithVersion     = dfk.WithVersion
+	WithBashOptions = dfk.WithBashOptions
+	// NewMonitorStore creates the in-memory monitoring sink.
+	NewMonitorStore = monitor.NewStore
+	// MapReduce and Chain are the §7 "constructs for delivering
+	// parallelism" extensions.
+	MapReduce = dfk.MapReduce
+	Chain     = dfk.Chain
+	// NewBarrier is the §7 "additional synchronization primitives"
+	// extension: a reusable completion barrier over futures.
+	NewBarrier = future.NewBarrier
+	// WaitAll blocks on a set of futures, returning the first error.
+	WaitAll = future.Wait
+	// AsCompleted yields futures in completion order.
+	AsCompleted = future.AsCompleted
+)
+
+// Barrier is the reusable multi-future barrier (future work §7).
+type Barrier = future.Barrier
+
+// NewLocal builds the simplest useful deployment: a DFK over an in-process
+// thread-pool executor with n workers — the laptop configuration.
+func NewLocal(n int) (*DFK, error) {
+	reg := serialize.NewRegistry()
+	tp := threadpool.New("local", n, reg)
+	return dfk.New(dfk.Config{Registry: reg, Executors: []executor.Executor{tp}})
+}
+
+// NewLocalHTEX builds a DFK over a full HTEX deployment (interchange,
+// managers, workers) running on an in-memory network with a local provider —
+// the configuration the quickstart example and the latency benchmarks use.
+func NewLocalHTEX(nodes, workersPerNode int) (*DFK, error) {
+	reg := serialize.NewRegistry()
+	ex := htex.New(htex.Config{
+		Label:      "htex",
+		Transport:  simnet.NewNetwork(0),
+		Registry:   reg,
+		Provider:   provider.NewLocal(provider.Config{NodesPerBlock: nodes}),
+		InitBlocks: 1,
+		Manager:    htex.ManagerConfig{Workers: workersPerNode, Prefetch: workersPerNode},
+	})
+	return dfk.New(dfk.Config{Registry: reg, Executors: []executor.Executor{ex}})
+}
+
+// NewLocalLLEX builds a DFK over a Low Latency Executor with n directly
+// connected workers.
+func NewLocalLLEX(n int) (*DFK, error) {
+	reg := serialize.NewRegistry()
+	ex := llex.New(llex.Config{Label: "llex", Registry: reg, Workers: n})
+	return dfk.New(dfk.Config{Registry: reg, Executors: []executor.Executor{ex}})
+}
+
+// NewLocalEXEX builds a DFK over an Extreme Scale Executor with `pools` MPI
+// worker pools of `ranks` ranks each.
+func NewLocalEXEX(pools, ranks int) (*DFK, error) {
+	reg := serialize.NewRegistry()
+	ex := exex.New(exex.Config{
+		Label:      "exex",
+		Registry:   reg,
+		Provider:   provider.NewLocal(provider.Config{NodesPerBlock: pools}),
+		InitBlocks: 1,
+		Pool:       exex.PoolConfig{Ranks: ranks},
+	})
+	return dfk.New(dfk.Config{Registry: reg, Executors: []executor.Executor{ex}})
+}
+
+// RecommendExecutor encodes the Fig. 7 guidelines for selecting a Parsl
+// executor from node count, task duration, and latency sensitivity:
+//
+//	LLEX for interactive computations on ≤10 nodes.
+//	HTEX for batch computations on ≤1000 nodes
+//	     (for good performance, taskDur/nodes ≥ 0.01 s).
+//	EXEX for batch computations on >1000 nodes
+//	     (for good performance, task durations ≥ 1 min).
+func RecommendExecutor(nodes int, taskDur time.Duration, interactive bool) string {
+	if interactive && nodes <= 10 {
+		return "llex"
+	}
+	if nodes > 1000 {
+		return "exex"
+	}
+	return "htex"
+}
+
+// CheckExecutorFit reports whether the chosen executor meets Fig. 7's
+// performance guidance, returning a human-readable warning when it does not.
+func CheckExecutorFit(label string, nodes int, taskDur time.Duration) (bool, string) {
+	switch label {
+	case "llex":
+		if nodes > 10 {
+			return false, fmt.Sprintf("llex targets <=10 nodes, got %d", nodes)
+		}
+	case "htex":
+		if nodes > 1000 {
+			return false, fmt.Sprintf("htex targets <=1000 nodes, got %d", nodes)
+		}
+		if nodes > 0 && taskDur.Seconds()/float64(nodes) < 0.01 {
+			return false, fmt.Sprintf(
+				"htex wants task-duration/nodes >= 0.01 (e.g., on 10 nodes, tasks >= 0.1s); got %.4f",
+				taskDur.Seconds()/float64(nodes))
+		}
+	case "exex":
+		if taskDur < time.Minute {
+			return false, fmt.Sprintf("exex wants task durations >= 1 min, got %v", taskDur)
+		}
+	default:
+		return false, fmt.Sprintf("unknown executor %q", label)
+	}
+	return true, ""
+}
+
+// Version identifies this reproduction.
+const Version = "parsl-go 0.9 (HPDC'19 reproduction)"

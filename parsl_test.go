@@ -1,0 +1,181 @@
+package parsl_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// The module is named "repro"; alias the root package to parsl for
+// readability in tests and examples.
+// (Go resolves the package name from the package clause: parsl.)
+
+func TestQuickstartThreadPool(t *testing.T) {
+	d, err := parslNewLocal(t, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, err := d.PythonApp("hello", func(args []any, _ map[string]any) (any, error) {
+		return "Hello " + args[0].(string), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := hello.Call("World").Result()
+	if err != nil || v != "Hello World" {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+}
+
+func parslNewLocal(t *testing.T, n int) (*parsl.DFK, error) {
+	t.Helper()
+	d, err := parsl.NewLocal(n)
+	if err == nil {
+		t.Cleanup(func() { _ = d.Shutdown() })
+	}
+	return d, err
+}
+
+func TestQuickstartHTEX(t *testing.T) {
+	d, err := parsl.NewLocalHTEX(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	double, err := d.PythonApp("double", func(args []any, _ map[string]any) (any, error) {
+		return args[0].(int) * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs []*parsl.Future
+	for i := 0; i < 20; i++ {
+		futs = append(futs, double.Call(i))
+	}
+	for i, f := range futs {
+		v, err := f.Result()
+		if err != nil || v != i*2 {
+			t.Fatalf("task %d: %v %v", i, v, err)
+		}
+	}
+}
+
+func TestQuickstartLLEX(t *testing.T) {
+	d, err := parsl.NewLocalLLEX(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	ping, err := d.PythonApp("ping", func([]any, map[string]any) (any, error) { return "pong", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ping.Call().Result()
+	if err != nil || v != "pong" {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+}
+
+func TestQuickstartEXEX(t *testing.T) {
+	d, err := parsl.NewLocalEXEX(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	sq, err := d.PythonApp("square", func(args []any, _ map[string]any) (any, error) {
+		x := args[0].(int)
+		return x * x, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sq.Call(9).Result()
+	if err != nil || v != 81 {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+}
+
+func TestBashAppThroughFacade(t *testing.T) {
+	d, err := parslNewLocal(t, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo, err := d.BashApp("becho", func(args []any, _ map[string]any) (string, error) {
+		return fmt.Sprintf("echo 'Hello %v'", args[0]), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := echo.Call("World").Result()
+	if err != nil {
+		t.Skipf("/bin/sh unavailable: %v", err)
+	}
+	res := v.(parsl.BashResult)
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestRecommendExecutorFig7(t *testing.T) {
+	cases := []struct {
+		nodes       int
+		dur         time.Duration
+		interactive bool
+		want        string
+	}{
+		{5, time.Second, true, "llex"},         // interactive, <=10 nodes
+		{5, time.Second, false, "htex"},        // batch small
+		{1000, time.Minute, false, "htex"},     // batch <=1000 nodes
+		{8000, 2 * time.Minute, false, "exex"}, // >1000 nodes
+		{50, time.Millisecond, true, "htex"},   // interactive but too many nodes for llex
+	}
+	for _, c := range cases {
+		if got := parsl.RecommendExecutor(c.nodes, c.dur, c.interactive); got != c.want {
+			t.Errorf("Recommend(%d, %v, %v) = %q, want %q", c.nodes, c.dur, c.interactive, got, c.want)
+		}
+	}
+}
+
+func TestCheckExecutorFitFig7(t *testing.T) {
+	// HTEX rule: task-duration / nodes >= 0.01 — "on 10 nodes, tasks >= 0.1 s".
+	if ok, _ := parsl.CheckExecutorFit("htex", 10, 100*time.Millisecond); !ok {
+		t.Error("htex with 10 nodes / 0.1s tasks should fit")
+	}
+	if ok, warn := parsl.CheckExecutorFit("htex", 10, 10*time.Millisecond); ok || warn == "" {
+		t.Error("htex with 10 nodes / 0.01s tasks should warn")
+	}
+	if ok, _ := parsl.CheckExecutorFit("llex", 5, time.Millisecond); !ok {
+		t.Error("llex on 5 nodes should fit")
+	}
+	if ok, _ := parsl.CheckExecutorFit("llex", 100, time.Millisecond); ok {
+		t.Error("llex on 100 nodes should warn")
+	}
+	if ok, _ := parsl.CheckExecutorFit("exex", 8000, 2*time.Minute); !ok {
+		t.Error("exex with 2min tasks should fit")
+	}
+	if ok, _ := parsl.CheckExecutorFit("exex", 8000, time.Second); ok {
+		t.Error("exex with 1s tasks should warn")
+	}
+	if ok, _ := parsl.CheckExecutorFit("warp", 1, time.Second); ok {
+		t.Error("unknown executor accepted")
+	}
+}
+
+func TestFileFacade(t *testing.T) {
+	f := parsl.MustFile("http://example.org/data.csv")
+	if !f.Remote() || f.Filename() != "data.csv" {
+		t.Fatalf("file = %+v", f)
+	}
+	if _, err := parsl.NewFile("bogus://x/y"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	if !strings.Contains(parsl.Version, "HPDC") {
+		t.Fatalf("version = %q", parsl.Version)
+	}
+}

@@ -365,3 +365,70 @@ func BenchmarkDFKSubmission(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDFKSubmissionParallel measures the submit hot path under
+// contention: many goroutines calling App.Call at once, exercising the
+// sharded task graph and the batched dispatch pipeline. Compare ns/op with
+// BenchmarkDFKSubmission — the parallel path must not be slower than the
+// serial one.
+func BenchmarkDFKSubmissionParallel(b *testing.B) {
+	d, err := parsl.NewLocal(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Shutdown()
+	noop, err := d.PythonApp("bench-noop", func([]any, map[string]any) (any, error) { return nil, nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var futs []*parsl.Future
+		for pb.Next() {
+			futs = append(futs, noop.Call(1))
+		}
+		for _, f := range futs {
+			if _, err := f.Result(); err != nil {
+				// b.Fatal is not allowed off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDFKScheduler compares the DFK's executor-selection
+// policies on an asymmetric deployment (one 8-worker pool, one 1-worker
+// pool, 512 one-millisecond tasks per round): the paper's random policy
+// sprays half the work at the small pool, round-robin likewise, while the
+// capacity-aware policy routes by live load.
+func BenchmarkAblationDFKScheduler(b *testing.B) {
+	for _, policy := range []string{"random", "round-robin", "least-outstanding"} {
+		b.Run(policy, func(b *testing.B) {
+			d, err := parsl.NewLocalMulti(policy, 8, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Shutdown()
+			work, err := d.PythonApp("bench-work", func([]any, map[string]any) (any, error) {
+				time.Sleep(time.Millisecond)
+				return nil, nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				futs := make([]*parsl.Future, 512)
+				for j := range futs {
+					futs[j] = work.Call(j)
+				}
+				for _, f := range futs {
+					if _, err := f.Result(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

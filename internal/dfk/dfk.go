@@ -1,17 +1,17 @@
 // Package dfk implements the DataFlowKernel (§4.1), Parsl's execution
 // management engine. The DFK assembles a dynamic task dependency graph from
 // app invocations, encodes edges as callbacks on dependent futures (making
-// execution event driven with O(n+e) cost), schedules ready tasks onto
-// configured executors (randomly when multiple are eligible), retries
-// failures, consults the memoization/checkpoint table, injects data-staging
-// tasks for remote files, and records every state transition with the
-// monitoring subsystem.
+// execution event driven with O(n+e) cost), routes ready tasks through a
+// pluggable scheduler (random by default, matching the paper; round-robin
+// and capacity-aware policies via internal/sched), dispatches them in
+// batches onto configured executors, retries failures, consults the
+// memoization/checkpoint table, injects data-staging tasks for remote
+// files, and records every state transition with the monitoring subsystem.
 package dfk
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"path/filepath"
 	"sync"
 	"time"
@@ -22,6 +22,7 @@ import (
 	"repro/internal/future"
 	"repro/internal/memo"
 	"repro/internal/monitor"
+	"repro/internal/sched"
 	"repro/internal/serialize"
 	"repro/internal/task"
 )
@@ -48,10 +49,23 @@ type Config struct {
 	Monitor monitor.Sink
 	// DataManager stages remote files; nil disables data management.
 	DataManager *data.Manager
-	// TaskTimeout bounds a single execution attempt (0 = no timeout).
+	// TaskTimeout bounds a single execution attempt, measured from when
+	// the ready task enters the dispatch queue — queue wait behind a
+	// backlogged executor counts (0 = no timeout).
 	TaskTimeout time.Duration
-	// Seed makes executor selection deterministic in tests (0 = time).
+	// Seed makes executor selection deterministic in tests (0 = a random
+	// seed). It feeds the default random scheduler; explicit Schedulers
+	// own their randomness.
 	Seed int64
+	// Scheduler picks an executor for each ready task. Nil selects the
+	// policy named by SchedulerPolicy.
+	Scheduler sched.Scheduler
+	// SchedulerPolicy names the policy when Scheduler is nil: "random"
+	// (paper default, §4.1), "round-robin", or "least-outstanding".
+	SchedulerPolicy string
+	// DispatchBatch caps ready tasks drained per dispatch cycle and so the
+	// largest batch handed to an executor's SubmitBatch (default 256).
+	DispatchBatch int
 }
 
 // DependencyError is set on a task's future when one of its dependencies
@@ -81,13 +95,21 @@ type DFK struct {
 	memoizer  *memo.Memoizer
 	mon       monitor.Sink
 	executors map[string]executor.Executor
-	labels    []string
+	execList  []executor.Executor // config order, for the scheduler
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	schedr        sched.Scheduler
+	schedUsesLoad bool
+	queue         *dispatchQueue
+	lanes         map[string]*lane
+	batchMax      int
+	dispatchWG    sync.WaitGroup
+	laneWG        sync.WaitGroup
 
-	wg       sync.WaitGroup
-	mu       sync.Mutex
+	wg sync.WaitGroup
+	// mu orders submissions against Shutdown: submitters hold it shared (a
+	// per-submit exclusive lock would serialize the hot path), Shutdown
+	// exclusively, so every wg.Add happens-before Shutdown's wg.Wait.
+	mu       sync.RWMutex
 	shutdown bool
 }
 
@@ -106,12 +128,24 @@ func New(cfg Config) (*DFK, error) {
 		registry:  reg,
 		graph:     task.NewGraph(),
 		executors: make(map[string]executor.Executor, len(cfg.Executors)),
+		queue:     newDispatchQueue(),
+		batchMax:  cfg.DispatchBatch,
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
+	if d.batchMax <= 0 {
+		d.batchMax = 256
 	}
-	d.rng = rand.New(rand.NewSource(seed))
+	d.schedr = cfg.Scheduler
+	if d.schedr == nil {
+		// sched.ByName derives its own random seed for Seed == 0.
+		var err error
+		d.schedr, err = sched.ByName(cfg.SchedulerPolicy, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("dfk: %w", err)
+		}
+	}
+	if la, ok := d.schedr.(sched.LoadAware); ok && la.UsesLoad() {
+		d.schedUsesLoad = true
+	}
 
 	if cfg.Monitor != nil {
 		d.mon = cfg.Monitor
@@ -129,16 +163,35 @@ func New(cfg Config) (*DFK, error) {
 		d.memoizer = memo.New()
 	}
 
+	// On any startup failure, stop what was already started — the caller
+	// gets a nil DFK and would otherwise have no handle to the leaked
+	// executor goroutines (or the checkpoint file).
+	abort := func(err error) (*DFK, error) {
+		for _, ex := range d.execList {
+			_ = ex.Shutdown()
+		}
+		_ = d.memoizer.Close()
+		return nil, err
+	}
 	for _, ex := range cfg.Executors {
 		if _, dup := d.executors[ex.Label()]; dup {
-			return nil, fmt.Errorf("dfk: duplicate executor label %q", ex.Label())
+			return abort(fmt.Errorf("dfk: duplicate executor label %q", ex.Label()))
 		}
 		if err := ex.Start(); err != nil {
-			return nil, fmt.Errorf("dfk: start executor %s: %w", ex.Label(), err)
+			return abort(fmt.Errorf("dfk: start executor %s: %w", ex.Label(), err))
 		}
 		d.executors[ex.Label()] = ex
-		d.labels = append(d.labels, ex.Label())
+		d.execList = append(d.execList, ex)
 	}
+	d.lanes = make(map[string]*lane, len(d.execList))
+	for _, ex := range d.execList {
+		l := &lane{ex: ex, queue: newDispatchQueue()}
+		d.lanes[ex.Label()] = l
+		d.laneWG.Add(1)
+		go d.laneRunner(l)
+	}
+	d.dispatchWG.Add(1)
+	go d.dispatcher()
 	return d, nil
 }
 
@@ -156,6 +209,13 @@ func (d *DFK) Executor(label string) (executor.Executor, bool) {
 	ex, ok := d.executors[label]
 	return ex, ok
 }
+
+// Scheduler exposes the active executor-selection policy.
+func (d *DFK) Scheduler() sched.Scheduler { return d.schedr }
+
+// Loads samples live load signals from every configured executor, in config
+// order — the same view the capacity-aware scheduler decides from.
+func (d *DFK) Loads() []sched.Load { return sched.Loads(d.execList) }
 
 // App is an invocable Parsl app — what the @python_app/@bash_app decorators
 // produce. Calling it registers a task and returns its future immediately.
@@ -252,13 +312,13 @@ func (a *App) CallKw(kwargs map[string]any, args ...any) *future.Future {
 // submit is the core of App invocation: build the task record, wire
 // dependency callbacks, and launch when ready.
 func (d *DFK) submit(a *App, args []any, kwargs map[string]any) *future.Future {
-	d.mu.Lock()
+	d.mu.RLock()
 	if d.shutdown {
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		return future.FromError(executor.ErrShutdown)
 	}
 	d.wg.Add(1)
-	d.mu.Unlock()
+	d.mu.RUnlock()
 
 	id := d.graph.NextID()
 	rec := task.NewRecord(id, a.name, args, kwargs)
@@ -335,20 +395,20 @@ func (d *DFK) stageInTask(f *data.File) *future.Future {
 		}()
 		return fut
 	}
+	// RegisterIfAbsent keeps concurrent first submissions from racing a
+	// Lookup-then-Register pair on the shared registry.
 	name := "_parsl_stage_in"
-	if _, ok := d.registry.Lookup(name); !ok {
-		_ = d.registry.Register(name, func(args []any, _ map[string]any) (any, error) {
-			url, ok := args[0].(string)
-			if !ok {
-				return nil, fmt.Errorf("dfk: stage-in got %T", args[0])
-			}
-			file, err := data.NewFile(url)
-			if err != nil {
-				return nil, err
-			}
-			return dm.StageIn(file)
-		})
-	}
+	_ = d.registry.RegisterIfAbsent(name, func(args []any, _ map[string]any) (any, error) {
+		url, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("dfk: stage-in got %T", args[0])
+		}
+		file, err := data.NewFile(url)
+		if err != nil {
+			return nil, err
+		}
+		return dm.StageIn(file)
+	})
 	stageApp := &App{dfk: d, name: name, bodyHash: "stage"}
 	// The transfer task returns the staged path; record the translation on
 	// the original *File here on the submit side, so it survives the
@@ -365,7 +425,8 @@ func (d *DFK) stageInTask(f *data.File) *future.Future {
 }
 
 // launch resolves dependencies into concrete values, consults memoization,
-// picks an executor, and submits.
+// and hands the ready task to the dispatch pipeline, which schedules it onto
+// an executor and submits it batched with other ready tasks.
 func (d *DFK) launch(rec *task.Record, a *App) {
 	args, kwargs := resolveArgs(rec.Args, rec.Kwargs)
 
@@ -381,59 +442,7 @@ func (d *DFK) launch(rec *task.Record, a *App) {
 			}
 		}
 	}
-
-	ex, err := d.pickExecutor(rec.Hints)
-	if err != nil {
-		d.failTask(rec, err)
-		return
-	}
-	d.launchOn(rec, a, ex, args, kwargs)
-}
-
-// launchOn submits one execution attempt and chains the completion handler.
-func (d *DFK) launchOn(rec *task.Record, a *App, ex executor.Executor, args []any, kwargs map[string]any) {
-	rec.SetExecutor(ex.Label())
-	d.emitState(rec, rec.State().String(), "launched")
-	if err := rec.SetState(task.Launched); err != nil {
-		d.failTask(rec, err)
-		return
-	}
-	msg := serialize.TaskMsg{ID: rec.ID, App: a.name, Args: args, Kwargs: kwargs}
-	execFut := ex.Submit(msg)
-
-	var timer *time.Timer
-	if d.cfg.TaskTimeout > 0 {
-		timer = time.AfterFunc(d.cfg.TaskTimeout, func() {
-			_ = execFut.SetError(fmt.Errorf("%w after %v", ErrTimeout, d.cfg.TaskTimeout))
-		})
-	}
-	execFut.AddDoneCallback(func(ef *future.Future) {
-		if timer != nil {
-			timer.Stop()
-		}
-		v, err := ef.Result()
-		if err == nil {
-			d.completeTask(rec, a, v)
-			return
-		}
-		// Failure: retry if budget remains (§4.1: "Parsl is able to retry
-		// the task by resubmitting it to an executor").
-		if rec.IncAttempts() <= rec.MaxRetries() {
-			d.emitState(rec, rec.State().String(), "retrying")
-			if serr := rec.SetState(task.Retrying); serr == nil {
-				nex, perr := d.pickExecutor(rec.Hints)
-				if perr != nil {
-					d.failTask(rec, perr)
-					return
-				}
-				// Resubmit asynchronously to avoid deep recursion on
-				// repeatedly failing tasks.
-				go d.launchOn(rec, a, nex, args, kwargs)
-				return
-			}
-		}
-		d.failTask(rec, err)
-	})
+	d.enqueueAttempt(&pendingLaunch{rec: rec, app: a, args: args, kwargs: kwargs, wireID: rec.ID})
 }
 
 func (d *DFK) completeTask(rec *task.Record, a *App, v any) {
@@ -460,31 +469,76 @@ func (d *DFK) completeTask(rec *task.Record, a *App, v any) {
 }
 
 // failTask wraps the exception and associates it with the future (§4.1).
+// Idempotent on terminal tasks, so a stale attempt racing its own retry
+// (or timeout) cannot emit duplicate failure events for a concluded task.
 func (d *DFK) failTask(rec *task.Record, err error) {
+	if rec.State().Terminal() {
+		return
+	}
 	d.emitState(rec, rec.State().String(), "failed")
 	_ = rec.SetState(task.Failed)
 	_ = rec.Future.SetError(fmt.Errorf("dfk: task %d (%s): %w", rec.ID, rec.AppName, err))
 }
 
-// pickExecutor applies hints and chooses uniformly at random among the
-// eligible executors ("if multiple executors are available, and the task
-// contains no execution hints, an executor is picked at random", §4.1).
-func (d *DFK) pickExecutor(hints []string) (executor.Executor, error) {
-	candidates := d.labels
+// router picks executors for the tasks of one dispatch cycle. For
+// load-aware schedulers it samples every executor's load once per cycle
+// (seeded with the lane backlogs) and overlays its own routing decisions
+// via Frozen.Bump, so a 256-task batch costs one probe sweep rather than
+// 256 — load-blind policies skip the snapshot entirely.
+type router struct {
+	d      *DFK
+	base   []executor.Executor      // full candidate set, frozen or raw
+	frozen map[string]*sched.Frozen // nil for load-blind schedulers
+}
+
+func (d *DFK) newRouter() *router {
+	r := &router{d: d, base: d.execList}
+	if d.schedUsesLoad {
+		r.frozen = make(map[string]*sched.Frozen, len(d.execList))
+		r.base = make([]executor.Executor, len(d.execList))
+		for i, ex := range d.execList {
+			f := sched.Freeze(ex, int(d.lanes[ex.Label()].queued.Load()))
+			r.frozen[ex.Label()] = f
+			r.base[i] = f
+		}
+	}
+	return r
+}
+
+// pick applies hints to narrow the eligible set and delegates the choice
+// to the configured scheduler (the paper's "picked at random" policy is
+// the default). The returned executor is always one of the DFK's real
+// executors, never a snapshot view.
+func (r *router) pick(hints []string) (executor.Executor, error) {
+	candidates := r.base
 	if len(hints) > 0 {
-		candidates = hints
+		candidates = make([]executor.Executor, 0, len(hints))
+		for _, h := range hints {
+			if _, ok := r.d.executors[h]; !ok {
+				return nil, fmt.Errorf("dfk: hinted executor %q not configured", h)
+			}
+			if r.frozen != nil {
+				candidates = append(candidates, r.frozen[h])
+			} else {
+				candidates = append(candidates, r.d.executors[h])
+			}
+		}
 	}
-	if len(candidates) == 0 {
-		return nil, errors.New("dfk: no executors available")
+	ex, err := r.d.schedr.Pick(candidates)
+	if err != nil {
+		return nil, fmt.Errorf("dfk: %w", err)
 	}
-	d.rngMu.Lock()
-	label := candidates[d.rng.Intn(len(candidates))]
-	d.rngMu.Unlock()
-	ex, ok := d.executors[label]
+	// Guard user-supplied schedulers: a Pick that fabricates an executor
+	// outside the configured set must fail the task, not nil-deref the
+	// dispatcher goroutine.
+	real, ok := r.d.executors[ex.Label()]
 	if !ok {
-		return nil, fmt.Errorf("dfk: hinted executor %q not configured", label)
+		return nil, fmt.Errorf("dfk: scheduler %q picked unknown executor %q", r.d.schedr.Name(), ex.Label())
 	}
-	return ex, nil
+	if r.frozen != nil {
+		r.frozen[real.Label()].Bump()
+	}
+	return real, nil
 }
 
 func (d *DFK) emitState(rec *task.Record, from, to string) {
@@ -526,7 +580,17 @@ func (d *DFK) Shutdown() error {
 	d.shutdown = true
 	d.mu.Unlock()
 
+	// Every task's future completes only after its final launch attempt, so
+	// once wg drains nothing can push to the dispatch queue again; closing
+	// it then lets the dispatcher drain and exit, after which the lanes can
+	// no longer receive work and are drained the same way.
 	d.wg.Wait()
+	d.queue.close()
+	d.dispatchWG.Wait()
+	for _, l := range d.lanes {
+		l.queue.close()
+	}
+	d.laneWG.Wait()
 	var first error
 	for _, ex := range d.executors {
 		if err := ex.Shutdown(); err != nil && first == nil {

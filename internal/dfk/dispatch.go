@@ -1,0 +1,283 @@
+package dfk
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/future"
+	"repro/internal/serialize"
+	"repro/internal/task"
+)
+
+// pendingLaunch is one execution attempt waiting in the dispatch queue: the
+// task record, the app that produced it, and its fully resolved arguments.
+// Retries create a fresh pendingLaunch (sharing rec/app/args), so a stale
+// queue entry whose attempt already timed out can be recognized and skipped.
+type pendingLaunch struct {
+	rec    *task.Record
+	app    *App
+	args   []any
+	kwargs map[string]any
+	// attempt is this attempt's outcome future. The TaskTimeout timer is
+	// armed against it when the attempt enters the dispatch queue — so a
+	// task stuck behind a backlogged lane times out on schedule — and the
+	// executor's result is forwarded into it after submission. Completing
+	// it (either way) triggers retry-or-finish handling exactly once.
+	attempt *future.Future
+	// wireID identifies this attempt on the executor wire. The first
+	// attempt uses the task id; retries of a timed-out attempt draw a
+	// fresh id, because the abandoned attempt may still be in flight and
+	// executors key their pending/outstanding state by wire id — reusing
+	// the task id would let the stale attempt's late result complete (or
+	// corrupt the accounting of) the new one.
+	wireID int64
+}
+
+// dispatchQueue is the unbounded MPSC queue between the submit/callback side
+// and the dispatcher. Unbounded on purpose: pushes come from executor
+// completion callbacks (dependency edges fire there), and a bounded queue
+// could deadlock the pipeline when both it and an executor's input queue
+// fill — a worker blocked pushing a dependent launch is a worker that never
+// drains the executor queue the dispatcher is blocked on. Memory stays
+// bounded by the number of live tasks, which the task graph holds anyway.
+type dispatchQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*pendingLaunch
+	closed bool
+}
+
+func newDispatchQueue() *dispatchQueue {
+	q := &dispatchQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends one ready task. It never blocks.
+func (q *dispatchQueue) push(pl *pendingLaunch) {
+	q.mu.Lock()
+	q.items = append(q.items, pl)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// take blocks until at least one item is queued (returning up to max of
+// them) or the queue is closed and drained (returning nil, false).
+func (q *dispatchQueue) take(max int) ([]*pendingLaunch, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	n := len(q.items)
+	if n > max {
+		n = max
+	}
+	batch := make([]*pendingLaunch, n)
+	copy(batch, q.items[:n])
+	// Clear consumed slots so the backing array does not pin submitted
+	// tasks (and their resolved arguments) after a burst drains.
+	for i := range q.items[:n] {
+		q.items[i] = nil
+	}
+	if n == len(q.items) {
+		q.items = q.items[:0]
+	} else {
+		q.items = q.items[n:]
+	}
+	return batch, true
+}
+
+// close marks the queue finished; take drains remaining items first.
+func (q *dispatchQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// lane is the per-executor leg of the dispatch pipeline: a queue of routed
+// tasks plus a runner goroutine that submits them in batches. Per-executor
+// lanes keep one backlogged executor (a blocking Submit/SubmitBatch into a
+// full input queue) from head-of-line-blocking dispatch to every other
+// executor.
+type lane struct {
+	ex    executor.Executor
+	queue *dispatchQueue
+	// queued counts tasks routed to this lane but not yet submitted — load
+	// the executor's own Outstanding cannot see yet. Capacity-aware
+	// scheduling seeds each cycle's sched.Frozen snapshot with it.
+	queued atomic.Int64
+}
+
+// dispatcher is the DFK's routing pump: it drains ready tasks from the
+// dispatch queue in batches and asks the scheduler for a target executor
+// per task; the target's lane runner does the actual submission. Replaces
+// the seed's inline launch-on-the-callback-goroutine path.
+func (d *DFK) dispatcher() {
+	defer d.dispatchWG.Done()
+	for {
+		batch, ok := d.queue.take(d.batchMax)
+		if !ok {
+			return
+		}
+		route := d.newRouter()
+		for _, pl := range batch {
+			ex, err := route.pick(pl.rec.Hints)
+			if err != nil {
+				// Fail the task first, then complete the attempt: the
+				// done-callback stops the timeout timer, and attemptDone's
+				// terminal guard keeps it from re-processing the failure.
+				d.failTask(pl.rec, err)
+				_ = pl.attempt.SetError(err)
+				continue
+			}
+			pl.rec.SetExecutor(ex.Label())
+			l := d.lanes[ex.Label()]
+			l.queued.Add(1)
+			l.queue.push(pl)
+		}
+	}
+}
+
+// laneRunner drains one executor's lane, submitting each drained batch via
+// the executor's native BatchSubmitter when it has one.
+func (d *DFK) laneRunner(l *lane) {
+	defer d.laneWG.Done()
+	for {
+		batch, ok := l.queue.take(d.batchMax)
+		if !ok {
+			return
+		}
+		msgs := make([]serialize.TaskMsg, 0, len(batch))
+		live := make([]*pendingLaunch, 0, len(batch))
+		for _, pl := range batch {
+			if pl.attempt.Done() {
+				// The attempt timed out while queued; its retry (if any)
+				// is a separate queue entry. Best-effort skip — if the
+				// timer wins the race after this check, the stale attempt
+				// is still submitted as a ghost: its remote result
+				// reconciles by wire id, the forward below is a no-op on
+				// the already-failed attempt future, and its SetState
+				// interleaves harmlessly with the retry's (same-state
+				// transitions no-op; failTask skips terminal tasks).
+				continue
+			}
+			d.emitState(pl.rec, pl.rec.State().String(), "launched")
+			if err := pl.rec.SetState(task.Launched); err != nil {
+				d.failTask(pl.rec, err)
+				_ = pl.attempt.SetError(err) // stop the timer, see dispatcher
+				continue
+			}
+			msgs = append(msgs, serialize.TaskMsg{
+				ID: pl.wireID, App: pl.app.name, Args: pl.args, Kwargs: pl.kwargs,
+			})
+			live = append(live, pl)
+		}
+		if len(msgs) > 0 {
+			if bs, ok := l.ex.(executor.BatchSubmitter); ok {
+				futs := bs.SubmitBatch(msgs)
+				for i, pl := range live {
+					forward(futs[i], pl.attempt)
+				}
+			} else {
+				for i, m := range msgs {
+					forward(l.ex.Submit(m), live[i].attempt)
+				}
+			}
+		}
+		// Submitted work is visible in the executor's Outstanding now;
+		// dropping the lane counter after submission means the worst case
+		// is a brief double count, never a blind spot.
+		l.queued.Add(-int64(len(batch)))
+	}
+}
+
+// forward relays an executor future's outcome into the attempt future. The
+// relay loses the race against the attempt's timeout timer harmlessly: a
+// completed attempt future rejects further writes.
+func forward(execFut, attempt *future.Future) {
+	execFut.AddDoneCallback(func(ef *future.Future) {
+		if v, err := ef.Result(); err != nil {
+			_ = attempt.SetError(err)
+		} else {
+			_ = attempt.SetResult(v)
+		}
+	})
+}
+
+// enqueueAttempt arms one execution attempt — its outcome future, the
+// TaskTimeout timer against it, and the retry-or-finish handler — and hands
+// it to the dispatch queue. Arming the timer here, not after submission,
+// is what makes the TaskTimeout contract hold for tasks stuck behind a
+// backlogged lane: the clock runs while they queue.
+func (d *DFK) enqueueAttempt(pl *pendingLaunch) {
+	pl.attempt = future.New()
+	var timer *time.Timer
+	if d.cfg.TaskTimeout > 0 {
+		timer = time.AfterFunc(d.cfg.TaskTimeout, func() {
+			_ = pl.attempt.SetError(fmt.Errorf("%w after %v", ErrTimeout, d.cfg.TaskTimeout))
+		})
+	}
+	pl.attempt.AddDoneCallback(func(af *future.Future) {
+		if timer != nil {
+			timer.Stop()
+		}
+		d.attemptDone(pl, af)
+	})
+	d.queue.push(pl)
+}
+
+// attemptDone handles one attempt's outcome: completion, or retry through
+// the scheduler while budget remains (§4.1: "Parsl is able to retry the
+// task by resubmitting it to an executor"). A retry re-enters the dispatch
+// queue as a fresh attempt, so the scheduler re-picks an executor from
+// current load — a task lost with a dying executor naturally drains toward
+// a healthier one.
+func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
+	if pl.rec.State().Terminal() {
+		// The task already failed on a dispatch-side path (which completes
+		// the attempt after failTask); nothing left to do.
+		return
+	}
+	v, err := af.Result()
+	if err == nil {
+		d.completeTask(pl.rec, pl.app, v)
+		return
+	}
+	if pl.rec.IncAttempts() <= pl.rec.MaxRetries() {
+		// A launched attempt moves to Retrying; an attempt that timed out
+		// while still queued is still Pending — no legal (or needed) state
+		// change, it simply re-enters the queue, and the monitor event says
+		// so rather than claiming a Retrying transition that never happens.
+		st := pl.rec.State()
+		retryable := false
+		if st == task.Pending {
+			d.emitState(pl.rec, st.String(), "requeued")
+			retryable = true
+		} else if pl.rec.SetState(task.Retrying) == nil {
+			d.emitState(pl.rec, st.String(), "retrying")
+			retryable = true
+		}
+		if retryable {
+			// Fresh attempt object (the old one may still sit in a lane
+			// queue and must stay recognizable as dead) and fresh wire id
+			// (the timed-out attempt may still be running remotely under
+			// the old one; ids are drawn from the task id sequence, so
+			// they never collide with any task's first-attempt id).
+			next := &pendingLaunch{
+				rec: pl.rec, app: pl.app, args: pl.args, kwargs: pl.kwargs,
+				wireID: d.graph.NextID(),
+			}
+			d.enqueueAttempt(next)
+			return
+		}
+	}
+	d.failTask(pl.rec, err)
+}

@@ -46,6 +46,18 @@ type Scalable interface {
 	ConnectedWorkers() int
 }
 
+// BatchSubmitter is implemented by executors that can accept a batch of
+// ready tasks in one call, amortizing per-submit locking and wire framing.
+// The DFK's dispatch pipeline groups ready tasks by target executor and
+// prefers this interface, degrading to one Submit call per task for
+// executors that do not implement it.
+type BatchSubmitter interface {
+	// SubmitBatch schedules every task in msgs and returns their futures in
+	// matching order. Submission failures are reported through the affected
+	// future, never by shortening the slice.
+	SubmitBatch(msgs []serialize.TaskMsg) []*future.Future
+}
+
 // ErrShutdown is returned by Submit after Shutdown.
 var ErrShutdown = errors.New("executor: shut down")
 

@@ -193,34 +193,75 @@ func (e *Executor) fail(id int64, err error) {
 	_ = fut.SetError(err)
 }
 
-// Submit implements executor.Executor.
+// Submit implements executor.Executor as a single-task batch: the
+// registration/framing logic lives once in SubmitBatch, and the
+// interchange treats a one-task TASKB like the legacy TASK frame.
 func (e *Executor) Submit(msg serialize.TaskMsg) *future.Future {
-	fut := future.NewForTask(msg.ID)
+	return e.SubmitBatch([]serialize.TaskMsg{msg})[0]
+}
+
+// SubmitBatch implements executor.BatchSubmitter: the whole batch is
+// registered under one lock acquisition and crosses the wire as a single
+// TASKB frame, which the interchange appends to its queue wholesale — from
+// there the existing manager-side batching (§4.3.1) takes over. Compared to
+// per-task Submit this collapses n lock round-trips and n frames into one.
+func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
+	futs := make([]*future.Future, len(msgs))
+	for i, m := range msgs {
+		futs[i] = future.NewForTask(m.ID)
+	}
 	e.mu.Lock()
 	if e.closed || !e.started {
 		closed := e.closed
 		e.mu.Unlock()
-		if closed {
-			_ = fut.SetError(executor.ErrShutdown)
-		} else {
-			_ = fut.SetError(errors.New("htex: Submit before Start"))
+		for i := range futs {
+			if closed {
+				_ = futs[i].SetError(executor.ErrShutdown)
+			} else {
+				_ = futs[i].SetError(errors.New("htex: Submit before Start"))
+			}
 		}
-		return fut
+		return futs
 	}
-	e.pending[msg.ID] = fut
-	e.inflight[msg.ID] = msg
+	for i, m := range msgs {
+		e.pending[m.ID] = futs[i]
+		e.inflight[m.ID] = m
+	}
 	e.mu.Unlock()
-	e.outstanding.Add(1)
+	e.outstanding.Add(int64(len(msgs)))
 
-	payload, err := serialize.EncodeTask(msg)
+	send := msgs
+	payload, err := encodeTasks(send)
 	if err != nil {
-		e.fail(msg.ID, err)
-		return fut
+		// Batch encoding failed — isolate the poison task(s) so one
+		// unencodable argument doesn't fail every task batched with it:
+		// re-encode per task, fail only the offenders, batch the rest.
+		good := make([]serialize.TaskMsg, 0, len(msgs))
+		for _, m := range msgs {
+			if _, perr := serialize.EncodeTask(m); perr != nil {
+				e.fail(m.ID, perr)
+				continue
+			}
+			good = append(good, m)
+		}
+		if len(good) == 0 {
+			return futs
+		}
+		payload, err = encodeTasks(good)
+		if err != nil {
+			for _, m := range good {
+				e.fail(m.ID, err)
+			}
+			return futs
+		}
+		send = good
 	}
-	if err := e.dealer.Send(mq.Message{[]byte(frameTask), payload}); err != nil {
-		e.fail(msg.ID, fmt.Errorf("htex: submit: %w", err))
+	if err := e.dealer.Send(mq.Message{[]byte(frameTaskSub), payload}); err != nil {
+		for _, m := range send {
+			e.fail(m.ID, fmt.Errorf("htex: submit batch: %w", err))
+		}
 	}
-	return fut
+	return futs
 }
 
 // Outstanding implements executor.Executor.

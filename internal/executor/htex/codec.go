@@ -18,6 +18,7 @@ import (
 // Wire message type tags (first frame part).
 const (
 	frameTask    = "TASK"    // client -> interchange: one TaskMsg
+	frameTaskSub = "TASKB"   // client -> interchange: batch of TaskMsg
 	frameTasks   = "TASKS"   // interchange -> manager: batch of TaskMsg
 	frameResults = "RESULTS" // manager -> interchange -> client: batch of ResultMsg
 	frameReg     = "REG"     // manager -> interchange: registration

@@ -353,3 +353,59 @@ func TestRandomizedDistributionFairness(t *testing.T) {
 		t.Fatalf("managers: %v %v", reps, err)
 	}
 }
+
+func TestSubmitBatchRoundTrip(t *testing.T) {
+	e := newHTEX(t, 2, 2, nil)
+	const n = 100
+	msgs := make([]serialize.TaskMsg, n)
+	for i := range msgs {
+		msgs[i] = serialize.TaskMsg{ID: int64(i), App: "echo", Args: []any{i}}
+	}
+	futs := e.SubmitBatch(msgs)
+	if len(futs) != n {
+		t.Fatalf("futs = %d", len(futs))
+	}
+	for i, f := range futs {
+		v, err := f.Result()
+		if err != nil || v != i {
+			t.Fatalf("task %d: %v, %v", i, v, err)
+		}
+	}
+	if e.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", e.Outstanding())
+	}
+}
+
+func TestSubmitBatchAfterShutdown(t *testing.T) {
+	e := newHTEX(t, 1, 1, nil)
+	_ = e.Shutdown()
+	for _, f := range e.SubmitBatch([]serialize.TaskMsg{{ID: 7, App: "echo"}}) {
+		if _, err := f.Result(); !errors.Is(err, executor.ErrShutdown) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+}
+
+func TestSubmitBatchIsolatesPoisonTask(t *testing.T) {
+	e := newHTEX(t, 1, 2, nil)
+	// Task 1's args contain a gob-unencodable func; tasks 0 and 2 are fine
+	// and must still complete.
+	msgs := []serialize.TaskMsg{
+		{ID: 0, App: "echo", Args: []any{"before"}},
+		{ID: 1, App: "echo", Args: []any{func() {}}},
+		{ID: 2, App: "echo", Args: []any{"after"}},
+	}
+	futs := e.SubmitBatch(msgs)
+	if _, err := futs[1].Result(); err == nil {
+		t.Fatal("poison task succeeded")
+	}
+	if v, err := futs[0].Result(); err != nil || v != "before" {
+		t.Fatalf("task 0: %v, %v", v, err)
+	}
+	if v, err := futs[2].Result(); err != nil || v != "after" {
+		t.Fatalf("task 2: %v, %v", v, err)
+	}
+	if e.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", e.Outstanding())
+	}
+}

@@ -147,6 +147,21 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		ix.queue = append(ix.queue, task)
 		ix.mu.Unlock()
 		ix.dispatch()
+	case frameTaskSub:
+		ix.mu.Lock()
+		ix.client = del.From
+		ix.mu.Unlock()
+		if len(del.Msg) < 2 {
+			return
+		}
+		batch, err := decodeTasks(del.Msg[1])
+		if err != nil {
+			return
+		}
+		ix.mu.Lock()
+		ix.queue = append(ix.queue, batch...)
+		ix.mu.Unlock()
+		ix.dispatch()
 	case frameReg:
 		if len(del.Msg) < 2 {
 			return

@@ -349,6 +349,11 @@ func (e *Executor) recvLoop() {
 
 // Submit implements executor.Executor: one hop to the relay, one to the
 // worker, and the mirror on the way back.
+//
+// LLEX deliberately does not implement executor.BatchSubmitter: batching
+// adds queueing delay, and this executor exists to minimize per-task
+// latency (§4.3.3). The DFK's dispatch lanes degrade to per-task Submit
+// calls for it.
 func (e *Executor) Submit(msg serialize.TaskMsg) *future.Future {
 	fut := future.NewForTask(msg.ID)
 	e.mu.Lock()

@@ -86,24 +86,42 @@ func (e *Executor) worker(id string) {
 	}
 }
 
-// Submit implements executor.Executor.
+// Submit implements executor.Executor as a single-task batch, so the
+// state-check/enqueue logic lives in exactly one place.
 func (e *Executor) Submit(msg serialize.TaskMsg) *future.Future {
-	fut := future.NewForTask(msg.ID)
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		_ = fut.SetError(executor.ErrShutdown)
-		return fut
+	return e.SubmitBatch([]serialize.TaskMsg{msg})[0]
+}
+
+// SubmitBatch implements executor.BatchSubmitter: one state check and one
+// outstanding-counter bump for the whole batch, then a straight enqueue —
+// the in-process analogue of HTEX's manager-side task batching. The sends
+// stay under the mutex so a concurrent Shutdown cannot close the queue
+// mid-batch (workers never take the mutex, so a full queue still drains
+// and the sends cannot deadlock).
+func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
+	futs := make([]*future.Future, len(msgs))
+	for i, m := range msgs {
+		futs[i] = future.NewForTask(m.ID)
 	}
-	if !e.started {
+	e.mu.Lock()
+	if e.closed || !e.started {
+		closed := e.closed
 		e.mu.Unlock()
-		_ = fut.SetError(fmt.Errorf("threadpool %s: Submit before Start", e.label))
-		return fut
+		for i := range futs {
+			if closed {
+				_ = futs[i].SetError(executor.ErrShutdown)
+			} else {
+				_ = futs[i].SetError(fmt.Errorf("threadpool %s: Submit before Start", e.label))
+			}
+		}
+		return futs
+	}
+	e.outstanding.Add(int64(len(msgs)))
+	for i, m := range msgs {
+		e.queue <- item{msg: m, fut: futs[i]}
 	}
 	e.mu.Unlock()
-	e.outstanding.Add(1)
-	e.queue <- item{msg: msg, fut: fut}
-	return fut
+	return futs
 }
 
 // Outstanding implements executor.Executor.

@@ -192,3 +192,35 @@ func TestHighConcurrencySubmission(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSubmitBatch(t *testing.T) {
+	e := newPool(t, 4)
+	msgs := make([]serialize.TaskMsg, 64)
+	for i := range msgs {
+		msgs[i] = serialize.TaskMsg{ID: int64(i), App: "echo", Args: []any{i}}
+	}
+	futs := e.SubmitBatch(msgs)
+	if len(futs) != len(msgs) {
+		t.Fatalf("futs = %d, want %d", len(futs), len(msgs))
+	}
+	for i, f := range futs {
+		v, err := f.Result()
+		if err != nil || v != i {
+			t.Fatalf("task %d: %v, %v", i, v, err)
+		}
+	}
+	if e.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", e.Outstanding())
+	}
+}
+
+func TestSubmitBatchAfterShutdown(t *testing.T) {
+	e := newPool(t, 1)
+	_ = e.Shutdown()
+	futs := e.SubmitBatch([]serialize.TaskMsg{{ID: 1, App: "echo"}, {ID: 2, App: "echo"}})
+	for _, f := range futs {
+		if _, err := f.Result(); !errors.Is(err, executor.ErrShutdown) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+}

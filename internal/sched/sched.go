@@ -1,0 +1,231 @@
+// Package sched defines the DataFlowKernel's pluggable executor-selection
+// layer. The paper's DFK picks "at random" when multiple executors are
+// eligible (§4.1); this package keeps that policy as the default while
+// making the choice an interface fed by live load signals, so capacity-aware
+// policies can route tasks toward the executor most able to absorb them.
+//
+// A Scheduler sees the eligible executors for one ready task (already
+// filtered by the task's execution hints) and picks one. Policies must be
+// safe for concurrent use: the DFK's dispatch pipeline calls Pick from its
+// dispatcher goroutine, and retries may arrive from executor callbacks.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/executor"
+)
+
+// ErrNoExecutors is returned by Pick when the candidate set is empty.
+var ErrNoExecutors = errors.New("sched: no executors available")
+
+// Scheduler picks an executor for a ready task from the eligible set.
+type Scheduler interface {
+	// Name identifies the policy in config and monitoring output.
+	Name() string
+	// Pick returns one of candidates. Implementations must not retain the
+	// slice. An empty candidate set returns ErrNoExecutors.
+	//
+	// Load-aware policies must read load via LoadOf, not by asserting
+	// candidates to concrete executor types: during batched dispatch the
+	// DFK hands Pick per-cycle snapshot views (Frozen) that expose the
+	// load signals but not the executor's other interfaces (Scalable,
+	// BatchSubmitter, ...).
+	Pick(candidates []executor.Executor) (executor.Executor, error)
+}
+
+// Load is one executor's live load signal set.
+type Load struct {
+	Label string
+	// Outstanding is submitted-but-incomplete tasks (Executor.Outstanding).
+	Outstanding int
+	// Workers is live capacity: Scalable.ConnectedWorkers for elastic
+	// executors, a Workers() probe when exposed (threadpool), otherwise 0
+	// for "unknown".
+	Workers int
+}
+
+// PerWorker is outstanding work normalized by capacity; with unknown
+// capacity the raw outstanding count is used, so a 1-worker executor and an
+// unknown-capacity executor with equal backlogs compare equal.
+func (l Load) PerWorker() float64 {
+	if l.Workers <= 0 {
+		return float64(l.Outstanding)
+	}
+	return float64(l.Outstanding) / float64(l.Workers)
+}
+
+// workerCounter is the non-Scalable capacity probe (threadpool.Workers).
+type workerCounter interface{ Workers() int }
+
+// LoadOf samples an executor's live load signals.
+func LoadOf(ex executor.Executor) Load {
+	l := Load{Label: ex.Label(), Outstanding: ex.Outstanding()}
+	switch t := ex.(type) {
+	case executor.Scalable:
+		l.Workers = t.ConnectedWorkers()
+	case workerCounter:
+		l.Workers = t.Workers()
+	}
+	return l
+}
+
+// Loads samples every executor, in order.
+func Loads(exs []executor.Executor) []Load {
+	out := make([]Load, len(exs))
+	for i, ex := range exs {
+		out[i] = LoadOf(ex)
+	}
+	return out
+}
+
+// LoadAware is an optional marker for schedulers whose Pick reads live load
+// signals from its candidates. The DFK takes a per-dispatch-cycle load
+// snapshot (Frozen) only for schedulers that report true — load-blind
+// policies like Random and RoundRobin skip the sampling entirely.
+type LoadAware interface {
+	UsesLoad() bool
+}
+
+// Frozen is a one-shot load snapshot of an executor, taken once per
+// dispatch cycle. Load-aware policies read the sampled values instead of
+// re-probing the live executor on every pick (probes like ConnectedWorkers
+// take executor-internal locks), and Bump overlays the tasks the
+// dispatcher routes during the cycle — without that overlay every pick in
+// a batch reads the same stale snapshot and the whole batch sloshes onto
+// whichever executor looked idle at cycle start. Not safe for concurrent
+// use; a Frozen belongs to one dispatch cycle on one goroutine.
+type Frozen struct {
+	executor.Executor
+	load  Load
+	extra int
+}
+
+// Freeze samples ex's load once, overlaying extra pre-routed tasks (e.g. a
+// dispatch lane's unsubmitted backlog).
+func Freeze(ex executor.Executor, extra int) *Frozen {
+	return &Frozen{Executor: ex, load: LoadOf(ex), extra: extra}
+}
+
+// Outstanding reports the sampled load plus the routing overlay.
+func (f *Frozen) Outstanding() int { return f.load.Outstanding + f.extra }
+
+// Workers reports the sampled capacity (interface embedding does not
+// promote Scalable/Workers from the dynamic value, so LoadOf reads the
+// snapshot through this probe).
+func (f *Frozen) Workers() int { return f.load.Workers }
+
+// ConnectedWorkers mirrors Workers for callers probing the Scalable-style
+// capacity signal by method shape. Frozen deliberately does not implement
+// the full executor.Scalable interface — a snapshot cannot scale anything.
+func (f *Frozen) ConnectedWorkers() int { return f.load.Workers }
+
+// Bump records one task routed to this executor in the current cycle.
+func (f *Frozen) Bump() { f.extra++ }
+
+// Random is the paper-faithful default: uniform among eligible executors
+// ("an executor is picked at random", §4.1). Seedable for deterministic
+// tests.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random scheduler; seed 0 derives a random seed.
+func NewRandom(seed int64) *Random {
+	var rng *rand.Rand
+	if seed == 0 {
+		rng = rand.New(rand.NewSource(rand.Int63()))
+	} else {
+		rng = rand.New(rand.NewSource(seed))
+	}
+	return &Random{rng: rng}
+}
+
+// Name implements Scheduler.
+func (r *Random) Name() string { return "random" }
+
+// Pick implements Scheduler.
+func (r *Random) Pick(candidates []executor.Executor) (executor.Executor, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoExecutors
+	}
+	r.mu.Lock()
+	i := r.rng.Intn(len(candidates))
+	r.mu.Unlock()
+	return candidates[i], nil
+}
+
+// RoundRobin cycles deterministically through the eligible set. Note the
+// cursor is global, not per-candidate-set: with hint-pinned apps in the mix
+// the rotation is fair overall but not per app.
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+// NewRoundRobin returns a RoundRobin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(candidates []executor.Executor) (executor.Executor, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoExecutors
+	}
+	n := r.next.Add(1) - 1
+	return candidates[n%uint64(len(candidates))], nil
+}
+
+// LeastOutstanding is the capacity-aware policy: it routes each task to the
+// executor with the lowest outstanding-per-worker load, so a large idle
+// pool absorbs a burst instead of the random policy's even spray. Ties are
+// broken by raw outstanding count, then by candidate order (deterministic).
+type LeastOutstanding struct{}
+
+// NewLeastOutstanding returns a LeastOutstanding scheduler.
+func NewLeastOutstanding() *LeastOutstanding { return &LeastOutstanding{} }
+
+// Name implements Scheduler.
+func (*LeastOutstanding) Name() string { return "least-outstanding" }
+
+// UsesLoad implements LoadAware.
+func (*LeastOutstanding) UsesLoad() bool { return true }
+
+// Pick implements Scheduler.
+func (*LeastOutstanding) Pick(candidates []executor.Executor) (executor.Executor, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoExecutors
+	}
+	best := 0
+	bestLoad := LoadOf(candidates[0])
+	for i := 1; i < len(candidates); i++ {
+		l := LoadOf(candidates[i])
+		if l.PerWorker() < bestLoad.PerWorker() ||
+			(l.PerWorker() == bestLoad.PerWorker() && l.Outstanding < bestLoad.Outstanding) {
+			best, bestLoad = i, l
+		}
+	}
+	return candidates[best], nil
+}
+
+// ByName constructs the policy named in config: "random" (default when name
+// is empty), "round-robin", or "least-outstanding". seed only affects
+// "random".
+func ByName(name string, seed int64) (Scheduler, error) {
+	switch name {
+	case "", "random":
+		return NewRandom(seed), nil
+	case "round-robin":
+		return NewRoundRobin(), nil
+	case "least-outstanding":
+		return NewLeastOutstanding(), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	}
+}

@@ -54,14 +54,32 @@ func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]Entry)}
 }
 
+// defaultVersion is the app version implied when none is given; it feeds
+// the memoization body hash, so every registration path must share it.
+const defaultVersion = "v1"
+
 // Register adds an app under name. Duplicate names are rejected so that a
 // memoization key can never silently refer to two different functions.
 func (r *Registry) Register(name string, fn Fn) error {
-	return r.RegisterVersion(name, "v1", fn)
+	return r.register(name, defaultVersion, fn, false)
 }
 
 // RegisterVersion adds an app with an explicit version string.
 func (r *Registry) RegisterVersion(name, version string, fn Fn) error {
+	return r.register(name, version, fn, false)
+}
+
+// RegisterIfAbsent registers name unless an entry already exists, in one
+// critical section. Callers that would otherwise Lookup-then-Register (the
+// DFK's lazily created internal apps, e.g. the stage-in transfer task) use
+// this to stay atomic under concurrent submission.
+func (r *Registry) RegisterIfAbsent(name string, fn Fn) error {
+	return r.register(name, defaultVersion, fn, true)
+}
+
+// register validates and inserts under the lock; ifAbsent turns a
+// duplicate into a no-op instead of an error.
+func (r *Registry) register(name, version string, fn Fn, ifAbsent bool) error {
 	if name == "" {
 		return fmt.Errorf("serialize: empty app name")
 	}
@@ -71,6 +89,9 @@ func (r *Registry) RegisterVersion(name, version string, fn Fn) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.entries[name]; dup {
+		if ifAbsent {
+			return nil
+		}
 		return fmt.Errorf("serialize: app %q already registered", name)
 	}
 	r.entries[name] = Entry{Name: name, Fn: fn, Version: version}

@@ -235,3 +235,48 @@ func TestQuickArgsHashPure(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRegisterIfAbsent(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	first := func([]any, map[string]any) (any, error) { calls++; return "first", nil }
+	second := func([]any, map[string]any) (any, error) { return "second", nil }
+	if err := r.RegisterIfAbsent("app", first); err != nil {
+		t.Fatal(err)
+	}
+	// Second registration is a silent no-op; the first function wins.
+	if err := r.RegisterIfAbsent("app", second); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.Lookup("app")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if v, _ := e.Fn(nil, nil); v != "first" {
+		t.Fatalf("fn = %v, want the first registration", v)
+	}
+	if err := r.RegisterIfAbsent("", first); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := r.RegisterIfAbsent("x", nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+}
+
+func TestRegisterIfAbsentConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = r.RegisterIfAbsent("shared", func([]any, map[string]any) (any, error) {
+				return nil, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if _, ok := r.Lookup("shared"); !ok {
+		t.Fatal("entry missing after concurrent registration")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/executor"
+	"repro/internal/sched"
 )
 
 // Snapshot is the workload/capacity state a strategy decides from.
@@ -26,6 +27,13 @@ type Snapshot struct {
 	WorkersPerBlock int
 	// MinBlocks/MaxBlocks bound the decision.
 	MinBlocks, MaxBlocks int
+}
+
+// LoadPerWorker is outstanding work normalized by live capacity — the same
+// signal the DFK's capacity-aware scheduler ranks executors by, so strategy
+// decisions and task routing agree on what "loaded" means.
+func (s Snapshot) LoadPerWorker() float64 {
+	return sched.Load{Outstanding: s.Outstanding, Workers: s.ConnectedWorkers}.PerWorker()
 }
 
 // Strategy converts a snapshot into a scaling delta: positive = blocks to
@@ -151,9 +159,12 @@ func (c *Controller) Start() {
 // Step performs one poll/decide/apply cycle (exported so tests and the DES
 // can drive it without wall-clock waits).
 func (c *Controller) Step() {
+	// Sample workload pressure through the scheduler's load probe so the
+	// controller sees exactly the signals task routing uses.
+	load := sched.LoadOf(c.ex)
 	snap := Snapshot{
-		Outstanding:      c.ex.Outstanding(),
-		ConnectedWorkers: c.ex.ConnectedWorkers(),
+		Outstanding:      load.Outstanding,
+		ConnectedWorkers: load.Workers,
 		ActiveBlocks:     c.ex.ActiveBlocks(),
 		WorkersPerBlock:  c.cfg.WorkersPerBlock,
 		MinBlocks:        c.cfg.MinBlocks,
@@ -163,7 +174,11 @@ func (c *Controller) Step() {
 
 	if delta < 0 && c.cfg.ScaleInHoldoff > 0 {
 		c.mu.Lock()
-		if snap.Outstanding >= snap.ConnectedWorkers {
+		// Loaded at-or-above capacity, or blocks provisioned whose workers
+		// have not registered yet (booting): either way, not idle — don't
+		// start the scale-in clock under a block that is still coming up.
+		if snap.LoadPerWorker() >= 1 ||
+			(snap.ConnectedWorkers == 0 && snap.ActiveBlocks > 0) {
 			// Still busy; reset the idle clock.
 			c.idleSince = time.Time{}
 			c.mu.Unlock()

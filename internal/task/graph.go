@@ -3,121 +3,190 @@ package task
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
+
+// NumShards is the fixed shard count of the graph. Power of two so the
+// shard index is a mask of the task id; ids are dense (NextID), so the
+// round-robin id→shard mapping keeps shards balanced.
+const NumShards = 32
 
 // Graph is the dynamic task dependency DAG held by the DataFlowKernel
 // (§3.4). Nodes are task records; a directed edge u→v means v consumes u's
 // future. The graph is dynamic: nodes and edges are added as the program
 // submits apps, and execution begins as soon as the first ready task exists.
+//
+// State is sharded N ways by task id with per-shard locks, so concurrent
+// submissions from many goroutines do not contend on a single mutex: a
+// node's record, its dependency list, and its dependents list all live in
+// shard(id), and only AddEdge ever takes two shard locks (in index order).
 type Graph struct {
-	mu    sync.RWMutex
-	tasks map[int64]*Record
-	// deps[v] = ids v waits on; dependents[u] = ids waiting on u.
+	nextID atomic.Int64
+	shards [NumShards]graphShard
+}
+
+// graphShard holds the nodes whose id maps to this shard, plus the edge
+// lists keyed by those ids: deps[v] = ids v waits on; dependents[u] = ids
+// waiting on u.
+type graphShard struct {
+	mu         sync.RWMutex
+	tasks      map[int64]*Record
 	deps       map[int64][]int64
 	dependents map[int64][]int64
-	nextID     int64
 }
 
 // NewGraph returns an empty task graph.
 func NewGraph() *Graph {
-	return &Graph{
-		tasks:      make(map[int64]*Record),
-		deps:       make(map[int64][]int64),
-		dependents: make(map[int64][]int64),
+	g := &Graph{}
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.tasks = make(map[int64]*Record)
+		s.deps = make(map[int64][]int64)
+		s.dependents = make(map[int64][]int64)
 	}
+	return g
+}
+
+func (g *Graph) shard(id int64) *graphShard {
+	return &g.shards[uint64(id)&(NumShards-1)]
 }
 
 // NextID reserves and returns a fresh task id.
 func (g *Graph) NextID() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	id := g.nextID
-	g.nextID++
-	return id
+	return g.nextID.Add(1) - 1
 }
 
 // Add inserts a record. It panics if the id is already present — ids are
 // reserved through NextID, so a duplicate means engine corruption.
 func (g *Graph) Add(r *Record) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, dup := g.tasks[r.ID]; dup {
+	s := g.shard(r.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tasks[r.ID]; dup {
 		panic(fmt.Sprintf("task graph: duplicate id %d", r.ID))
 	}
-	g.tasks[r.ID] = r
+	s.tasks[r.ID] = r
 }
 
 // AddEdge records that task to depends on task from. Unknown endpoints are
 // rejected. Because tasks can only depend on futures that already exist,
 // cycles cannot be constructed, which keeps the graph a DAG by construction;
-// AddEdge still guards against from==to.
+// AddEdge still guards against from==to. Both shard locks are held together
+// (ascending index order, to prevent lock-order inversion) so the
+// deps/dependents views stay mirror images at every instant.
 func (g *Graph) AddEdge(from, to int64) error {
 	if from == to {
 		return fmt.Errorf("task graph: self edge on %d", from)
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, ok := g.tasks[from]; !ok {
+	sf, st := g.shard(from), g.shard(to)
+	if sf == st {
+		sf.mu.Lock()
+		defer sf.mu.Unlock()
+	} else {
+		first, second := sf, st
+		if uint64(from)&(NumShards-1) > uint64(to)&(NumShards-1) {
+			first, second = st, sf
+		}
+		first.mu.Lock()
+		defer first.mu.Unlock()
+		second.mu.Lock()
+		defer second.mu.Unlock()
+	}
+	if _, ok := sf.tasks[from]; !ok {
 		return fmt.Errorf("task graph: edge from unknown task %d", from)
 	}
-	if _, ok := g.tasks[to]; !ok {
+	if _, ok := st.tasks[to]; !ok {
 		return fmt.Errorf("task graph: edge to unknown task %d", to)
 	}
-	g.deps[to] = append(g.deps[to], from)
-	g.dependents[from] = append(g.dependents[from], to)
+	st.deps[to] = append(st.deps[to], from)
+	sf.dependents[from] = append(sf.dependents[from], to)
 	return nil
 }
 
 // Get returns the record for id, or nil.
 func (g *Graph) Get(id int64) *Record {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.tasks[id]
+	s := g.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tasks[id]
 }
 
 // Len returns the number of tasks.
 func (g *Graph) Len() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.tasks)
+	n := 0
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		n += len(s.tasks)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardCounts returns the number of tasks held by each shard; the sum
+// always equals Len. Exposed for balance checks in tests and monitoring.
+func (g *Graph) ShardCounts() []int {
+	out := make([]int, NumShards)
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		out[i] = len(s.tasks)
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // EdgeCount returns the number of dependency edges.
 func (g *Graph) EdgeCount() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	n := 0
-	for _, d := range g.deps {
-		n += len(d)
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		for _, d := range s.deps {
+			n += len(d)
+		}
+		s.mu.RUnlock()
 	}
 	return n
 }
 
 // Deps returns a copy of the ids task id depends on.
 func (g *Graph) Deps(id int64) []int64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]int64, len(g.deps[id]))
-	copy(out, g.deps[id])
+	s := g.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, len(s.deps[id]))
+	copy(out, s.deps[id])
 	return out
 }
 
 // Dependents returns a copy of the ids that depend on task id.
 func (g *Graph) Dependents(id int64) []int64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]int64, len(g.dependents[id]))
-	copy(out, g.dependents[id])
+	s := g.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, len(s.dependents[id]))
+	copy(out, s.dependents[id])
 	return out
 }
 
-// Tasks returns a snapshot of all records (unordered).
+// Tasks returns a snapshot of all records (unordered). The snapshot is
+// per-shard consistent, not globally atomic: records added concurrently may
+// or may not appear.
 func (g *Graph) Tasks() []*Record {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]*Record, 0, len(g.tasks))
-	for _, r := range g.tasks {
-		out = append(out, r)
+	var out []*Record
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		if out == nil {
+			// Dense ids spread uniformly; the first shard's size estimates
+			// the total without a second full lock sweep.
+			out = make([]*Record, 0, len(s.tasks)*NumShards)
+		}
+		for _, r := range s.tasks {
+			out = append(out, r)
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }
@@ -125,24 +194,30 @@ func (g *Graph) Tasks() []*Record {
 // CountByState tallies tasks per state; used by the elasticity strategy to
 // measure workload pressure and by monitoring summaries.
 func (g *Graph) CountByState() map[State]int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	counts := make(map[State]int)
-	for _, r := range g.tasks {
-		counts[r.State()]++
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		for _, r := range s.tasks {
+			counts[r.State()]++
+		}
+		s.mu.RUnlock()
 	}
 	return counts
 }
 
 // Outstanding returns the number of tasks not yet in a terminal state.
 func (g *Graph) Outstanding() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	n := 0
-	for _, r := range g.tasks {
-		if !r.State().Terminal() {
-			n++
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		for _, r := range s.tasks {
+			if !r.State().Terminal() {
+				n++
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return n
 }

@@ -122,6 +122,65 @@ func TestGraphTasksSnapshot(t *testing.T) {
 	}
 }
 
+func TestGraphShardCountsSumToLen(t *testing.T) {
+	g := NewGraph()
+	const n = 500
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/8; j++ {
+				g.Add(NewRecord(g.NextID(), "a", nil, nil))
+			}
+		}()
+	}
+	wg.Wait()
+	counts := g.ShardCounts()
+	if len(counts) != NumShards {
+		t.Fatalf("ShardCounts len = %d, want %d", len(counts), NumShards)
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != g.Len() || sum != (n/8)*8 {
+		t.Fatalf("shard counts sum %d, Len %d", sum, g.Len())
+	}
+	// Dense ids over a power-of-two mask: shards must be near-uniform.
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d empty after %d dense inserts", i, sum)
+		}
+	}
+}
+
+func TestGraphCrossShardEdges(t *testing.T) {
+	g := NewGraph()
+	// Ids 0 and 1 land in different shards; 0 and NumShards in the same one.
+	for _, id := range []int64{0, 1, NumShards} {
+		g.Add(NewRecord(id, "a", nil, nil))
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(NumShards, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Deps(0); len(got) != 2 {
+		t.Fatalf("Deps(0) = %v", got)
+	}
+	if got := g.Dependents(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Dependents(0) = %v", got)
+	}
+	if g.EdgeCount() != 3 {
+		t.Fatalf("edges = %d", g.EdgeCount())
+	}
+}
+
 // Property: the deps/dependents views are always mirror images, and edge
 // count equals the number of successful AddEdge calls.
 func TestQuickGraphMirrorInvariant(t *testing.T) {

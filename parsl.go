@@ -35,6 +35,7 @@ import (
 	"repro/internal/future"
 	"repro/internal/monitor"
 	"repro/internal/provider"
+	"repro/internal/sched"
 	"repro/internal/serialize"
 	"repro/internal/simnet"
 )
@@ -57,6 +58,12 @@ type (
 	Registry = serialize.Registry
 	// Fn is the executable app signature.
 	Fn = serialize.Fn
+	// Scheduler picks an executor for each ready task. Set Config.Scheduler
+	// (or Config.SchedulerPolicy by name) to replace the paper's random
+	// selection with round-robin or capacity-aware routing.
+	Scheduler = sched.Scheduler
+	// SchedulerLoad is one executor's live load signal set.
+	SchedulerLoad = sched.Load
 )
 
 // Re-exported constructors and options.
@@ -88,6 +95,14 @@ var (
 	WaitAll = future.Wait
 	// AsCompleted yields futures in completion order.
 	AsCompleted = future.AsCompleted
+	// Scheduler constructors: NewRandomScheduler is the paper-faithful
+	// default (seedable), NewRoundRobinScheduler cycles deterministically,
+	// and NewLeastOutstandingScheduler routes by live outstanding-per-worker
+	// load. SchedulerByName resolves the Config.SchedulerPolicy strings.
+	NewRandomScheduler           = sched.NewRandom
+	NewRoundRobinScheduler       = sched.NewRoundRobin
+	NewLeastOutstandingScheduler = sched.NewLeastOutstanding
+	SchedulerByName              = sched.ByName
 )
 
 // Barrier is the reusable multi-future barrier (future work §7).
@@ -99,6 +114,22 @@ func NewLocal(n int) (*DFK, error) {
 	reg := serialize.NewRegistry()
 	tp := threadpool.New("local", n, reg)
 	return dfk.New(dfk.Config{Registry: reg, Executors: []executor.Executor{tp}})
+}
+
+// NewLocalMulti builds a DFK over several thread pools — one per entry in
+// workersPerPool — selected by the named scheduling policy ("random",
+// "round-robin", "least-outstanding"). The smallest deployment where the
+// scheduler choice is observable.
+func NewLocalMulti(policy string, workersPerPool ...int) (*DFK, error) {
+	if len(workersPerPool) == 0 {
+		return nil, fmt.Errorf("parsl: NewLocalMulti needs at least one pool")
+	}
+	reg := serialize.NewRegistry()
+	exs := make([]executor.Executor, len(workersPerPool))
+	for i, n := range workersPerPool {
+		exs[i] = threadpool.New(fmt.Sprintf("local-%d", i), n, reg)
+	}
+	return dfk.New(dfk.Config{Registry: reg, Executors: exs, SchedulerPolicy: policy})
 }
 
 // NewLocalHTEX builds a DFK over a full HTEX deployment (interchange,

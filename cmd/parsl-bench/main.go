@@ -7,6 +7,7 @@
 //	parsl-bench maxworkers   Table 2 — maximum workers / nodes per framework
 //	parsl-bench throughput   Table 2 — tasks/second per framework
 //	parsl-bench elasticity   Fig. 5/6 — utilization with and without elasticity
+//	parsl-bench submission   priority dispatch + cancellation through App.Submit
 //	parsl-bench all          everything above
 //
 // Latency, throughput-at-laptop-scale, and elasticity run on the real
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|all>\n")
 		flag.PrintDefaults()
 	}
 	tasks := flag.Int("tasks", 1000, "tasks for the latency experiment")
@@ -56,6 +57,8 @@ func main() {
 		run("Table 2: throughput", runThroughput)
 	case "elasticity":
 		run("Fig. 5/6: elasticity", func() error { return runElasticity(*timeScaleMs) })
+	case "submission":
+		run("submission API: priority + cancellation", func() error { return runSubmission(*tasks) })
 	case "all":
 		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
 		run("Fig. 4 (top): strong scaling", func() error { return runStrong(*full) })
@@ -63,6 +66,7 @@ func main() {
 		run("Table 2: maximum workers", runMaxWorkers)
 		run("Table 2: throughput", runThroughput)
 		run("Fig. 5/6: elasticity", func() error { return runElasticity(*timeScaleMs) })
+		run("submission API: priority + cancellation", func() error { return runSubmission(*tasks) })
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	parsl "repro"
+)
+
+// runSubmission demonstrates the context-aware submission API on a live DFK:
+// a backlogged thread pool is fed a burst of background tasks, then a
+// high-priority probe (WithPriority) and a canceled batch (context
+// cancellation), and the observed completion order and cancellation
+// effectiveness are reported. This is the qualitative companion to the
+// quantitative go-test benchmarks: it shows priority dispatch and
+// cancellation propagation end to end, not just their overheads.
+func runSubmission(tasks int) error {
+	if tasks <= 0 {
+		tasks = 200
+	}
+	d, err := parsl.NewLocal(2)
+	if err != nil {
+		return err
+	}
+	defer d.Shutdown()
+
+	sleep, err := d.PythonApp("bench-sleep", func(args []any, _ map[string]any) (any, error) {
+		time.Sleep(time.Duration(args[0].(int)) * time.Microsecond)
+		return args[0], nil
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+
+	// Backlog the pool, then submit one high-priority probe and measure how
+	// long it waits versus a plain probe submitted at the same moment.
+	futs := make([]*parsl.Future, tasks)
+	for i := 0; i < tasks; i++ {
+		futs[i] = sleep.Submit(ctx, []any{500})
+	}
+	probeStart := time.Now()
+	urgent := sleep.Submit(ctx, []any{1}, parsl.WithPriority(100))
+	plain := sleep.Submit(ctx, []any{1})
+	if _, err := urgent.ResultCtx(ctx); err != nil {
+		return err
+	}
+	urgentLat := time.Since(probeStart)
+	if _, err := plain.ResultCtx(ctx); err != nil {
+		return err
+	}
+	plainLat := time.Since(probeStart)
+	if err := parsl.WaitAll(futs...); err != nil {
+		return err
+	}
+	fmt.Printf("backlog of %d tasks: urgent probe %v, plain probe %v\n", tasks, urgentLat, plainLat)
+
+	// Cancellation: submit a second backlog under a cancelable context and
+	// cancel it immediately; count how many tasks actually ran.
+	cctx, cancel := context.WithCancel(ctx)
+	canceled := make([]*parsl.Future, tasks)
+	for i := 0; i < tasks; i++ {
+		canceled[i] = sleep.Submit(cctx, []any{500})
+	}
+	cancel()
+	ran, dropped := 0, 0
+	for _, f := range canceled {
+		if _, err := f.Result(); err != nil {
+			dropped++
+		} else {
+			ran++
+		}
+	}
+	d.WaitAll()
+	fmt.Printf("canceled mid-burst: %d of %d tasks dropped before running, %d already done\n",
+		dropped, tasks, ran)
+
+	// Typed facade round trip, for the record.
+	echo := parsl.Typed1[int, int](sleep)
+	if v, err := echo(ctx, 1).Result(ctx); err != nil || v != 1 {
+		return fmt.Errorf("typed round trip: %v, %v", v, err)
+	}
+	fmt.Println("typed submission round trip: ok")
+	return nil
+}

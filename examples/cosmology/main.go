@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -90,9 +91,10 @@ func main() {
 	const bundleSize = 16 // tasks per bundle, sized to the node
 
 	start := time.Now()
+	ctx := context.Background()
 	catalogFuts := make([]*parsl.Future, catalogs)
 	for i := 0; i < catalogs; i++ {
-		catalogFuts[i] = catalog.Call(i)
+		catalogFuts[i] = catalog.Submit(ctx, []any{i})
 	}
 
 	// Rebalance: group catalogs into bundles so each dispatch matches a
@@ -104,7 +106,7 @@ func main() {
 		for j, idx := range bundle {
 			group[j] = catalogFuts[idx]
 		}
-		simFuts[bi] = simulate.Call(group)
+		simFuts[bi] = simulate.Submit(ctx, []any{group})
 	}
 
 	totalObjects := 0

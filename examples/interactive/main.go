@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -69,10 +71,16 @@ func main() {
 		futs := make([]*parsl.Future, len(cfgs))
 		start := time.Now()
 		for i, c := range cfgs {
-			futs[i] = evaluate.Call(c.degree, c.ridge)
+			// Interactive sweeps are deadline-bound: a config that cannot
+			// train within a second is abandoned, not waited on.
+			futs[i] = evaluate.Submit(context.Background(), []any{c.degree, c.ridge},
+				parsl.WithTimeout(time.Second))
 		}
 		for i, f := range futs {
 			v, err := f.Result()
+			if errors.Is(err, parsl.ErrTaskTimeout) {
+				continue // too slow for the interactive budget: skip, don't abort
+			}
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -84,8 +85,11 @@ func main() {
 
 	weights := parsl.MustFile(modelServer.URL + "/models/classifier/weights.csv")
 
-	// Stage the weights once via a warm-up request.
-	if _, err := infer.Call(weights, 0.0, 0.0).Result(); err != nil {
+	// Stage the weights once via a warm-up request. The typed adapter gives
+	// each serving request a compile-time bool result.
+	ctx := context.Background()
+	classify := parsl.Typed3[*parsl.File, float64, float64, bool](infer)
+	if _, err := classify(ctx, weights, 0.0, 0.0).Result(ctx); err != nil {
 		log.Fatal(err)
 	}
 
@@ -108,13 +112,13 @@ func main() {
 				x1 := float64((c*perClient+i)%17) / 4.0
 				x2 := float64((c*perClient+i)%11) / 3.0
 				at := time.Now()
-				v, err := infer.Call(weights, x1, x2).Result()
+				positive, err := classify(ctx, weights, x1, x2).Result(ctx)
 				if err != nil {
 					log.Fatal(err)
 				}
 				mu.Lock()
 				lats = append(lats, time.Since(at))
-				if v.(bool) {
+				if positive {
 					positives++
 				}
 				mu.Unlock()

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -64,11 +65,14 @@ func main() {
 
 	const tasks = 64
 	const perTask = 100_000
+	ctx := context.Background()
 	futs := make([]any, tasks)
 	for i := 0; i < tasks; i++ {
-		futs[i] = sample.Call(i, perTask)
+		futs[i] = sample.Submit(ctx, []any{i, perTask})
 	}
-	v, err := reduce.Call(futs).Result()
+	// The reduction gets a higher priority than the fan-out: once its inputs
+	// resolve it jumps any still-queued sampling work.
+	v, err := reduce.Submit(ctx, []any{futs}, parsl.WithPriority(10)).ResultCtx(ctx)
 	must(err)
 
 	inside := v.(int)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A DFK over a local 4-worker thread pool: the laptop configuration.
 	d, err := parsl.NewLocal(4)
 	if err != nil {
@@ -36,11 +38,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Invocation returns futures immediately (§3.1.2).
-	f1 := hello.Call("World")
-	f2 := hello2.Call("World")
+	// Submission returns futures immediately (§3.1.2). The context-aware
+	// entry point accepts per-call options; canceling ctx would cancel the
+	// task and fail its dependents.
+	f1 := hello.Submit(ctx, []any{"World"})
+	f2 := hello2.Submit(ctx, []any{"World"})
 
-	v, err := f1.Result()
+	// The typed adapter trades `any` for compile-time types.
+	greet := parsl.Typed1[string, string](hello)
+	if msg, err := greet(ctx, "typed World").Result(ctx); err == nil {
+		fmt.Println("typed app:", msg) // msg is a string, no assertion
+	}
+
+	v, err := f1.ResultCtx(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,11 +73,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	root := add.Call(1)
-	left := add.Call(root, 10)
-	right := add.Call(root, 100)
-	joined := add.Call(left, right)
-	total, err := joined.Result()
+	// The high-priority branch jumps ahead when an executor lane backs up.
+	root := add.Submit(ctx, []any{1})
+	left := add.Submit(ctx, []any{root, 10}, parsl.WithPriority(1))
+	right := add.Submit(ctx, []any{root, 100})
+	joined := add.Submit(ctx, []any{left, right})
+	total, err := joined.ResultCtx(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

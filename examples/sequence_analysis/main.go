@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -112,6 +113,7 @@ func main() {
 	must(err)
 
 	// Create input samples (thousands of multi-GB genomes in production).
+	ctx := context.Background()
 	const samples = 8
 	var vcfFutures []any
 	for i := 0; i < samples; i++ {
@@ -121,12 +123,13 @@ func main() {
 		}
 		sample := parsl.MustFile(path)
 		// Chain per-sample stages by passing futures (§3.3); the samples
-		// themselves run concurrently.
-		bam := align.Call(sample)
-		sorted := sortApp.Call(bam)
-		vcfFutures = append(vcfFutures, call.Call(sorted))
+		// themselves run concurrently. Retries are tuned per stage: aligners
+		// flake, so alignment gets one attempt beyond the DFK-wide budget.
+		bam := align.Submit(ctx, []any{sample}, parsl.WithRetries(3))
+		sorted := sortApp.Submit(ctx, []any{bam})
+		vcfFutures = append(vcfFutures, call.Submit(ctx, []any{sorted}))
 	}
-	cohort, err := merge.Call(vcfFutures).Result()
+	cohort, err := merge.Submit(ctx, []any{vcfFutures}).ResultCtx(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package dfk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -84,8 +85,14 @@ func (e *DependencyError) Error() string {
 // Unwrap exposes the underlying dependency failure.
 func (e *DependencyError) Unwrap() error { return e.Err }
 
-// ErrTimeout is wrapped into task failures caused by TaskTimeout.
+// ErrTimeout is wrapped into task failures caused by TaskTimeout (or the
+// per-call WithTimeout/WithDeadline overrides).
 var ErrTimeout = errors.New("dfk: task attempt timed out")
+
+// ErrCanceled is wrapped into task failures caused by cancellation of the
+// submission context. The context's own error is wrapped alongside it, so
+// errors.Is(err, context.Canceled) holds too.
+var ErrCanceled = errors.New("dfk: submission canceled")
 
 // DFK is the DataFlowKernel.
 type DFK struct {
@@ -185,7 +192,7 @@ func New(cfg Config) (*DFK, error) {
 	}
 	d.lanes = make(map[string]*lane, len(d.execList))
 	for _, ex := range d.execList {
-		l := &lane{ex: ex, queue: newDispatchQueue()}
+		l := &lane{ex: ex, queue: newLaneQueue()}
 		d.lanes[ex.Label()] = l
 		d.laneWG.Add(1)
 		go d.laneRunner(l)
@@ -214,8 +221,16 @@ func (d *DFK) Executor(label string) (executor.Executor, bool) {
 func (d *DFK) Scheduler() sched.Scheduler { return d.schedr }
 
 // Loads samples live load signals from every configured executor, in config
-// order — the same view the capacity-aware scheduler decides from.
-func (d *DFK) Loads() []sched.Load { return sched.Loads(d.execList) }
+// order — the same view the capacity-aware scheduler decides from. Each
+// Load carries the highest dispatch priority still queued in the executor's
+// lane, so strategies can see urgent backlog, not just its size.
+func (d *DFK) Loads() []sched.Load {
+	out := sched.Loads(d.execList)
+	for i, ex := range d.execList {
+		out[i].MaxQueuedPriority = d.lanes[ex.Label()].queue.maxPriority()
+	}
+	return out
+}
 
 // App is an invocable Parsl app — what the @python_app/@bash_app decorators
 // produce. Calling it registers a task and returns its future immediately.
@@ -298,20 +313,49 @@ func (d *DFK) registerApp(name string, fn serialize.Fn, opts []AppOption) (*App,
 	return &App{dfk: d, name: name, memoize: memoize, hints: o.hints, bodyHash: entry.BodyHash()}, nil
 }
 
+// Submit invokes the app asynchronously with positional args under ctx,
+// returning the AppFuture. Futures among the args become dependencies.
+// Canceling ctx before the task completes cancels it: the future fails with
+// an error wrapping ErrCanceled (and the context's error), dependents fail
+// with a DependencyError, and work not yet started is dropped from the
+// dispatch pipeline and, where the executor supports it, from the executor
+// itself. CallOptions override registration-time and DFK-wide defaults for
+// this invocation only.
+func (a *App) Submit(ctx context.Context, args []any, opts ...CallOption) *future.Future {
+	return a.SubmitKw(ctx, nil, args, opts...)
+}
+
+// SubmitKw is Submit with keyword arguments.
+func (a *App) SubmitKw(ctx context.Context, kwargs map[string]any, args []any, opts ...CallOption) *future.Future {
+	var o callOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return a.dfk.submit(ctx, a, args, kwargs, &o)
+}
+
 // Call invokes the app asynchronously with positional args, returning the
-// AppFuture. Futures among the args become dependencies.
+// AppFuture. It is Submit under a background context, kept as the
+// compatibility surface for programs that predate the context-aware API.
 func (a *App) Call(args ...any) *future.Future {
-	return a.CallKw(nil, args...)
+	return a.Submit(context.Background(), args)
 }
 
 // CallKw invokes the app with keyword and positional arguments.
 func (a *App) CallKw(kwargs map[string]any, args ...any) *future.Future {
-	return a.dfk.submit(a, args, kwargs)
+	return a.SubmitKw(context.Background(), kwargs, args)
 }
 
-// submit is the core of App invocation: build the task record, wire
-// dependency callbacks, and launch when ready.
-func (d *DFK) submit(a *App, args []any, kwargs map[string]any) *future.Future {
+// submit is the core of App invocation: build the task record, apply the
+// per-call options, wire dependency callbacks and the cancellation watcher,
+// and launch when ready.
+func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]any, o *callOpts) *future.Future {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return future.FromError(fmt.Errorf("%w: %w", ErrCanceled, err))
+	}
 	d.mu.RLock()
 	if d.shutdown {
 		d.mu.RUnlock()
@@ -323,9 +367,31 @@ func (d *DFK) submit(a *App, args []any, kwargs map[string]any) *future.Future {
 	id := d.graph.NextID()
 	rec := task.NewRecord(id, a.name, args, kwargs)
 	rec.SetMaxRetries(d.cfg.Retries)
+	if o.retries != nil {
+		rec.SetMaxRetries(*o.retries)
+	}
 	rec.Hints = a.hints
+	if o.executor != "" {
+		rec.Hints = []string{o.executor}
+	}
+	rec.SetPriority(o.priority)
+	if o.timeout > 0 {
+		rec.SetTimeout(o.timeout)
+	}
+	if !o.deadline.IsZero() {
+		rec.SetDeadline(o.deadline)
+	}
+	if o.memoKey != "" {
+		rec.SetMemoKeyOverride(o.memoKey)
+	}
 	d.graph.Add(rec)
 	rec.Future.AddDoneCallback(func(*future.Future) { d.wg.Done() })
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			d.cancelTask(rec, fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx)))
+		})
+		rec.Future.AddDoneCallback(func(*future.Future) { stop() })
+	}
 
 	// Collect dependencies: futures anywhere in args/kwargs, plus staging
 	// tasks for unstaged remote files (§4.5).
@@ -413,7 +479,7 @@ func (d *DFK) stageInTask(f *data.File) *future.Future {
 	// The transfer task returns the staged path; record the translation on
 	// the original *File here on the submit side, so it survives the
 	// executor serialization boundary.
-	inner := d.submit(stageApp, []any{f.URL}, nil)
+	inner := d.submit(context.Background(), stageApp, []any{f.URL}, nil, &callOpts{})
 	return future.Then(inner, func(v any) (any, error) {
 		p, ok := v.(string)
 		if !ok {
@@ -430,19 +496,52 @@ func (d *DFK) stageInTask(f *data.File) *future.Future {
 func (d *DFK) launch(rec *task.Record, a *App) {
 	args, kwargs := resolveArgs(rec.Args, rec.Kwargs)
 
-	if a.memoize {
-		key, err := memo.Key(a.name, a.bodyHash, args, kwargs)
-		if err == nil {
-			rec.SetMemoKey(key)
-			if v, hit := d.memoizer.Lookup(key); hit {
-				d.emitState(rec, rec.State().String(), "memoized")
-				_ = rec.SetState(task.Memoized)
-				_ = rec.Future.SetResult(v)
-				return
+	// An explicit per-call memo key turns memoization on for the invocation
+	// regardless of how the app was registered; otherwise the key is the
+	// hash of app identity and resolved arguments (§4.6).
+	memoKey := rec.MemoKeyOverride()
+	if memoKey == "" && a.memoize {
+		if key, err := memo.Key(a.name, a.bodyHash, args, kwargs); err == nil {
+			memoKey = key
+		}
+	}
+	if memoKey != "" {
+		rec.SetMemoKey(memoKey)
+		if v, hit := d.memoizer.Lookup(memoKey); hit {
+			d.emitState(rec, rec.State().String(), "memoized")
+			_ = rec.SetState(task.Memoized)
+			_ = rec.Future.SetResult(v)
+			return
+		}
+	}
+	d.enqueueAttempt(&pendingLaunch{
+		rec: rec, app: a, args: args, kwargs: kwargs,
+		wireID: rec.ID, priority: rec.Priority(),
+	})
+}
+
+// cancelTask concludes a task whose submission context was canceled. The
+// task future fails with cause (dependents observe a DependencyError as for
+// any failure), the in-flight attempt — if one exists — is concluded so its
+// lane entry becomes a recognizable no-op, and the executor is asked to drop
+// the attempt when it already crossed the submission boundary and the
+// executor supports cancellation. Idempotent and a no-op on terminal tasks,
+// so canceling after completion changes nothing.
+func (d *DFK) cancelTask(rec *task.Record, cause error) {
+	if rec.State().Terminal() {
+		return
+	}
+	d.failTask(rec, cause)
+	if af, wire := rec.Attempt(); af != nil {
+		// Conclude the attempt after failTask: attemptDone's terminal guard
+		// then sees a settled task and neither retries nor double-fails.
+		_ = af.SetError(cause)
+		if label := rec.Executor(); label != "" {
+			if c, ok := d.executors[label].(executor.Canceler); ok {
+				c.Cancel(wire)
 			}
 		}
 	}
-	d.enqueueAttempt(&pendingLaunch{rec: rec, app: a, args: args, kwargs: kwargs, wireID: rec.ID})
 }
 
 func (d *DFK) completeTask(rec *task.Record, a *App, v any) {
@@ -497,7 +596,8 @@ func (d *DFK) newRouter() *router {
 		r.frozen = make(map[string]*sched.Frozen, len(d.execList))
 		r.base = make([]executor.Executor, len(d.execList))
 		for i, ex := range d.execList {
-			f := sched.Freeze(ex, int(d.lanes[ex.Label()].queued.Load()))
+			l := d.lanes[ex.Label()]
+			f := sched.FreezeLane(ex, int(l.queued.Load()), l.queue.maxPriority())
 			r.frozen[ex.Label()] = f
 			r.base[i] = f
 		}
@@ -507,9 +607,10 @@ func (d *DFK) newRouter() *router {
 
 // pick applies hints to narrow the eligible set and delegates the choice
 // to the configured scheduler (the paper's "picked at random" policy is
-// the default). The returned executor is always one of the DFK's real
+// the default). Priority-aware schedulers additionally see the task's
+// dispatch priority. The returned executor is always one of the DFK's real
 // executors, never a snapshot view.
-func (r *router) pick(hints []string) (executor.Executor, error) {
+func (r *router) pick(hints []string, priority int) (executor.Executor, error) {
 	candidates := r.base
 	if len(hints) > 0 {
 		candidates = make([]executor.Executor, 0, len(hints))
@@ -524,7 +625,13 @@ func (r *router) pick(hints []string) (executor.Executor, error) {
 			}
 		}
 	}
-	ex, err := r.d.schedr.Pick(candidates)
+	var ex executor.Executor
+	var err error
+	if pp, ok := r.d.schedr.(sched.PriorityPicker); ok {
+		ex, err = pp.PickPriority(candidates, priority)
+	} else {
+		ex, err = r.d.schedr.Pick(candidates)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dfk: %w", err)
 	}

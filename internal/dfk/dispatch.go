@@ -1,6 +1,7 @@
 package dfk
 
 import (
+	"container/heap"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,10 @@ type pendingLaunch struct {
 	// the task id would let the stale attempt's late result complete (or
 	// corrupt the accounting of) the new one.
 	wireID int64
+	// priority caches rec.Priority(), which is immutable once the task is
+	// ready: heap comparisons and routing run on the dispatch hot path and
+	// must not take the record mutex per element.
+	priority int
 }
 
 // dispatchQueue is the unbounded MPSC queue between the submit/callback side
@@ -102,14 +107,105 @@ func (q *dispatchQueue) close() {
 	q.cond.Broadcast()
 }
 
-// lane is the per-executor leg of the dispatch pipeline: a queue of routed
-// tasks plus a runner goroutine that submits them in batches. Per-executor
-// lanes keep one backlogged executor (a blocking Submit/SubmitBatch into a
-// full input queue) from head-of-line-blocking dispatch to every other
+// laneHeap orders routed-but-unsubmitted attempts by dispatch priority
+// (higher first), breaking ties by wire id (lower first), so equal-priority
+// work keeps submission order and WithPriority is observable the moment a
+// lane backs up.
+type laneHeap []*pendingLaunch
+
+func (h laneHeap) Len() int { return len(h) }
+func (h laneHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].wireID < h[j].wireID
+}
+func (h laneHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *laneHeap) Push(x any)   { *h = append(*h, x.(*pendingLaunch)) }
+func (h *laneHeap) Pop() any {
+	old := *h
+	n := len(old)
+	pl := old[n-1]
+	old[n-1] = nil // do not pin submitted tasks
+	*h = old[:n-1]
+	return pl
+}
+
+// laneQueue is the priority-ordered per-executor queue: same blocking
+// push/take/close contract as dispatchQueue, but take drains in priority
+// order rather than FIFO. The routing queue upstream stays FIFO — ordering
+// only matters where tasks actually wait, which is the lane of a backlogged
 // executor.
+type laneQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	h      laneHeap
+	closed bool
+}
+
+func newLaneQueue() *laneQueue {
+	q := &laneQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push adds one routed task. It never blocks.
+func (q *laneQueue) push(pl *pendingLaunch) {
+	q.mu.Lock()
+	heap.Push(&q.h, pl)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// take blocks until at least one task is queued (returning up to max of
+// them, highest priority first) or the queue is closed and drained.
+func (q *laneQueue) take(max int) ([]*pendingLaunch, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.h) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	n := len(q.h)
+	if n > max {
+		n = max
+	}
+	batch := make([]*pendingLaunch, n)
+	for i := 0; i < n; i++ {
+		batch[i] = heap.Pop(&q.h).(*pendingLaunch)
+	}
+	return batch, true
+}
+
+// maxPriority peeks the highest priority currently queued (0 when empty) —
+// the lane-backlog urgency signal surfaced through sched.Load.
+func (q *laneQueue) maxPriority() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.h) == 0 {
+		return 0
+	}
+	return q.h[0].priority
+}
+
+// close marks the queue finished; take drains remaining items first.
+func (q *laneQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// lane is the per-executor leg of the dispatch pipeline: a priority queue of
+// routed tasks plus a runner goroutine that submits them in batches.
+// Per-executor lanes keep one backlogged executor (a blocking
+// Submit/SubmitBatch into a full input queue) from head-of-line-blocking
+// dispatch to every other executor.
 type lane struct {
 	ex    executor.Executor
-	queue *dispatchQueue
+	queue *laneQueue
 	// queued counts tasks routed to this lane but not yet submitted — load
 	// the executor's own Outstanding cannot see yet. Capacity-aware
 	// scheduling seeds each cycle's sched.Frozen snapshot with it.
@@ -129,7 +225,7 @@ func (d *DFK) dispatcher() {
 		}
 		route := d.newRouter()
 		for _, pl := range batch {
-			ex, err := route.pick(pl.rec.Hints)
+			ex, err := route.pick(pl.rec.Hints, pl.priority)
 			if err != nil {
 				// Fail the task first, then complete the attempt: the
 				// done-callback stops the timeout timer, and attemptDone's
@@ -177,6 +273,7 @@ func (d *DFK) laneRunner(l *lane) {
 			}
 			msgs = append(msgs, serialize.TaskMsg{
 				ID: pl.wireID, App: pl.app.name, Args: pl.args, Kwargs: pl.kwargs,
+				Priority: pl.priority,
 			})
 			live = append(live, pl)
 		}
@@ -213,16 +310,40 @@ func forward(execFut, attempt *future.Future) {
 }
 
 // enqueueAttempt arms one execution attempt — its outcome future, the
-// TaskTimeout timer against it, and the retry-or-finish handler — and hands
+// timeout timer against it, and the retry-or-finish handler — and hands
 // it to the dispatch queue. Arming the timer here, not after submission,
-// is what makes the TaskTimeout contract hold for tasks stuck behind a
-// backlogged lane: the clock runs while they queue.
+// is what makes the timeout contract hold for tasks stuck behind a
+// backlogged lane: the clock runs while they queue. The per-call
+// WithTimeout/WithDeadline options override Config.TaskTimeout; a deadline
+// bounds each attempt by the wall-clock time remaining.
 func (d *DFK) enqueueAttempt(pl *pendingLaunch) {
 	pl.attempt = future.New()
+	pl.rec.SetAttempt(pl.attempt, pl.wireID)
+	dur := d.cfg.TaskTimeout
+	if t := pl.rec.Timeout(); t > 0 {
+		dur = t
+	}
+	if dl := pl.rec.Deadline(); !dl.IsZero() {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			// The deadline has already passed — first attempts and retries
+			// alike fail here, synchronously, rather than racing a zero
+			// timer against dispatch (a fast executor could otherwise
+			// complete work past its deadline). failTask before settling
+			// the attempt keeps attemptDone's terminal guard from retrying.
+			err := fmt.Errorf("%w: deadline %v already passed", ErrTimeout, dl.Format(time.RFC3339Nano))
+			d.failTask(pl.rec, err)
+			_ = pl.attempt.SetError(err)
+			return
+		}
+		if dur <= 0 || rem < dur {
+			dur = rem
+		}
+	}
 	var timer *time.Timer
-	if d.cfg.TaskTimeout > 0 {
-		timer = time.AfterFunc(d.cfg.TaskTimeout, func() {
-			_ = pl.attempt.SetError(fmt.Errorf("%w after %v", ErrTimeout, d.cfg.TaskTimeout))
+	if dur > 0 {
+		timer = time.AfterFunc(dur, func() {
+			_ = pl.attempt.SetError(fmt.Errorf("%w after %v", ErrTimeout, dur))
 		})
 	}
 	pl.attempt.AddDoneCallback(func(af *future.Future) {
@@ -273,7 +394,7 @@ func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
 			// they never collide with any task's first-attempt id).
 			next := &pendingLaunch{
 				rec: pl.rec, app: pl.app, args: pl.args, kwargs: pl.kwargs,
-				wireID: d.graph.NextID(),
+				wireID: d.graph.NextID(), priority: pl.priority,
 			}
 			d.enqueueAttempt(next)
 			return

@@ -1,0 +1,58 @@
+package dfk
+
+import "time"
+
+// CallOption customizes one submission (App.Submit/SubmitKw). Registration
+// options (AppOption) set per-app defaults; CallOptions override them per
+// invocation and ride on the task record through the dispatch pipeline.
+type CallOption func(*callOpts)
+
+type callOpts struct {
+	priority int
+	executor string
+	deadline time.Time
+	timeout  time.Duration
+	retries  *int
+	memoKey  string
+}
+
+// WithPriority sets the task's dispatch priority. Higher values dispatch
+// first from a backlogged executor lane; the default is 0, and equal
+// priorities dispatch in submission order.
+func WithPriority(p int) CallOption {
+	return func(o *callOpts) { o.priority = p }
+}
+
+// WithExecutor pins this invocation to one executor label, overriding the
+// app's registration-time WithExecutors hints.
+func WithExecutor(label string) CallOption {
+	return func(o *callOpts) { o.executor = label }
+}
+
+// WithDeadline bounds every execution attempt by an absolute deadline,
+// overriding Config.TaskTimeout. A deadline already passed when the task
+// becomes ready fails it without dispatch.
+func WithDeadline(t time.Time) CallOption {
+	return func(o *callOpts) { o.deadline = t }
+}
+
+// WithTimeout bounds each execution attempt by d (measured, like
+// Config.TaskTimeout, from when the ready task enters the dispatch queue),
+// overriding the DFK-wide default for this call only.
+func WithTimeout(d time.Duration) CallOption {
+	return func(o *callOpts) { o.timeout = d }
+}
+
+// WithRetries overrides the DFK-wide retry budget for this call (0 = fail on
+// first error).
+func WithRetries(n int) CallOption {
+	return func(o *callOpts) { o.retries = &n }
+}
+
+// WithMemoKey memoizes this invocation under an explicit key instead of the
+// hash of app body and arguments, and enables memoization for the call even
+// if the app was registered without it. Distinct invocations submitted with
+// the same key share one result.
+func WithMemoKey(key string) CallOption {
+	return func(o *callOpts) { o.memoKey = key }
+}

@@ -58,6 +58,22 @@ type BatchSubmitter interface {
 	SubmitBatch(msgs []serialize.TaskMsg) []*future.Future
 }
 
+// Canceler is implemented by executors that can drop submitted work that
+// has not started running. Cancel names the task by its wire id and reports
+// whether the cancellation settled the task's executor-side future (false
+// when the task is unknown or already completed). Cancellation is a queue
+// operation, not a kill: work already running is never preempted, and how
+// much the bool promises depends on the executor's distance. The in-process
+// threadpool claims the task atomically, so true means the work will never
+// start; distributed executors (htex) settle the client-side handle and
+// forward a best-effort drop — true there means the result will be
+// discarded, while a task already executing remotely still runs to
+// completion. Callers with non-idempotent work must not treat true as proof
+// that no side effects occurred.
+type Canceler interface {
+	Cancel(wireID int64) bool
+}
+
 // ErrShutdown is returned by Submit after Shutdown.
 var ErrShutdown = errors.New("executor: shut down")
 

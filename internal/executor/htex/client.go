@@ -264,6 +264,34 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 	return futs
 }
 
+// Cancel implements executor.Canceler: the task's client-side future is
+// settled with future.ErrCanceled and a CANCEL frame is sent so the
+// interchange drops the task from its queue (or forwards the drop to the
+// manager holding it). Best effort past the client: a task already running
+// on a worker is not preempted — its late result is simply ignored, since
+// the pending entry is gone.
+func (e *Executor) Cancel(wireID int64) bool {
+	e.mu.Lock()
+	fut, ok := e.pending[wireID]
+	if ok {
+		delete(e.pending, wireID)
+		delete(e.inflight, wireID)
+	}
+	dealer := e.dealer
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.outstanding.Add(-1)
+	canceled := fut.Cancel()
+	if dealer != nil {
+		if payload, err := encodeIDs([]int64{wireID}); err == nil {
+			_ = dealer.Send(mq.Message{[]byte(frameCancel), payload})
+		}
+	}
+	return canceled
+}
+
 // Outstanding implements executor.Executor.
 func (e *Executor) Outstanding() int { return int(e.outstanding.Load()) }
 

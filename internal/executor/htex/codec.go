@@ -27,6 +27,7 @@ const (
 	frameCmdRep  = "CMDREP"  // interchange -> client: command reply
 	frameLost    = "LOST"    // interchange -> client: tasks lost with a manager
 	frameBye     = "BYE"     // manager -> interchange: clean departure
+	frameCancel  = "CANCEL"  // client -> interchange -> manager: drop tasks not yet started
 )
 
 func encodeTasks(batch []serialize.TaskMsg) ([]byte, error) {

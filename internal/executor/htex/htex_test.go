@@ -2,6 +2,7 @@ package htex
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -213,6 +214,181 @@ func TestDrainRequeuesInFlight(t *testing.T) {
 	if err != nil || v != "slept" {
 		t.Fatalf("long task: %v, %v", v, err)
 	}
+}
+
+// TestCancelDropsQueuedTask cancels a task while it waits in the
+// interchange queue (no managers registered yet): the client future settles
+// with ErrCanceled, the interchange forgets the task, and when capacity
+// finally arrives only the surviving task executes.
+func TestCancelDropsQueuedTask(t *testing.T) {
+	reg := testRegistry(t)
+	tr := simnet.NewNetwork(0)
+	cfg := Config{
+		Label: "htex-cancel", Transport: tr, Registry: reg,
+		Provider: provider.NewLocal(provider.Config{NodesPerBlock: 1}),
+		Manager:  ManagerConfig{Workers: 1},
+		Interchange: InterchangeConfig{
+			Seed: 1, HeartbeatPeriod: 50 * time.Millisecond, HeartbeatThreshold: 10 * time.Second,
+		},
+	}
+	e := New(cfg) // InitBlocks 0: tasks queue at the interchange
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+
+	victim := e.Submit(serialize.TaskMsg{ID: 1, App: "echo", Args: []any{"victim"}})
+	survivor := e.Submit(serialize.TaskMsg{ID: 2, App: "echo", Args: []any{"survivor"}})
+	waitCond(t, "tasks queued at interchange", func() bool { return e.ix.QueueDepth() == 2 })
+
+	if !e.Cancel(1) {
+		t.Fatal("Cancel(1) = false for a pending task")
+	}
+	if _, err := victim.Result(); !errors.Is(err, future.ErrCanceled) {
+		t.Fatalf("victim error = %v, want ErrCanceled", err)
+	}
+	if e.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d after cancel, want 1", e.Outstanding())
+	}
+	waitCond(t, "interchange dropped the victim", func() bool { return e.ix.QueueDepth() == 1 })
+
+	// Capacity arrives: only the survivor runs.
+	mgr, err := StartManager(tr, e.ix.Addr(), "mgr-late", reg, cfg.Manager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	v, err := survivor.Result()
+	if err != nil || v != "survivor" {
+		t.Fatalf("survivor: %v, %v", v, err)
+	}
+	waitCond(t, "queue drained", func() bool { return e.ix.QueueDepth() == 0 })
+	if got := mgr.Executed(); got != 1 {
+		t.Fatalf("manager executed %d tasks, want 1", got)
+	}
+	// Canceling an unknown or already-finished task reports false.
+	if e.Cancel(1) || e.Cancel(2) || e.Cancel(99) {
+		t.Fatal("Cancel succeeded on settled or unknown ids")
+	}
+}
+
+// TestInterchangeHonorsPriority queues tasks with mixed priorities while no
+// manager is connected, then attaches a single serial worker: dispatch must
+// be highest-priority-first, with equal priorities in arrival order.
+func TestInterchangeHonorsPriority(t *testing.T) {
+	reg := serialize.NewRegistry()
+	var mu sync.Mutex
+	var order []string
+	if err := reg.Register("mark", func(args []any, _ map[string]any) (any, error) {
+		mu.Lock()
+		order = append(order, args[0].(string))
+		mu.Unlock()
+		return args[0], nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := simnet.NewNetwork(0)
+	cfg := Config{
+		Label: "htex-prio", Transport: tr, Registry: reg,
+		Provider: provider.NewLocal(provider.Config{NodesPerBlock: 1}),
+		Manager:  ManagerConfig{Workers: 1},
+		Interchange: InterchangeConfig{
+			Seed: 1, BatchSize: 1, HeartbeatPeriod: 50 * time.Millisecond, HeartbeatThreshold: 10 * time.Second,
+		},
+	}
+	e := New(cfg) // no managers yet: everything queues at the interchange
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+
+	futs := []*future.Future{
+		e.Submit(serialize.TaskMsg{ID: 1, App: "mark", Args: []any{"low-first"}, Priority: 1}),
+		e.Submit(serialize.TaskMsg{ID: 2, App: "mark", Args: []any{"high"}, Priority: 9}),
+		e.Submit(serialize.TaskMsg{ID: 3, App: "mark", Args: []any{"low-second"}, Priority: 1}),
+	}
+	waitCond(t, "tasks queued", func() bool { return e.ix.QueueDepth() == 3 })
+
+	mgr, err := StartManager(tr, e.ix.Addr(), "mgr-prio", reg, cfg.Manager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	for _, f := range futs {
+		if _, err := f.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"high", "low-first", "low-second"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestCancelForwardedToManager cancels a task the interchange has already
+// handed to a manager but whose worker has not started it: the manager's
+// worker drops it on dequeue.
+func TestCancelForwardedToManager(t *testing.T) {
+	reg := testRegistry(t)
+	// The registry is shared in-process with the manager, so the gate can
+	// close over a test-local channel; only task args cross the gob wire.
+	release := make(chan struct{})
+	if err := reg.Register("gate", func([]any, map[string]any) (any, error) {
+		<-release
+		return "gated", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := simnet.NewNetwork(0)
+	cfg := Config{
+		Label: "htex-cancel-mgr", Transport: tr, Registry: reg,
+		Provider: provider.NewLocal(provider.Config{NodesPerBlock: 1}),
+		Manager:  ManagerConfig{Workers: 1, Prefetch: 2},
+		Interchange: InterchangeConfig{
+			Seed: 1, HeartbeatPeriod: 50 * time.Millisecond, HeartbeatThreshold: 10 * time.Second,
+		},
+	}
+	e := New(cfg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+
+	mgr, err := StartManager(tr, e.ix.Addr(), "mgr-gate", reg, cfg.Manager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+	waitCond(t, "manager registered", func() bool { return e.ix.ManagerCount() == 1 })
+
+	blocker := e.Submit(serialize.TaskMsg{ID: 1, App: "gate"})
+	waitCond(t, "blocker in flight", func() bool {
+		return e.ix.OutstandingByManager()["mgr-gate"] >= 1
+	})
+	victim := e.Submit(serialize.TaskMsg{ID: 2, App: "echo", Args: []any{"victim"}})
+	waitCond(t, "victim prefetched by manager", func() bool {
+		return e.ix.OutstandingByManager()["mgr-gate"] == 2
+	})
+
+	if !e.Cancel(2) {
+		t.Fatal("Cancel(2) = false")
+	}
+	if _, err := victim.Result(); !errors.Is(err, future.ErrCanceled) {
+		t.Fatalf("victim error = %v, want ErrCanceled", err)
+	}
+	waitCond(t, "interchange struck the victim", func() bool {
+		return e.ix.OutstandingByManager()["mgr-gate"] == 1
+	})
+
+	close(release)
+	if v, err := blocker.Result(); err != nil || v != "gated" {
+		t.Fatalf("blocker: %v, %v", v, err)
+	}
+	waitCond(t, "only the blocker executed", func() bool { return mgr.Executed() == 1 })
 }
 
 func TestCommandChannel(t *testing.T) {

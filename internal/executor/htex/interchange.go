@@ -77,9 +77,9 @@ type Interchange struct {
 
 	mu       sync.Mutex
 	managers map[string]*managerState
-	queue    []serialize.TaskMsg
-	client   string // identity of the connected client, "" until it speaks
-	rrNext   int    // round-robin cursor (SelectRoundRobin)
+	queue    []serialize.TaskMsg // priority-ordered; see enqueue
+	client   string              // identity of the connected client, "" until it speaks
+	rrNext   int                 // round-robin cursor (SelectRoundRobin)
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -144,7 +144,7 @@ func (ix *Interchange) handle(del mq.Delivery) {
 			return
 		}
 		ix.mu.Lock()
-		ix.queue = append(ix.queue, task)
+		ix.enqueue(task)
 		ix.mu.Unlock()
 		ix.dispatch()
 	case frameTaskSub:
@@ -159,7 +159,7 @@ func (ix *Interchange) handle(del mq.Delivery) {
 			return
 		}
 		ix.mu.Lock()
-		ix.queue = append(ix.queue, batch...)
+		ix.enqueue(batch...)
 		ix.mu.Unlock()
 		ix.dispatch()
 	case frameReg:
@@ -214,7 +214,7 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		if ok {
 			// Clean departure: requeue outstanding instead of failing.
 			for _, t := range m.outstanding {
-				ix.queue = append(ix.queue, t)
+				ix.enqueue(t)
 			}
 			delete(ix.managers, del.From)
 		}
@@ -222,12 +222,58 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		// Hang up on the peer so its Drain can observe the ack.
 		ix.router.Disconnect(del.From)
 		ix.dispatch()
+	case frameCancel:
+		if len(del.Msg) < 2 {
+			return
+		}
+		ids, err := decodeIDs(del.Msg[1])
+		if err != nil {
+			return
+		}
+		ix.cancel(ids)
 	case frameCmd:
 		ix.mu.Lock()
 		ix.client = del.From
 		ix.mu.Unlock()
 		ix.command(del)
 	}
+}
+
+// cancel drops the named tasks: entries still in the interchange queue are
+// removed outright; tasks already dispatched are struck from their manager's
+// outstanding set (freeing its advertised capacity) and the drop is
+// forwarded so the manager can skip them before they start. Tasks already
+// running are beyond reach — their results arrive and are ignored client
+// side.
+func (ix *Interchange) cancel(ids []int64) {
+	drop := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	forward := make(map[string][]int64)
+	ix.mu.Lock()
+	kept := ix.queue[:0]
+	for _, t := range ix.queue {
+		if !drop[t.ID] {
+			kept = append(kept, t)
+		}
+	}
+	ix.queue = kept
+	for _, m := range ix.managers {
+		for id := range drop {
+			if _, ok := m.outstanding[id]; ok {
+				delete(m.outstanding, id)
+				forward[m.id] = append(forward[m.id], id)
+			}
+		}
+	}
+	ix.mu.Unlock()
+	for mgr, mgrIDs := range forward {
+		if payload, err := encodeIDs(mgrIDs); err == nil {
+			_ = ix.router.SendTo(mgr, mq.Message{[]byte(frameCancel), payload})
+		}
+	}
+	ix.dispatch() // struck tasks freed manager capacity
 }
 
 // command implements the synchronous administrative channel (§4.3.1):
@@ -277,6 +323,36 @@ func (ix *Interchange) command(del mq.Delivery) {
 		go ix.Close()
 	default:
 		reply("unknown-command")
+	}
+}
+
+// enqueue appends tasks to the interchange queue, honoring the wire-carried
+// dispatch priority: the queue is kept priority-ordered (non-increasing,
+// stable, so equal priorities dispatch in arrival order) and dispatch's
+// take-from-the-front becomes highest-priority-first. The sort runs only
+// when an append actually breaks the ordering invariant — an all-default
+// workload, or the steady state after a priority burst drains, appends in
+// O(1) like the old FIFO. Callers must hold ix.mu.
+func (ix *Interchange) enqueue(tasks ...serialize.TaskMsg) {
+	if len(tasks) == 0 {
+		return
+	}
+	prev := tasks[0].Priority
+	if n := len(ix.queue); n > 0 {
+		prev = ix.queue[n-1].Priority
+	}
+	needSort := false
+	for _, t := range tasks {
+		if t.Priority > prev {
+			needSort = true
+		}
+		prev = t.Priority
+	}
+	ix.queue = append(ix.queue, tasks...)
+	if needSort {
+		sort.SliceStable(ix.queue, func(i, j int) bool {
+			return ix.queue[i].Priority > ix.queue[j].Priority
+		})
 	}
 }
 

@@ -70,6 +70,12 @@ type Manager struct {
 	mu       sync.Mutex
 	lastSeen time.Time
 	executed int64
+	// canceled holds wire ids the interchange struck while they sat in this
+	// manager's task buffer; workers drop them on dequeue instead of running
+	// them. Entries are removed when encountered. An id canceled after its
+	// task already ran leaves a stale entry — bounded by cancellations per
+	// manager lifetime, and harmless because wire ids are never reused.
+	canceled map[int64]struct{}
 }
 
 // StartManager connects a manager to the interchange at addr and begins
@@ -89,6 +95,7 @@ func StartManager(tr simnet.Transport, addr, id string, reg *serialize.Registry,
 		results:  make(chan serialize.ResultMsg, cfg.Workers+cfg.Prefetch),
 		done:     make(chan struct{}),
 		lastSeen: time.Now(),
+		canceled: make(map[int64]struct{}),
 	}
 	capacity := cfg.Workers + cfg.Prefetch
 	if err := dealer.Send(mq.Message{[]byte(frameReg), []byte(strconv.Itoa(capacity))}); err != nil {
@@ -148,8 +155,32 @@ func (m *Manager) recvLoop() {
 			m.mu.Lock()
 			m.lastSeen = time.Now()
 			m.mu.Unlock()
+		case frameCancel:
+			if len(msg) < 2 {
+				continue
+			}
+			ids, err := decodeIDs(msg[1])
+			if err != nil {
+				continue
+			}
+			m.mu.Lock()
+			for _, id := range ids {
+				m.canceled[id] = struct{}{}
+			}
+			m.mu.Unlock()
 		}
 	}
+}
+
+// dropCanceled reports (and consumes) a pending cancellation for id.
+func (m *Manager) dropCanceled(id int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.canceled[id]; ok {
+		delete(m.canceled, id)
+		return true
+	}
+	return false
 }
 
 func (m *Manager) worker(workerID string) {
@@ -159,6 +190,9 @@ func (m *Manager) worker(workerID string) {
 		case <-m.done:
 			return
 		case t := <-m.tasks:
+			if m.dropCanceled(t.ID) {
+				continue // struck by the interchange; never starts
+			}
 			res := executor.RunKernel(m.reg, t, workerID)
 			m.mu.Lock()
 			m.executed++

@@ -24,6 +24,12 @@ type Executor struct {
 	outstanding atomic.Int64
 	wg          sync.WaitGroup
 
+	// pending indexes queued-but-not-started futures by wire id for Cancel.
+	// Guarded by its own mutex: workers must be able to delete entries while
+	// SubmitBatch holds mu across a blocking send into a full queue.
+	pendMu  sync.Mutex
+	pending map[int64]*future.Future
+
 	mu      sync.Mutex
 	started bool
 	closed  bool
@@ -45,6 +51,7 @@ func New(label string, workers int, reg *serialize.Registry) *Executor {
 		workers: workers,
 		reg:     reg,
 		queue:   make(chan item, 4096),
+		pending: make(map[int64]*future.Future),
 	}
 }
 
@@ -69,6 +76,19 @@ func (e *Executor) Start() error {
 func (e *Executor) worker(id string) {
 	defer e.wg.Done()
 	for it := range e.queue {
+		// Claim the task. Presence in the pending index is the claim token:
+		// exactly one of worker and Cancel removes the entry, so a task is
+		// either run (worker won) or dropped before starting (Cancel won) —
+		// never both, even when Cancel settles the future after this check.
+		e.pendMu.Lock()
+		_, unclaimed := e.pending[it.msg.ID]
+		delete(e.pending, it.msg.ID)
+		e.pendMu.Unlock()
+		if !unclaimed {
+			// Claimed by Cancel, which also adjusted the outstanding count;
+			// the dead item just falls out of the queue here.
+			continue
+		}
 		// Deep-copy arguments so an impure app cannot mutate caller state:
 		// the same isolation the serialization boundary gives remote
 		// executors (§3.2).
@@ -117,11 +137,40 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 		return futs
 	}
 	e.outstanding.Add(int64(len(msgs)))
+	e.pendMu.Lock()
+	for i, m := range msgs {
+		e.pending[m.ID] = futs[i]
+	}
+	e.pendMu.Unlock()
 	for i, m := range msgs {
 		e.queue <- item{msg: m, fut: futs[i]}
 	}
 	e.mu.Unlock()
 	return futs
+}
+
+// Cancel implements executor.Canceler: a task still waiting in the input
+// queue has its future settled with future.ErrCanceled and is dropped by
+// the worker that eventually dequeues it. Tasks already started (or already
+// done, or unknown) are unaffected and report false. Removing the pending
+// entry under the lock is the claim; the future is settled outside it so
+// its callbacks cannot deadlock against SubmitBatch.
+func (e *Executor) Cancel(wireID int64) bool {
+	e.pendMu.Lock()
+	fut, ok := e.pending[wireID]
+	if ok {
+		delete(e.pending, wireID)
+	}
+	e.pendMu.Unlock()
+	if !ok {
+		return false
+	}
+	// The claim succeeded, so no worker will run or complete this task:
+	// settle its future and drop it from the load signal immediately —
+	// schedulers must not see canceled backlog as outstanding work until a
+	// worker happens to reach the dead queue item.
+	e.outstanding.Add(-1)
+	return fut.Cancel()
 }
 
 // Outstanding implements executor.Executor.

@@ -214,6 +214,71 @@ func TestSubmitBatch(t *testing.T) {
 	}
 }
 
+// TestCancelDropsQueuedWork blocks the single worker, queues a second task,
+// cancels it, and verifies it never runs: the future settles with
+// ErrCanceled and the worker skips the claimed-but-canceled item.
+func TestCancelDropsQueuedWork(t *testing.T) {
+	reg := serialize.NewRegistry()
+	release := make(chan struct{})
+	ran := make(chan int64, 16)
+	if err := reg.Register("block", func([]any, map[string]any) (any, error) {
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("mark", func(args []any, _ map[string]any) (any, error) {
+		ran <- int64(args[0].(int))
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e := New("tp", 1, reg)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Shutdown()
+
+	blocker := e.Submit(serialize.TaskMsg{ID: 1, App: "block"})
+	victim := e.Submit(serialize.TaskMsg{ID: 2, App: "mark", Args: []any{2}})
+	survivor := e.Submit(serialize.TaskMsg{ID: 3, App: "mark", Args: []any{3}})
+
+	if !e.Cancel(2) {
+		t.Fatal("Cancel(2) = false for a queued task")
+	}
+	if e.Cancel(99) {
+		t.Fatal("Cancel of an unknown id reported success")
+	}
+	if _, err := victim.Result(); !errors.Is(err, future.ErrCanceled) {
+		t.Fatalf("victim error = %v, want ErrCanceled", err)
+	}
+
+	close(release)
+	if _, err := blocker.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := survivor.Result(); err != nil {
+		t.Fatal(err)
+	}
+	// Canceling a completed task is a no-op.
+	if e.Cancel(3) {
+		t.Fatal("Cancel succeeded on a completed task")
+	}
+	close(ran)
+	for id := range ran {
+		if id == 2 {
+			t.Fatal("canceled task ran")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Outstanding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("outstanding = %d after drain, want 0", e.Outstanding())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestSubmitBatchAfterShutdown(t *testing.T) {
 	e := newPool(t, 1)
 	_ = e.Shutdown()

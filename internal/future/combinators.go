@@ -83,6 +83,30 @@ func AsCompleted(futs ...*Future) <-chan *Future {
 	return ch
 }
 
+// AsCompletedCtx is AsCompleted with context cancellation: the returned
+// channel yields futures in completion order and is closed early — possibly
+// before every future has completed — once ctx is done. The futures
+// themselves are left untouched; only the iteration stops.
+func AsCompletedCtx(ctx context.Context, futs ...*Future) <-chan *Future {
+	out := make(chan *Future, len(futs))
+	inner := AsCompleted(futs...)
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case f, ok := <-inner:
+				if !ok {
+					return
+				}
+				out <- f // cap len(futs): never blocks
+			}
+		}
+	}()
+	return out
+}
+
 // Then returns a future that, when f resolves, resolves with fn(value); if f
 // fails, the error propagates and fn is not called. If fn returns an error
 // the derived future fails with it.

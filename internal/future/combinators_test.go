@@ -127,6 +127,50 @@ func TestAsCompletedOrderIsCompletionOrder(t *testing.T) {
 	}
 }
 
+func TestAsCompletedCtxYieldsAllWhenUncanceled(t *testing.T) {
+	futs := []*Future{New(), New(), New()}
+	for i, f := range futs {
+		_ = f.SetResult(i)
+	}
+	ch := AsCompletedCtx(context.Background(), futs...)
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != len(futs) {
+		t.Fatalf("yielded %d futures, want %d", n, len(futs))
+	}
+}
+
+func TestAsCompletedCtxStopsOnCancel(t *testing.T) {
+	done, stuck := New(), New()
+	_ = done.SetResult("done")
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := AsCompletedCtx(ctx, done, stuck)
+	if f := <-ch; f != done {
+		t.Fatalf("first yield = %v, want the completed future", f)
+	}
+	cancel() // stuck never completes; the channel must close anyway
+	for f := range ch {
+		if f == stuck {
+			t.Fatal("yielded a future that never completed")
+		}
+	}
+	if stuck.Done() {
+		t.Fatal("cancellation must not touch the futures themselves")
+	}
+}
+
+func TestWaitCtxFirstErrorWhenNotCanceled(t *testing.T) {
+	ok, bad := New(), New()
+	_ = ok.SetResult(1)
+	wantErr := errors.New("boom")
+	_ = bad.SetError(wantErr)
+	if err := WaitCtx(context.Background(), ok, bad); !errors.Is(err, wantErr) {
+		t.Fatalf("WaitCtx = %v, want %v", err, wantErr)
+	}
+}
+
 func TestAsCompletedEmpty(t *testing.T) {
 	ch := AsCompleted()
 	if _, open := <-ch; open {

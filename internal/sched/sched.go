@@ -47,6 +47,11 @@ type Load struct {
 	// executors, a Workers() probe when exposed (threadpool), otherwise 0
 	// for "unknown".
 	Workers int
+	// MaxQueuedPriority is the highest dispatch priority among tasks routed
+	// to the executor's lane but not yet submitted — the urgency of the
+	// backlog, where Outstanding is only its size. 0 when the lane is empty
+	// or the source exposes no priority signal.
+	MaxQueuedPriority int
 }
 
 // PerWorker is outstanding work normalized by capacity; with unknown
@@ -62,6 +67,9 @@ func (l Load) PerWorker() float64 {
 // workerCounter is the non-Scalable capacity probe (threadpool.Workers).
 type workerCounter interface{ Workers() int }
 
+// queuedPriority is the lane-urgency probe (Frozen.MaxQueuedPriority).
+type queuedPriority interface{ MaxQueuedPriority() int }
+
 // LoadOf samples an executor's live load signals.
 func LoadOf(ex executor.Executor) Load {
 	l := Load{Label: ex.Label(), Outstanding: ex.Outstanding()}
@@ -70,6 +78,9 @@ func LoadOf(ex executor.Executor) Load {
 		l.Workers = t.ConnectedWorkers()
 	case workerCounter:
 		l.Workers = t.Workers()
+	}
+	if qp, ok := ex.(queuedPriority); ok {
+		l.MaxQueuedPriority = qp.MaxQueuedPriority()
 	}
 	return l
 }
@@ -91,6 +102,16 @@ type LoadAware interface {
 	UsesLoad() bool
 }
 
+// PriorityPicker is an optional Scheduler extension. When a scheduler
+// implements it, the DFK's dispatcher calls PickPriority instead of Pick,
+// passing the ready task's dispatch priority (App.Submit's WithPriority),
+// so policies can route urgent work differently — e.g. keep a low-latency
+// executor reserved for high-priority tasks. The same candidate-set rules
+// as Pick apply.
+type PriorityPicker interface {
+	PickPriority(candidates []executor.Executor, priority int) (executor.Executor, error)
+}
+
 // Frozen is a one-shot load snapshot of an executor, taken once per
 // dispatch cycle. Load-aware policies read the sampled values instead of
 // re-probing the live executor on every pick (probes like ConnectedWorkers
@@ -110,6 +131,18 @@ type Frozen struct {
 func Freeze(ex executor.Executor, extra int) *Frozen {
 	return &Frozen{Executor: ex, load: LoadOf(ex), extra: extra}
 }
+
+// FreezeLane is Freeze with the lane's highest queued dispatch priority
+// attached, so priority-aware policies can weigh backlog urgency from the
+// snapshot.
+func FreezeLane(ex executor.Executor, extra, maxQueuedPriority int) *Frozen {
+	f := Freeze(ex, extra)
+	f.load.MaxQueuedPriority = maxQueuedPriority
+	return f
+}
+
+// MaxQueuedPriority reports the sampled lane urgency (see Load).
+func (f *Frozen) MaxQueuedPriority() int { return f.load.MaxQueuedPriority }
 
 // Outstanding reports the sampled load plus the routing overlay.
 func (f *Frozen) Outstanding() int { return f.load.Outstanding + f.extra }

@@ -120,11 +120,14 @@ func (r *Registry) Names() []string {
 
 // TaskMsg is the on-the-wire form of a task: app name plus fully resolved
 // arguments (futures have been replaced by their values before encoding).
+// Priority carries the per-call dispatch priority across the submission
+// boundary so remote queues can honor it too.
 type TaskMsg struct {
-	ID     int64
-	App    string
-	Args   []any
-	Kwargs map[string]any
+	ID       int64
+	App      string
+	Args     []any
+	Kwargs   map[string]any
+	Priority int
 }
 
 // ResultMsg carries a task result back from a worker. Err is a string because

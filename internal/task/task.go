@@ -95,6 +95,19 @@ type Record struct {
 	memoKey     string
 	pendingDeps int
 
+	// Per-call submission options (App.Submit's CallOptions), fixed before
+	// the task becomes ready and read by the dispatch pipeline.
+	priority    int
+	timeout     time.Duration // per-call override of Config.TaskTimeout
+	deadline    time.Time     // absolute per-call deadline (zero = none)
+	memoKeyOver string        // per-call memo key override ("" = computed)
+
+	// Current execution attempt: its outcome future and wire id, recorded so
+	// a cancellation arriving from outside the dispatch pipeline can conclude
+	// the attempt (dropping it from its lane) and name it to the executor.
+	attemptFut  *future.Future
+	attemptWire int64
+
 	// Timestamps for monitoring and the elasticity utilization metric.
 	SubmitTime time.Time
 	launchTime time.Time
@@ -255,6 +268,77 @@ func (r *Record) PendingDeps() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.pendingDeps
+}
+
+// SetPriority records the per-call dispatch priority (higher runs first).
+func (r *Record) SetPriority(p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.priority = p
+}
+
+// Priority returns the dispatch priority (0 unless set at submission).
+func (r *Record) Priority() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.priority
+}
+
+// SetTimeout records a per-call attempt timeout overriding Config.TaskTimeout.
+func (r *Record) SetTimeout(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.timeout = d
+}
+
+// Timeout returns the per-call attempt timeout (0 = use the DFK default).
+func (r *Record) Timeout() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.timeout
+}
+
+// SetDeadline records an absolute per-call deadline.
+func (r *Record) SetDeadline(t time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deadline = t
+}
+
+// Deadline returns the absolute per-call deadline (zero = none).
+func (r *Record) Deadline() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deadline
+}
+
+// SetMemoKeyOverride records an explicit per-call memoization key.
+func (r *Record) SetMemoKeyOverride(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.memoKeyOver = k
+}
+
+// MemoKeyOverride returns the explicit memo key ("" = compute from args).
+func (r *Record) MemoKeyOverride() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.memoKeyOver
+}
+
+// SetAttempt records the in-flight attempt's outcome future and wire id.
+func (r *Record) SetAttempt(f *future.Future, wireID int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attemptFut, r.attemptWire = f, wireID
+}
+
+// Attempt returns the current attempt's outcome future and wire id (nil, 0
+// before the task first becomes ready).
+func (r *Record) Attempt() (*future.Future, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attemptFut, r.attemptWire
 }
 
 // Timings returns (launch, start, end) timestamps; zero values when unset.

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -195,7 +196,7 @@ func RunElasticity(cfg ElasticityConfig) (ElasticityResult, error) {
 				// Stage barrier: every task consumes all prior futures.
 				args = append(args, anySlice(prev))
 			}
-			futs[i] = sleepApp.Call(args...)
+			futs[i] = sleepApp.Submit(context.Background(), args)
 		}
 		prev = futs
 	}

@@ -13,9 +13,21 @@
 //	hello, _ := d.PythonApp("hello", func(args []any, _ map[string]any) (any, error) {
 //	    return "Hello " + args[0].(string), nil
 //	})
-//	fut := hello.Call("World")         // returns immediately
-//	v, _ := fut.Result()               // blocks for the result
+//	ctx := context.Background()
+//	fut := hello.Submit(ctx, []any{"World"})   // returns immediately
+//	v, _ := fut.ResultCtx(ctx)                 // blocks for the result
 //
+// Submissions are context-aware: canceling ctx cancels the task (and fails
+// its dependents with a DependencyError), and per-call options tune one
+// invocation — parsl.WithPriority(10) jumps a backlogged dispatch lane,
+// WithTimeout/WithDeadline bound the attempt, WithExecutor pins it, and
+// WithRetries/WithMemoKey override the DFK-wide defaults. For compile-time
+// types, wrap an app with the generic adapters:
+//
+//	greet := parsl.Typed1[string, string](hello)
+//	msg, _ := greet(ctx, "World").Result(ctx)  // msg is a string
+//
+// App.Call remains as a minimal shim over Submit with a background context.
 // See examples/ for dataflow composition, Bash apps, file staging, and
 // elastic execution on the simulated cluster substrate.
 package parsl
@@ -64,6 +76,11 @@ type (
 	Scheduler = sched.Scheduler
 	// SchedulerLoad is one executor's live load signal set.
 	SchedulerLoad = sched.Load
+	// CallOption customizes one App.Submit/SubmitKw invocation.
+	CallOption = dfk.CallOption
+	// DependencyError is set on a task's future when a dependency failed
+	// (including when the dependency's submission context was canceled).
+	DependencyError = dfk.DependencyError
 )
 
 // Re-exported constructors and options.
@@ -82,6 +99,16 @@ var (
 	WithExecutors   = dfk.WithExecutors
 	WithVersion     = dfk.WithVersion
 	WithBashOptions = dfk.WithBashOptions
+	// Per-call options for App.Submit/SubmitKw: dispatch priority, executor
+	// pinning, attempt deadlines/timeouts, retry budget, and explicit memo
+	// keys — each overriding the registration-time or DFK-wide default for
+	// one invocation.
+	WithPriority = dfk.WithPriority
+	WithExecutor = dfk.WithExecutor
+	WithDeadline = dfk.WithDeadline
+	WithTimeout  = dfk.WithTimeout
+	WithRetries  = dfk.WithRetries
+	WithMemoKey  = dfk.WithMemoKey
 	// NewMonitorStore creates the in-memory monitoring sink.
 	NewMonitorStore = monitor.NewStore
 	// MapReduce and Chain are the §7 "constructs for delivering
@@ -91,10 +118,14 @@ var (
 	// NewBarrier is the §7 "additional synchronization primitives"
 	// extension: a reusable completion barrier over futures.
 	NewBarrier = future.NewBarrier
-	// WaitAll blocks on a set of futures, returning the first error.
-	WaitAll = future.Wait
-	// AsCompleted yields futures in completion order.
-	AsCompleted = future.AsCompleted
+	// WaitAll blocks on a set of futures, returning the first error;
+	// WaitAllCtx stops early when the context is done.
+	WaitAll    = future.Wait
+	WaitAllCtx = future.WaitCtx
+	// AsCompleted yields futures in completion order; AsCompletedCtx stops
+	// the iteration early when the context is done.
+	AsCompleted    = future.AsCompleted
+	AsCompletedCtx = future.AsCompletedCtx
 	// Scheduler constructors: NewRandomScheduler is the paper-faithful
 	// default (seedable), NewRoundRobinScheduler cycles deterministically,
 	// and NewLeastOutstandingScheduler routes by live outstanding-per-worker
@@ -107,6 +138,20 @@ var (
 
 // Barrier is the reusable multi-future barrier (future work §7).
 type Barrier = future.Barrier
+
+// Cancellation sentinels: a task canceled through its submission context
+// fails with an error wrapping ErrSubmissionCanceled (and the context's own
+// error, so errors.Is(err, context.Canceled) holds as well); a future
+// settled directly by Cancel carries ErrFutureCanceled.
+var (
+	ErrSubmissionCanceled = dfk.ErrCanceled
+	ErrFutureCanceled     = future.ErrCanceled
+)
+
+// ErrTaskTimeout is wrapped into task failures caused by Config.TaskTimeout
+// or the per-call WithTimeout/WithDeadline options, so callers can
+// distinguish "too slow" from "broken" with errors.Is.
+var ErrTaskTimeout = dfk.ErrTimeout
 
 // NewLocal builds the simplest useful deployment: a DFK over an in-process
 // thread-pool executor with n workers — the laptop configuration.
@@ -173,16 +218,23 @@ func NewLocalEXEX(pools, ranks int) (*DFK, error) {
 // RecommendExecutor encodes the Fig. 7 guidelines for selecting a Parsl
 // executor from node count, task duration, and latency sensitivity:
 //
-//	LLEX for interactive computations on ≤10 nodes.
+//	LLEX for short interactive computations on ≤10 nodes.
 //	HTEX for batch computations on ≤1000 nodes
 //	     (for good performance, taskDur/nodes ≥ 0.01 s).
-//	EXEX for batch computations on >1000 nodes
-//	     (for good performance, task durations ≥ 1 min).
+//	EXEX for batch computations on >1000 nodes,
+//	     but only for task durations ≥ 1 min.
+//
+// The duration thresholds are part of the recommendation, not just the fit
+// check: an "interactive" workload of minute-long tasks gains nothing from
+// LLEX's low-latency path, and EXEX's MPI fan-out costs more than it returns
+// below minute-scale tasks, so both fall back to HTEX. taskDur zero means
+// "unknown" and leaves only the node/interactivity axes.
 func RecommendExecutor(nodes int, taskDur time.Duration, interactive bool) string {
-	if interactive && nodes <= 10 {
+	shortTask := taskDur == 0 || taskDur < time.Minute
+	if interactive && nodes <= 10 && shortTask {
 		return "llex"
 	}
-	if nodes > 1000 {
+	if nodes > 1000 && taskDur >= time.Minute {
 		return "exex"
 	}
 	return "htex"

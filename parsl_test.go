@@ -126,11 +126,20 @@ func TestRecommendExecutorFig7(t *testing.T) {
 		interactive bool
 		want        string
 	}{
-		{5, time.Second, true, "llex"},         // interactive, <=10 nodes
+		{5, time.Second, true, "llex"},         // interactive, short tasks, <=10 nodes
+		{5, 0, true, "llex"},                   // duration unknown: interactivity decides
 		{5, time.Second, false, "htex"},        // batch small
 		{1000, time.Minute, false, "htex"},     // batch <=1000 nodes
-		{8000, 2 * time.Minute, false, "exex"}, // >1000 nodes
+		{8000, 2 * time.Minute, false, "exex"}, // >1000 nodes, minute-scale tasks
 		{50, time.Millisecond, true, "htex"},   // interactive but too many nodes for llex
+		// Fig. 7 duration thresholds: llex only pays off for short tasks,
+		// exex only for tasks >= 1 min.
+		{5, 5 * time.Minute, true, "htex"},      // minute-scale tasks gain nothing from llex
+		{8000, time.Second, false, "htex"},      // >1000 nodes but sub-minute tasks: exex would thrash
+		{8000, 59 * time.Second, false, "htex"}, // just below the exex threshold
+		{8000, time.Minute, false, "exex"},      // exactly at the exex threshold
+		{5, 59 * time.Second, true, "llex"},     // just below the llex cutoff
+		{8000, 0, false, "htex"},                // duration unknown: stay on htex
 	}
 	for _, c := range cases {
 		if got := parsl.RecommendExecutor(c.nodes, c.dur, c.interactive); got != c.want {

@@ -1,0 +1,87 @@
+package parsl
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/future"
+)
+
+// This file is the typed facade over the submission API: generic wrappers
+// that give callers compile-time argument and result types without changing
+// the wire format — apps still execute as ([]any, map[string]any) functions,
+// and TypedFuture only asserts the dynamic result on the way out.
+
+// TypedFuture is a Future whose result is known to be R. It wraps the
+// untyped single-update future (the wire-level handle stays `any`-valued)
+// and performs the type assertion once, at the blocking read.
+type TypedFuture[R any] struct {
+	f *future.Future
+}
+
+// Typed wraps an untyped future with a compile-time result type.
+func Typed[R any](f *future.Future) TypedFuture[R] { return TypedFuture[R]{f: f} }
+
+// Result blocks until the task completes or ctx is done, returning the typed
+// value. A result of the wrong dynamic type is an error, not a panic.
+func (t TypedFuture[R]) Result(ctx context.Context) (R, error) {
+	var zero R
+	v, err := t.f.ResultCtx(ctx)
+	if err != nil {
+		return zero, err
+	}
+	r, ok := v.(R)
+	if !ok {
+		// An app that legitimately returns nil resolves to the zero value.
+		if v == nil {
+			return zero, nil
+		}
+		return zero, fmt.Errorf("parsl: typed future: app returned %T, want %T", v, zero)
+	}
+	return r, nil
+}
+
+// Done reports, without blocking, whether the task has completed.
+func (t TypedFuture[R]) Done() bool { return t.f.Done() }
+
+// Cancel settles a still-pending future with future.ErrCanceled, reporting
+// whether the cancellation won the race against completion.
+func (t TypedFuture[R]) Cancel() bool { return t.f.Cancel() }
+
+// Future returns the underlying untyped future, e.g. to pass it back into
+// another app invocation as a dependency.
+func (t TypedFuture[R]) Future() *Future { return t.f }
+
+// Typed0 adapts a no-argument app into a typed invocation function.
+func Typed0[R any](app *App) func(context.Context, ...CallOption) TypedFuture[R] {
+	return func(ctx context.Context, opts ...CallOption) TypedFuture[R] {
+		return Typed[R](app.Submit(ctx, nil, opts...))
+	}
+}
+
+// Typed1 adapts a one-argument app into a typed invocation function: the
+// argument is checked at compile time, the result at the Result call.
+//
+//	hello, _ := d.PythonApp("hello", fn)
+//	greet := parsl.Typed1[string, string](hello)
+//	fut := greet(ctx, "World", parsl.WithPriority(10))
+//	msg, err := fut.Result(ctx)   // msg is a string
+func Typed1[A, R any](app *App) func(context.Context, A, ...CallOption) TypedFuture[R] {
+	return func(ctx context.Context, a A, opts ...CallOption) TypedFuture[R] {
+		return Typed[R](app.Submit(ctx, []any{a}, opts...))
+	}
+}
+
+// Typed2 adapts a two-argument app into a typed invocation function.
+func Typed2[A, B, R any](app *App) func(context.Context, A, B, ...CallOption) TypedFuture[R] {
+	return func(ctx context.Context, a A, b B, opts ...CallOption) TypedFuture[R] {
+		return Typed[R](app.Submit(ctx, []any{a, b}, opts...))
+	}
+}
+
+// Typed3 adapts a three-argument app into a typed invocation function.
+func Typed3[A, B, C, R any](app *App) func(context.Context, A, B, C, ...CallOption) TypedFuture[R] {
+	return func(ctx context.Context, a A, b B, c C, opts ...CallOption) TypedFuture[R] {
+		return Typed[R](app.Submit(ctx, []any{a, b, c}, opts...))
+	}
+}

@@ -1,0 +1,116 @@
+package parsl_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	parsl "repro"
+)
+
+func TestTypedSubmission(t *testing.T) {
+	d, err := parsl.NewLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	hello, err := d.PythonApp("typed-hello", func(args []any, _ map[string]any) (any, error) {
+		return "Hello " + args[0].(string), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	greet := parsl.Typed1[string, string](hello)
+	msg, err := greet(ctx, "World").Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg != "Hello World" { // msg is a string: no assertion needed
+		t.Fatalf("msg = %q", msg)
+	}
+
+	// Wrong result type surfaces as an error, not a panic.
+	asInt := parsl.Typed1[string, int](hello)
+	if _, err := asInt(ctx, "World").Result(ctx); err == nil || !strings.Contains(err.Error(), "want int") {
+		t.Fatalf("mistyped result error = %v", err)
+	}
+}
+
+func TestTypedTwoArgsAndOptions(t *testing.T) {
+	d, err := parsl.NewLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	add, err := d.PythonApp("typed-add", func(args []any, _ map[string]any) (any, error) {
+		return args[0].(int) + args[1].(int), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sum := parsl.Typed2[int, int, int](add)
+	v, err := sum(ctx, 2, 40, parsl.WithPriority(3)).Result(ctx)
+	if err != nil || v != 42 {
+		t.Fatalf("sum = %v, %v", v, err)
+	}
+}
+
+func TestTypedFutureCtxCancellation(t *testing.T) {
+	d, err := parsl.NewLocal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	block := make(chan struct{})
+	defer close(block)
+	slow, err := d.PythonApp("typed-slow", func([]any, map[string]any) (any, error) {
+		<-block
+		return "late", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := parsl.Typed0[string](slow)
+	ctx, cancel := context.WithCancel(context.Background())
+	fut := run(context.Background())
+	cancel()
+	if _, err := fut.Result(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Result under canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestSubmitCancellationFacade(t *testing.T) {
+	d, err := parsl.NewLocal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	dep := make(chan struct{})
+	defer close(dep)
+	gate, err := d.PythonApp("facade-gate", func([]any, map[string]any) (any, error) {
+		<-dep
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleepy, err := d.PythonApp("facade-task", func([]any, map[string]any) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gate occupies the single worker; the victim waits behind it.
+	g := gate.Call()
+	ctx, cancel := context.WithCancel(context.Background())
+	victim := sleepy.Submit(ctx, nil)
+	cancel()
+	if _, err := victim.Result(); !errors.Is(err, parsl.ErrSubmissionCanceled) {
+		t.Fatalf("victim error = %v, want ErrSubmissionCanceled", err)
+	}
+	_ = g
+}

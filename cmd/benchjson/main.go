@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result. CI uses it to publish
+// the serialization benchmarks as a machine-readable artifact
+// (BENCH_serialize.json) so the performance trajectory is tracked PR over
+// PR.
+//
+//	go test -bench 'SerializeRoundTrip' -benchmem ./internal/serialize | benchjson
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored. Recognized per-line fields beyond ns/op: B/op, allocs/op, MB/s,
+// and custom metrics reported via b.ReportMetric (unit taken verbatim).
+//
+// The optional -min-speedup base,new,factor flag (repeatable) turns the
+// converter into a gate: it exits non-zero unless benchmark `base` is at
+// least `factor` times slower (ns/op) than benchmark `new`. CI uses it to
+// enforce the encode-once acceptance bar — streaming must stay ≥2× faster
+// than the retained one-shot baseline — instead of merely recording it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// speedupFlag collects repeated -min-speedup base,new,factor assertions.
+type speedupFlag []string
+
+func (f *speedupFlag) String() string     { return strings.Join(*f, ";") }
+func (f *speedupFlag) Set(v string) error { *f = append(*f, v); return nil }
+
+func main() {
+	var asserts speedupFlag
+	flag.Var(&asserts, "min-speedup",
+		"base,new,factor: fail unless base ns/op >= factor * new ns/op (repeatable)")
+	flag.Parse()
+
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so names are stable across runner
+		// shapes (only a trailing "-<digits>", never digits in the name).
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := result{Name: name, Iterations: iters}
+		// The remainder alternates value, unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				r.NsPerOp = v
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	byName := make(map[string]result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	failed := false
+	for _, a := range asserts {
+		parts := strings.Split(a, ",")
+		if len(parts) != 3 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -min-speedup %q (want base,new,factor)\n", a)
+			failed = true
+			continue
+		}
+		factor, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad factor in %q: %v\n", a, err)
+			failed = true
+			continue
+		}
+		base, okB := byName[parts[0]]
+		new_, okN := byName[parts[1]]
+		if !okB || !okN || new_.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: missing results for %q (base %v, new %v)\n", a, okB, okN)
+			failed = true
+			continue
+		}
+		speedup := base.NsPerOp / new_.NsPerOp
+		if speedup < factor {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is only %.2fx faster than %s (bar: %.2fx)\n",
+				parts[1], speedup, parts[0], factor)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s is %.2fx faster than %s (bar: %.2fx) — ok\n",
+			parts[1], speedup, parts[0], factor)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -490,19 +490,27 @@ func (d *DFK) stageInTask(f *data.File) *future.Future {
 	})
 }
 
-// launch resolves dependencies into concrete values, consults memoization,
-// and hands the ready task to the dispatch pipeline, which schedules it onto
-// an executor and submits it batched with other ready tasks.
+// launch resolves dependencies into concrete values, serializes them exactly
+// once, consults memoization, and hands the ready task to the dispatch
+// pipeline, which schedules it onto an executor and submits it batched with
+// other ready tasks. The encode-once payload built here is the only
+// serialization of the arguments for the task's whole lifetime: the memo
+// hash reads it, in-process executors decode their defensive copy from it,
+// remote executors ship it verbatim, and retries reuse it.
 func (d *DFK) launch(rec *task.Record, a *App) {
 	args, kwargs := resolveArgs(rec.Args, rec.Kwargs)
 
 	// An explicit per-call memo key turns memoization on for the invocation
 	// regardless of how the app was registered; otherwise the key is the
-	// hash of app identity and resolved arguments (§4.6).
+	// hash of app identity and the encode-once arguments (§4.6) — the same
+	// payload the executors will consume, so memoization costs no extra
+	// encoding.
+	var payload *serialize.Payload
+	var encErr error
 	memoKey := rec.MemoKeyOverride()
 	if memoKey == "" && a.memoize {
-		if key, err := memo.Key(a.name, a.bodyHash, args, kwargs); err == nil {
-			memoKey = key
+		if payload, encErr = serialize.EncodeArgs(args, kwargs); encErr == nil {
+			memoKey = memo.KeyFromPayload(a.name, a.bodyHash, payload)
 		}
 	}
 	if memoKey != "" {
@@ -514,8 +522,22 @@ func (d *DFK) launch(rec *task.Record, a *App) {
 			return
 		}
 	}
+	// Only a task that actually has to execute needs encodable arguments —
+	// an explicit-key cache hit above is served even for args no executor
+	// could accept. Past this point every executor needs the payload
+	// (in-process ones for the immutability copy, remote ones for the
+	// wire), so fail fast here with the serialization error instead of
+	// letting each attempt rediscover it downstream.
+	if payload == nil && encErr == nil {
+		payload, encErr = serialize.EncodeArgs(args, kwargs)
+	}
+	if encErr != nil {
+		d.failTask(rec, encErr)
+		return
+	}
+	rec.SetPayload(payload)
 	d.enqueueAttempt(&pendingLaunch{
-		rec: rec, app: a, args: args, kwargs: kwargs,
+		rec: rec, app: a, args: args, kwargs: kwargs, payload: payload,
 		wireID: rec.ID, priority: rec.Priority(),
 	})
 }

@@ -22,6 +22,10 @@ type pendingLaunch struct {
 	app    *App
 	args   []any
 	kwargs map[string]any
+	// payload is the encode-once serialization of args/kwargs, built in
+	// launch and shared by every attempt: executors reuse the bytes for
+	// wire frames and defensive copies instead of re-encoding per attempt.
+	payload *serialize.Payload
 	// attempt is this attempt's outcome future. The TaskTimeout timer is
 	// armed against it when the attempt enters the dispatch queue — so a
 	// task stuck behind a backlogged lane times out on schedule — and the
@@ -61,6 +65,32 @@ func newDispatchQueue() *dispatchQueue {
 	return q
 }
 
+// batchPool recycles the scratch slices that dispatchQueue.take and
+// laneQueue.take drain into. The dispatch pump runs one take per cycle per
+// lane; without pooling, every cycle allocates (and garbage-collects) a
+// fresh batch slice. Consumers hand the slice back via putBatch once the
+// entries are dispatched.
+var batchPool = sync.Pool{
+	New: func() any {
+		s := make([]*pendingLaunch, 0, 256)
+		return &s
+	},
+}
+
+func getBatch() []*pendingLaunch {
+	return (*batchPool.Get().(*[]*pendingLaunch))[:0]
+}
+
+// putBatch clears the entries (so pooled slices do not pin submitted tasks
+// and their resolved arguments) and returns the slice to the pool.
+func putBatch(batch []*pendingLaunch) {
+	for i := range batch {
+		batch[i] = nil
+	}
+	batch = batch[:0]
+	batchPool.Put(&batch)
+}
+
 // push appends one ready task. It never blocks.
 func (q *dispatchQueue) push(pl *pendingLaunch) {
 	q.mu.Lock()
@@ -70,7 +100,9 @@ func (q *dispatchQueue) push(pl *pendingLaunch) {
 }
 
 // take blocks until at least one item is queued (returning up to max of
-// them) or the queue is closed and drained (returning nil, false).
+// them) or the queue is closed and drained (returning nil, false). The
+// returned slice comes from a pooled scratch buffer; the caller returns it
+// with putBatch once the entries have been handed off.
 func (q *dispatchQueue) take(max int) ([]*pendingLaunch, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -84,8 +116,7 @@ func (q *dispatchQueue) take(max int) ([]*pendingLaunch, bool) {
 	if n > max {
 		n = max
 	}
-	batch := make([]*pendingLaunch, n)
-	copy(batch, q.items[:n])
+	batch := append(getBatch(), q.items[:n]...)
 	// Clear consumed slots so the backing array does not pin submitted
 	// tasks (and their resolved arguments) after a burst drains.
 	for i := range q.items[:n] {
@@ -158,7 +189,9 @@ func (q *laneQueue) push(pl *pendingLaunch) {
 }
 
 // take blocks until at least one task is queued (returning up to max of
-// them, highest priority first) or the queue is closed and drained.
+// them, highest priority first) or the queue is closed and drained. As with
+// dispatchQueue.take, the returned slice is pooled scratch that the caller
+// recycles via putBatch.
 func (q *laneQueue) take(max int) ([]*pendingLaunch, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -172,9 +205,9 @@ func (q *laneQueue) take(max int) ([]*pendingLaunch, bool) {
 	if n > max {
 		n = max
 	}
-	batch := make([]*pendingLaunch, n)
+	batch := getBatch()
 	for i := 0; i < n; i++ {
-		batch[i] = heap.Pop(&q.h).(*pendingLaunch)
+		batch = append(batch, heap.Pop(&q.h).(*pendingLaunch))
 	}
 	return batch, true
 }
@@ -239,6 +272,7 @@ func (d *DFK) dispatcher() {
 			l.queued.Add(1)
 			l.queue.push(pl)
 		}
+		putBatch(batch)
 	}
 }
 
@@ -271,10 +305,15 @@ func (d *DFK) laneRunner(l *lane) {
 				_ = pl.attempt.SetError(err) // stop the timer, see dispatcher
 				continue
 			}
-			msgs = append(msgs, serialize.TaskMsg{
+			m := serialize.TaskMsg{
 				ID: pl.wireID, App: pl.app.name, Args: pl.args, Kwargs: pl.kwargs,
 				Priority: pl.priority,
-			})
+			}
+			// Ride the encode-once payload onto the wire message: remote
+			// executors frame its bytes verbatim, in-process ones decode
+			// their defensive copy from it.
+			m.AttachPayload(pl.payload)
+			msgs = append(msgs, m)
 			live = append(live, pl)
 		}
 		if len(msgs) > 0 {
@@ -293,6 +332,7 @@ func (d *DFK) laneRunner(l *lane) {
 		// dropping the lane counter after submission means the worst case
 		// is a brief double count, never a blind spot.
 		l.queued.Add(-int64(len(batch)))
+		putBatch(batch)
 	}
 }
 
@@ -392,9 +432,12 @@ func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
 			// (the timed-out attempt may still be running remotely under
 			// the old one; ids are drawn from the task id sequence, so
 			// they never collide with any task's first-attempt id).
+			// The retry reuses the encode-once payload: resubmission costs
+			// zero re-serialization no matter how many attempts it takes.
 			next := &pendingLaunch{
 				rec: pl.rec, app: pl.app, args: pl.args, kwargs: pl.kwargs,
-				wireID: d.graph.NextID(), priority: pl.priority,
+				payload: pl.payload,
+				wireID:  d.graph.NextID(), priority: pl.priority,
 			}
 			d.enqueueAttempt(next)
 			return

@@ -1,0 +1,144 @@
+package dfk
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/executor"
+	"repro/internal/future"
+	"repro/internal/serialize"
+)
+
+// payloadSpy is a test executor that records the encode-once payload
+// attached to every submitted message and fails the first n attempts, so
+// retries are observable.
+type payloadSpy struct {
+	mu       sync.Mutex
+	payloads []*serialize.Payload
+	failN    int
+}
+
+func (s *payloadSpy) Label() string    { return "spy" }
+func (s *payloadSpy) Start() error     { return nil }
+func (s *payloadSpy) Shutdown() error  { return nil }
+func (s *payloadSpy) Outstanding() int { return 0 }
+
+func (s *payloadSpy) Submit(msg serialize.TaskMsg) *future.Future {
+	fut := future.NewForTask(msg.ID)
+	s.mu.Lock()
+	s.payloads = append(s.payloads, msg.Payload())
+	fail := len(s.payloads) <= s.failN
+	s.mu.Unlock()
+	if fail {
+		_ = fut.SetError(errors.New("transient"))
+	} else {
+		_ = fut.SetResult("ok")
+	}
+	return fut
+}
+
+// TestDispatchAttachesEncodeOncePayload: every attempt of a task — the
+// first launch and each retry — must carry the same payload object, i.e.
+// the arguments were serialized exactly once for the task's lifetime, and
+// the same bytes are recorded on the task record.
+func TestDispatchAttachesEncodeOncePayload(t *testing.T) {
+	spy := &payloadSpy{failN: 2}
+	d, err := New(Config{Executors: []executor.Executor{spy}, Retries: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	app, err := d.PythonApp("spy-app", func([]any, map[string]any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := app.Call([]int{1, 2, 3}, "x")
+	if _, err := fut.Result(); err != nil {
+		t.Fatal(err)
+	}
+
+	spy.mu.Lock()
+	defer spy.mu.Unlock()
+	if len(spy.payloads) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(spy.payloads))
+	}
+	if spy.payloads[0] == nil {
+		t.Fatal("dispatch submitted a message without an encode-once payload")
+	}
+	for i := 1; i < len(spy.payloads); i++ {
+		if spy.payloads[i] != spy.payloads[0] {
+			t.Fatalf("attempt %d re-encoded the arguments (new payload object)", i)
+		}
+	}
+	rec := d.Graph().Get(fut.TaskID)
+	if rec == nil {
+		t.Fatal("task record missing")
+	}
+	if rec.Payload() != spy.payloads[0] {
+		t.Fatal("task record does not carry the dispatched payload")
+	}
+}
+
+// TestMemoKeyOverrideHitSkipsEncoding: an explicit-key cache hit is served
+// before arguments are serialized, so even args no executor could accept
+// return the cached result — the task never needs to execute.
+func TestMemoKeyOverrideHitSkipsEncoding(t *testing.T) {
+	spy := &payloadSpy{}
+	d, err := New(Config{Executors: []executor.Executor{spy}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	app, err := d.PythonApp("memo-app", func([]any, map[string]any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the entry with an ordinary submission.
+	if _, err := app.Submit(context.Background(), []any{1}, WithMemoKey("warm")).Result(); err != nil {
+		t.Fatal(err)
+	}
+	// Hit it with an unencodable argument: the cache must answer anyway.
+	v, err := app.Submit(context.Background(), []any{make(chan int)}, WithMemoKey("warm")).Result()
+	if err != nil {
+		t.Fatalf("explicit-key cache hit failed: %v", err)
+	}
+	if v != "ok" {
+		t.Fatalf("cached value = %v, want the stored result", v)
+	}
+	spy.mu.Lock()
+	defer spy.mu.Unlock()
+	if len(spy.payloads) != 1 {
+		t.Fatalf("executor ran %d tasks, want only the warm-up", len(spy.payloads))
+	}
+}
+
+// TestUnserializableArgsFailFast: arguments no executor could accept (the
+// immutability copy and the wire both need gob) fail the task at launch
+// with the serialization error, before any executor sees it.
+func TestUnserializableArgsFailFast(t *testing.T) {
+	spy := &payloadSpy{}
+	d, err := New(Config{Executors: []executor.Executor{spy}, Retries: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	app, err := d.PythonApp("chan-app", func([]any, map[string]any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = app.Call(make(chan int)).Result()
+	if err == nil {
+		t.Fatal("unencodable argument succeeded")
+	}
+	if !strings.Contains(err.Error(), "serialize") {
+		t.Fatalf("error does not name the serialization failure: %v", err)
+	}
+	spy.mu.Lock()
+	defer spy.mu.Unlock()
+	if len(spy.payloads) != 0 {
+		t.Fatalf("executor saw %d submissions for an unencodable task", len(spy.payloads))
+	}
+}

@@ -157,9 +157,11 @@ func (p *Pool) workerRank(rank int) {
 }
 
 // managerRecvLoop is rank 0's interchange-facing half: receive task batches
-// and fan them out to idle worker ranks over MPI.
+// off the interchange's per-manager stream and fan them out to idle worker
+// ranks over MPI.
 func (p *Pool) managerRecvLoop() {
 	defer p.wg.Done()
+	taskDec := htex.NewTaskStreamDecoder()
 	for {
 		msg, err := p.dealer.Recv()
 		if err != nil {
@@ -174,7 +176,7 @@ func (p *Pool) managerRecvLoop() {
 			if len(msg) < 2 {
 				continue
 			}
-			batch, err := htex.DecodeTaskBatch(msg[1])
+			batch, err := taskDec.Decode(msg[1])
 			if err != nil {
 				continue
 			}
@@ -189,9 +191,12 @@ func (p *Pool) managerRecvLoop() {
 	}
 }
 
-// dispatchMPI sends one task to an idle rank, blocking until one frees.
-func (p *Pool) dispatchMPI(t serialize.TaskMsg) bool {
-	payload, err := serialize.EncodeTask(t)
+// dispatchMPI sends one task to an idle rank, blocking until one frees. The
+// MPI interior uses one-shot envelopes (every rank must decode standalone),
+// and the argument payload inside is the submit-time encoding, forwarded
+// byte-for-byte — rank 0 never re-serializes arguments.
+func (p *Pool) dispatchMPI(t serialize.WireTask) bool {
+	payload, err := serialize.EncodeWire(t)
 	if err != nil {
 		return true
 	}
@@ -224,6 +229,7 @@ func (p *Pool) dispatchMPI(t serialize.TaskMsg) bool {
 // ranks and batch them to the interchange.
 func (p *Pool) managerResultLoop() {
 	defer p.wg.Done()
+	resEnc := htex.NewResultStreamEncoder()
 	var batch []serialize.ResultMsg
 	flushTimer := time.NewTimer(p.cfg.FlushInterval)
 	defer flushTimer.Stop()
@@ -231,9 +237,9 @@ func (p *Pool) managerResultLoop() {
 		if len(batch) == 0 {
 			return
 		}
-		if payload, err := htex.EncodeResultBatch(batch); err == nil {
-			_ = p.dealer.Send(mq.Message{[]byte("RESULTS"), payload})
-		}
+		_ = resEnc.Encode(batch, func(frame []byte) error {
+			return p.dealer.Send(mq.Message{[]byte("RESULTS"), frame})
+		})
 		batch = nil
 	}
 	for {

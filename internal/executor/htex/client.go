@@ -42,6 +42,11 @@ type Executor struct {
 	ix  *Interchange
 
 	dealer *mq.Dealer
+	// taskEnc streams TASKB frames to the interchange; resDec consumes the
+	// interchange's RESULTS stream. One pair per client connection — gob
+	// type descriptors cross the wire once per session, not per batch.
+	taskEnc *serialize.StreamEncoder
+	resDec  *serialize.StreamDecoder
 
 	mu        sync.Mutex
 	pending   map[int64]*future.Future
@@ -70,6 +75,8 @@ func New(cfg Config) *Executor {
 	}
 	return &Executor{
 		cfg:        cfg,
+		taskEnc:    serialize.NewStreamEncoder(),
+		resDec:     serialize.NewStreamDecoder(),
 		pending:    make(map[int64]*future.Future),
 		inflight:   make(map[int64]serialize.TaskMsg),
 		blockMgrs:  make(map[string][]string),
@@ -136,8 +143,8 @@ func (e *Executor) recvLoop() {
 			if len(msg) < 2 {
 				continue
 			}
-			results, err := decodeResults(msg[1])
-			if err != nil {
+			var results []serialize.ResultMsg
+			if err := e.resDec.DecodeFrame(msg[1], &results); err != nil {
 				continue
 			}
 			for _, r := range results {
@@ -230,35 +237,29 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 	e.mu.Unlock()
 	e.outstanding.Add(int64(len(msgs)))
 
-	send := msgs
-	payload, err := encodeTasks(send)
-	if err != nil {
-		// Batch encoding failed — isolate the poison task(s) so one
-		// unencodable argument doesn't fail every task batched with it:
-		// re-encode per task, fail only the offenders, batch the rest.
-		good := make([]serialize.TaskMsg, 0, len(msgs))
-		for _, m := range msgs {
-			if _, perr := serialize.EncodeTask(m); perr != nil {
-				e.fail(m.ID, perr)
-				continue
-			}
-			good = append(good, m)
-		}
-		if len(good) == 0 {
-			return futs
-		}
-		payload, err = encodeTasks(good)
+	// Convert to wire envelopes. Tasks from the dispatch pipeline carry an
+	// encode-once payload, so Wire() just wraps cached bytes and cannot
+	// fail; a direct submission without a payload encodes here, and an
+	// unencodable argument fails only its own task — poison isolation comes
+	// free, with no validation double-encode.
+	wires := make([]serialize.WireTask, 0, len(msgs))
+	for i := range msgs {
+		w, err := msgs[i].Wire()
 		if err != nil {
-			for _, m := range good {
-				e.fail(m.ID, err)
-			}
-			return futs
+			e.fail(msgs[i].ID, err)
+			continue
 		}
-		send = good
+		wires = append(wires, w)
 	}
-	if err := e.dealer.Send(mq.Message{[]byte(frameTaskSub), payload}); err != nil {
-		for _, m := range send {
-			e.fail(m.ID, fmt.Errorf("htex: submit batch: %w", err))
+	if len(wires) == 0 {
+		return futs
+	}
+	err := e.taskEnc.EncodeFrame(wires, func(frame []byte) error {
+		return e.dealer.Send(mq.Message{[]byte(frameTaskSub), frame})
+	})
+	if err != nil {
+		for _, w := range wires {
+			e.fail(w.ID, fmt.Errorf("htex: submit batch: %w", err))
 		}
 	}
 	return futs

@@ -5,6 +5,15 @@
 // randomized manager selection for fairness, heartbeat-based fault
 // detection, lost-manager exceptions, a synchronous command channel, and
 // block-based scaling.
+//
+// Wire path: task and result batches ride persistent per-connection
+// streaming codecs (serialize.StreamEncoder/StreamDecoder) that amortize
+// gob type-descriptor transmission across a session, and tasks travel as
+// serialize.WireTask envelopes whose argument payload was encoded exactly
+// once at submit time — the interchange queues, prioritizes, cancels, and
+// re-frames tasks without ever decoding the argument bytes. Control frames
+// (registration, ids, heartbeats, commands) stay one-shot: they are small,
+// rare, and must be decodable without session state.
 package htex
 
 import (
@@ -17,10 +26,10 @@ import (
 
 // Wire message type tags (first frame part).
 const (
-	frameTask    = "TASK"    // client -> interchange: one TaskMsg
-	frameTaskSub = "TASKB"   // client -> interchange: batch of TaskMsg
-	frameTasks   = "TASKS"   // interchange -> manager: batch of TaskMsg
-	frameResults = "RESULTS" // manager -> interchange -> client: batch of ResultMsg
+	frameTask    = "TASK"    // client -> interchange: one one-shot WireTask
+	frameTaskSub = "TASKB"   // client -> interchange: streamed batch of WireTask
+	frameTasks   = "TASKS"   // interchange -> manager: streamed batch of WireTask
+	frameResults = "RESULTS" // manager -> interchange -> client: streamed batch of ResultMsg
 	frameReg     = "REG"     // manager -> interchange: registration
 	frameHB      = "HB"      // both directions
 	frameCmd     = "CMD"     // client -> interchange: command channel
@@ -30,45 +39,50 @@ const (
 	frameCancel  = "CANCEL"  // client -> interchange -> manager: drop tasks not yet started
 )
 
-func encodeTasks(batch []serialize.TaskMsg) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
-		return nil, fmt.Errorf("htex: encode batch: %w", err)
-	}
-	return buf.Bytes(), nil
+// TaskStreamDecoder decodes the interchange's TASKS frames. It wraps one
+// per-connection stream decoder, exported so sibling executors that speak
+// the manager protocol (EXEX pools) share the exact wire format. Not safe
+// for concurrent use — one per receive loop.
+type TaskStreamDecoder struct {
+	dec *serialize.StreamDecoder
 }
 
-func decodeTasks(b []byte) ([]serialize.TaskMsg, error) {
-	var batch []serialize.TaskMsg
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&batch); err != nil {
+// NewTaskStreamDecoder returns a decoder for one manager-protocol session.
+func NewTaskStreamDecoder() *TaskStreamDecoder {
+	return &TaskStreamDecoder{dec: serialize.NewStreamDecoder()}
+}
+
+// Decode decodes one TASKS frame into its task-envelope batch.
+func (d *TaskStreamDecoder) Decode(frame []byte) ([]serialize.WireTask, error) {
+	var batch []serialize.WireTask
+	if err := d.dec.DecodeFrame(frame, &batch); err != nil {
 		return nil, fmt.Errorf("htex: decode batch: %w", err)
 	}
 	return batch, nil
 }
 
-func encodeResults(batch []serialize.ResultMsg) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(batch); err != nil {
-		return nil, fmt.Errorf("htex: encode results: %w", err)
-	}
-	return buf.Bytes(), nil
+// ResultStreamEncoder encodes RESULTS frames on a persistent stream toward
+// the interchange; exported for EXEX pools. The frame passed to send is only
+// valid during the call. Safe for concurrent use.
+type ResultStreamEncoder struct {
+	enc *serialize.StreamEncoder
 }
 
-func decodeResults(b []byte) ([]serialize.ResultMsg, error) {
-	var batch []serialize.ResultMsg
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&batch); err != nil {
-		return nil, fmt.Errorf("htex: decode results: %w", err)
-	}
-	return batch, nil
+// NewResultStreamEncoder returns an encoder for one manager-protocol session.
+func NewResultStreamEncoder() *ResultStreamEncoder {
+	return &ResultStreamEncoder{enc: serialize.NewStreamEncoder()}
 }
 
-// DecodeTaskBatch exposes the task-batch codec to sibling executors (EXEX
-// pools speak the same manager protocol).
-func DecodeTaskBatch(b []byte) ([]serialize.TaskMsg, error) { return decodeTasks(b) }
+// Encode frames one result batch and hands it to send.
+func (e *ResultStreamEncoder) Encode(batch []serialize.ResultMsg, send func(frame []byte) error) error {
+	if err := e.enc.EncodeFrame(batch, send); err != nil {
+		return fmt.Errorf("htex: encode results: %w", err)
+	}
+	return nil
+}
 
-// EncodeResultBatch exposes the result-batch codec to sibling executors.
-func EncodeResultBatch(batch []serialize.ResultMsg) ([]byte, error) { return encodeResults(batch) }
-
+// encodeIDs / decodeIDs carry wire-id lists (CANCEL, LOST) as one-shot gob:
+// they are tiny and infrequent, so stream state would buy nothing.
 func encodeIDs(ids []int64) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(ids); err != nil {

@@ -60,26 +60,45 @@ func (c *InterchangeConfig) normalize() {
 type managerState struct {
 	id          string
 	capacity    int // workers + prefetch slots
-	outstanding map[int64]serialize.TaskMsg
+	outstanding map[int64]serialize.WireTask
 	lastSeen    time.Time
 	blacklisted bool
+	// enc is the manager's private TASKS stream: descriptors cross once per
+	// manager session, and every batch after the first is values only.
+	enc *serialize.StreamEncoder
 }
 
 func (m *managerState) free() int { return m.capacity - len(m.outstanding) }
 
 // Interchange is the hub: it queues tasks from the client, matches them to
 // managers with advertised capacity (random among eligible, §4.3.1), relays
-// result batches back, and polices heartbeats.
+// result batches back, and polices heartbeats. It brokers task envelopes
+// (serialize.WireTask) exclusively: the argument payload inside is routed,
+// queued, and re-framed as opaque bytes, never decoded or re-encoded here.
 type Interchange struct {
 	cfg    InterchangeConfig
 	router *mq.Router
 	rng    *rand.Rand
 
+	// clientEnc streams RESULTS to the client. Result batches arriving from
+	// managers are decoded (the interchange needs the ids for capacity
+	// bookkeeping anyway) and re-framed here, so the client holds exactly
+	// one result stream regardless of how many managers feed it.
+	clientEnc *serialize.StreamEncoder
+
 	mu       sync.Mutex
 	managers map[string]*managerState
-	queue    []serialize.TaskMsg // priority-ordered; see enqueue
-	client   string              // identity of the connected client, "" until it speaks
-	rrNext   int                 // round-robin cursor (SelectRoundRobin)
+	queue    []serialize.WireTask // priority-ordered; see enqueue
+	client   string               // identity of the connected client, "" until it speaks
+	// clientEpoch is the last stream epoch observed on the client's TASKB
+	// stream; a change marks a new client session (see handle).
+	clientEpoch uint32
+	rrNext      int // round-robin cursor (SelectRoundRobin)
+	// decs holds one stream decoder per connected peer (client TASKB,
+	// manager RESULTS), keyed by identity. Decoding itself happens only on
+	// the mainLoop goroutine; the map is locked because the heartbeat
+	// goroutine prunes entries for lost managers.
+	decs map[string]*serialize.StreamDecoder
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -93,11 +112,13 @@ func StartInterchange(tr simnet.Transport, addr string, cfg InterchangeConfig) (
 		return nil, fmt.Errorf("htex: interchange: %w", err)
 	}
 	ix := &Interchange{
-		cfg:      cfg,
-		router:   r,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		managers: make(map[string]*managerState),
-		done:     make(chan struct{}),
+		cfg:       cfg,
+		router:    r,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		clientEnc: serialize.NewStreamEncoder(),
+		managers:  make(map[string]*managerState),
+		decs:      make(map[string]*serialize.StreamDecoder),
+		done:      make(chan struct{}),
 	}
 	ix.wg.Add(2)
 	go ix.mainLoop()
@@ -133,13 +154,13 @@ func (ix *Interchange) handle(del mq.Delivery) {
 	}
 	switch string(del.Msg[0]) {
 	case frameTask:
-		ix.mu.Lock()
-		ix.client = del.From
-		ix.mu.Unlock()
+		// Legacy single-task path: a one-shot envelope, no stream state
+		// required — the self-describing fallback framing.
+		ix.setClient(del.From)
 		if len(del.Msg) < 2 {
 			return
 		}
-		task, err := serialize.DecodeTask(del.Msg[1])
+		task, err := serialize.DecodeWire(del.Msg[1])
 		if err != nil {
 			return
 		}
@@ -148,14 +169,28 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		ix.mu.Unlock()
 		ix.dispatch()
 	case frameTaskSub:
-		ix.mu.Lock()
-		ix.client = del.From
-		ix.mu.Unlock()
+		ix.setClient(del.From)
 		if len(del.Msg) < 2 {
 			return
 		}
-		batch, err := decodeTasks(del.Msg[1])
-		if err != nil {
+		// A new epoch on the client's task stream is the in-band signal of
+		// a new client session (epochs are globally unique per encoder
+		// incarnation): restart the RESULTS stream so the newcomer's
+		// decoder syncs on a self-describing first frame. In-band, because
+		// connection events ride a lossy channel with no ordering against
+		// deliveries. The task decoder itself needs no such help — it
+		// resyncs on the epoch carried by every frame.
+		if epoch, ok := serialize.PeekFrameEpoch(del.Msg[1]); ok {
+			ix.mu.Lock()
+			newSession := epoch != ix.clientEpoch
+			ix.clientEpoch = epoch
+			ix.mu.Unlock()
+			if newSession {
+				ix.clientEnc.Reset()
+			}
+		}
+		var batch []serialize.WireTask
+		if err := ix.decoderFor(del.From).DecodeFrame(del.Msg[1], &batch); err != nil {
 			return
 		}
 		ix.mu.Lock()
@@ -174,8 +209,9 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		ix.managers[del.From] = &managerState{
 			id:          del.From,
 			capacity:    capacity,
-			outstanding: make(map[int64]serialize.TaskMsg),
+			outstanding: make(map[int64]serialize.WireTask),
 			lastSeen:    time.Now(),
+			enc:         serialize.NewStreamEncoder(),
 		}
 		ix.mu.Unlock()
 		ix.dispatch()
@@ -183,8 +219,8 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		if len(del.Msg) < 2 {
 			return
 		}
-		results, err := decodeResults(del.Msg[1])
-		if err != nil {
+		var results []serialize.ResultMsg
+		if err := ix.decoderFor(del.From).DecodeFrame(del.Msg[1], &results); err != nil {
 			return
 		}
 		ix.mu.Lock()
@@ -197,7 +233,9 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		client := ix.client
 		ix.mu.Unlock()
 		if client != "" {
-			_ = ix.router.SendTo(client, mq.Message{[]byte(frameResults), del.Msg[1]})
+			_ = ix.clientEnc.EncodeFrame(results, func(frame []byte) error {
+				return ix.router.SendTo(client, mq.Message{[]byte(frameResults), frame})
+			})
 		}
 		ix.dispatch()
 	case frameHB:
@@ -217,6 +255,7 @@ func (ix *Interchange) handle(del mq.Delivery) {
 				ix.enqueue(t)
 			}
 			delete(ix.managers, del.From)
+			delete(ix.decs, del.From)
 		}
 		ix.mu.Unlock()
 		// Hang up on the peer so its Drain can observe the ack.
@@ -232,11 +271,32 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		}
 		ix.cancel(ids)
 	case frameCmd:
-		ix.mu.Lock()
-		ix.client = del.From
-		ix.mu.Unlock()
+		ix.setClient(del.From)
 		ix.command(del)
 	}
+}
+
+// setClient records the identity results are relayed to. Stream resync for
+// a new client session is detected in-band from the epoch on its TASKB
+// stream (see handle), since every client shares the same dealer identity.
+func (ix *Interchange) setClient(from string) {
+	ix.mu.Lock()
+	ix.client = from
+	ix.mu.Unlock()
+}
+
+// decoderFor returns the stream decoder for one peer, creating it on first
+// contact. Decoding is serialized on the mainLoop goroutine; the lock only
+// orders map access against lost-manager pruning.
+func (ix *Interchange) decoderFor(id string) *serialize.StreamDecoder {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	d, ok := ix.decs[id]
+	if !ok {
+		d = serialize.NewStreamDecoder()
+		ix.decs[id] = d
+	}
+	return d
 }
 
 // cancel drops the named tasks: entries still in the interchange queue are
@@ -333,7 +393,7 @@ func (ix *Interchange) command(del mq.Delivery) {
 // when an append actually breaks the ordering invariant — an all-default
 // workload, or the steady state after a priority burst drains, appends in
 // O(1) like the old FIFO. Callers must hold ix.mu.
-func (ix *Interchange) enqueue(tasks ...serialize.TaskMsg) {
+func (ix *Interchange) enqueue(tasks ...serialize.WireTask) {
 	if len(tasks) == 0 {
 		return
 	}
@@ -391,20 +451,21 @@ func (ix *Interchange) dispatch() {
 		if n > len(ix.queue) {
 			n = len(ix.queue)
 		}
-		batch := make([]serialize.TaskMsg, n)
+		batch := make([]serialize.WireTask, n)
 		copy(batch, ix.queue[:n])
 		ix.queue = ix.queue[n:]
 		for _, t := range batch {
 			m.outstanding[t.ID] = t
 		}
-		id := m.id
+		id, enc := m.id, m.enc
 		ix.mu.Unlock()
 
-		payload, err := encodeTasks(batch)
+		// Re-frame the envelopes on this manager's stream; the argument
+		// payloads inside pass through as opaque bytes.
+		err := enc.EncodeFrame(batch, func(frame []byte) error {
+			return ix.router.SendTo(id, mq.Message{[]byte(frameTasks), frame})
+		})
 		if err != nil {
-			continue
-		}
-		if err := ix.router.SendTo(id, mq.Message{[]byte(frameTasks), payload}); err != nil {
 			// Send failed: the manager is gone; requeue via loss path.
 			ix.managerLost(id, "send failed")
 		}
@@ -446,6 +507,7 @@ func (ix *Interchange) managerLost(id, reason string) {
 		return
 	}
 	delete(ix.managers, id)
+	delete(ix.decs, id) // a reconnecting identity starts a fresh stream
 	var lostIDs []int64
 	for tid := range m.outstanding {
 		lostIDs = append(lostIDs, tid)

@@ -53,14 +53,20 @@ func (c *ManagerConfig) normalize() {
 
 // Manager is the per-node pilot agent: it registers capacity with the
 // interchange, feeds a pool of worker goroutines, and streams result batches
-// back.
+// back. Tasks arrive as wire envelopes; the argument payload — encoded once
+// at submit time on the client — is decoded here, by the worker goroutine
+// about to execute the task, and nowhere else.
 type Manager struct {
 	id     string
 	cfg    ManagerConfig
 	reg    *serialize.Registry
 	dealer *mq.Dealer
+	// taskDec consumes the interchange's per-manager TASKS stream; resEnc
+	// produces this manager's RESULTS stream.
+	taskDec *TaskStreamDecoder
+	resEnc  *ResultStreamEncoder
 
-	tasks   chan serialize.TaskMsg
+	tasks   chan serialize.WireTask
 	results chan serialize.ResultMsg
 
 	done      chan struct{}
@@ -91,7 +97,9 @@ func StartManager(tr simnet.Transport, addr, id string, reg *serialize.Registry,
 		cfg:      cfg,
 		reg:      reg,
 		dealer:   dealer,
-		tasks:    make(chan serialize.TaskMsg, cfg.Workers+cfg.Prefetch),
+		taskDec:  NewTaskStreamDecoder(),
+		resEnc:   NewResultStreamEncoder(),
+		tasks:    make(chan serialize.WireTask, cfg.Workers+cfg.Prefetch),
 		results:  make(chan serialize.ResultMsg, cfg.Workers+cfg.Prefetch),
 		done:     make(chan struct{}),
 		lastSeen: time.Now(),
@@ -140,7 +148,7 @@ func (m *Manager) recvLoop() {
 			if len(msg) < 2 {
 				continue
 			}
-			batch, err := decodeTasks(msg[1])
+			batch, err := m.taskDec.Decode(msg[1])
 			if err != nil {
 				continue
 			}
@@ -189,9 +197,21 @@ func (m *Manager) worker(workerID string) {
 		select {
 		case <-m.done:
 			return
-		case t := <-m.tasks:
-			if m.dropCanceled(t.ID) {
+		case w := <-m.tasks:
+			if m.dropCanceled(w.ID) {
 				continue // struck by the interchange; never starts
+			}
+			// First and only decode of the argument payload, on the
+			// goroutine that executes it — the decode is the worker's
+			// private deep copy, so no further isolation copy is needed.
+			t, err := w.Task()
+			if err != nil {
+				select {
+				case m.results <- serialize.ResultMsg{ID: w.ID, WorkerID: workerID, Err: err.Error()}:
+				case <-m.done:
+					return
+				}
+				continue
 			}
 			res := executor.RunKernel(m.reg, t, workerID)
 			m.mu.Lock()
@@ -217,9 +237,9 @@ func (m *Manager) resultLoop() {
 		if len(batch) == 0 {
 			return
 		}
-		if payload, err := encodeResults(batch); err == nil {
-			_ = m.dealer.Send(mq.Message{[]byte(frameResults), payload})
-		}
+		_ = m.resEnc.Encode(batch, func(frame []byte) error {
+			return m.dealer.Send(mq.Message{[]byte(frameResults), frame})
+		})
 		batch = nil
 	}
 	for {

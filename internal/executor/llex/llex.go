@@ -369,6 +369,13 @@ func (e *Executor) Submit(msg serialize.TaskMsg) *future.Future {
 	}
 	e.mu.Unlock()
 
+	// One-shot framing on purpose: the stateless relay fans a single
+	// client's frames out across workers round-robin, so no worker could
+	// follow a persistent client stream — every frame must be
+	// self-describing. The encode still reuses the submit-time argument
+	// payload when the dispatch pipeline attached one, and the encoded
+	// bytes are retained for retransmission, so retries cost no re-encode
+	// either.
 	payload, err := serialize.EncodeTask(msg)
 	if err != nil {
 		_ = fut.SetError(err)

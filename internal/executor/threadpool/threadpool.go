@@ -91,8 +91,18 @@ func (e *Executor) worker(id string) {
 		}
 		// Deep-copy arguments so an impure app cannot mutate caller state:
 		// the same isolation the serialization boundary gives remote
-		// executors (§3.2).
-		args, kwargs, err := serialize.DeepCopyArgs(it.msg.Args, it.msg.Kwargs)
+		// executors (§3.2). Tasks from the dispatch pipeline carry the
+		// encode-once payload, so the copy is a single decode of cached
+		// bytes; direct submissions fall back to the encode+decode round
+		// trip.
+		var args []any
+		var kwargs map[string]any
+		var err error
+		if p := it.msg.Payload(); p != nil {
+			args, kwargs, err = p.DecodeArgs()
+		} else {
+			args, kwargs, err = serialize.DeepCopyArgs(it.msg.Args, it.msg.Kwargs)
+		}
 		var res serialize.ResultMsg
 		if err != nil {
 			res = serialize.ResultMsg{ID: it.msg.ID, WorkerID: id, Err: err.Error()}

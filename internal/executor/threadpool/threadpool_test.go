@@ -102,6 +102,38 @@ func TestArgumentIsolation(t *testing.T) {
 	}
 }
 
+// TestArgumentIsolationFromPayload is TestArgumentIsolation on the
+// encode-once path the DFK dispatch pipeline uses: the worker's defensive
+// copy is decoded from the attached payload bytes (no fresh encode), and
+// mutation by the app must still not leak into caller state — even when the
+// same payload serves repeated submissions, as it does for retries.
+func TestArgumentIsolationFromPayload(t *testing.T) {
+	e := newPool(t, 1)
+	orig := []int{1, 2, 3}
+	kw := map[string]any{"tag": []string{"keep"}}
+	p, err := serialize.EncodeArgs([]any{orig}, kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		msg := serialize.TaskMsg{ID: int64(i + 1), App: "mutate", Args: []any{orig}, Kwargs: kw}
+		msg.AttachPayload(p)
+		v, err := e.Submit(msg).Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 999 {
+			t.Fatalf("v = %v", v)
+		}
+		if orig[0] != 1 {
+			t.Fatal("app mutated the caller's slice through the payload deep copy")
+		}
+		if kw["tag"].([]string)[0] != "keep" {
+			t.Fatal("app mutated the caller's kwargs through the payload deep copy")
+		}
+	}
+}
+
 func TestOutstandingCount(t *testing.T) {
 	e := newPool(t, 1)
 	fut := e.Submit(serialize.TaskMsg{ID: 1, App: "sleep", Args: []any{50}})

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/serialize"
 )
 
 func TestKeyComponents(t *testing.T) {
@@ -29,6 +31,25 @@ func TestKeyComponents(t *testing.T) {
 func TestKeyUnhashableArgs(t *testing.T) {
 	if _, err := Key("f", "h", []any{make(chan int)}, nil); err == nil {
 		t.Fatal("unhashable args produced a key")
+	}
+}
+
+// TestKeyFromPayloadAgreesWithKey: the DFK derives keys from the
+// encode-once payload; programs (and checkpoint files) written against
+// Key() must land on the same entries.
+func TestKeyFromPayloadAgreesWithKey(t *testing.T) {
+	args := []any{1, "x", 2.5}
+	kw := map[string]any{"b": 2, "a": 1}
+	k1, err := Key("f", "h1", args, kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := serialize.EncodeArgs(args, kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 := KeyFromPayload("f", "h1", p); k2 != k1 {
+		t.Fatalf("KeyFromPayload = %s, Key = %s", k2, k1)
 	}
 }
 

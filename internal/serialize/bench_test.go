@@ -1,0 +1,241 @@
+package serialize
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchBatch builds one batch of representative tasks: a few positional
+// args of mixed type plus kwargs, the shape the paper's workloads submit.
+func benchBatch(n int) ([]TaskMsg, [][]any, []map[string]any) {
+	msgs := make([]TaskMsg, n)
+	argLists := make([][]any, n)
+	kwLists := make([]map[string]any, n)
+	for i := range msgs {
+		argLists[i] = []any{i, fmt.Sprintf("input-%04d", i), 2.5, []string{"a", "b", "c"}}
+		kwLists[i] = map[string]any{"threads": 4, "mode": "fast"}
+		msgs[i] = TaskMsg{ID: int64(i), App: "bench-app", Priority: 1,
+			Args: argLists[i], Kwargs: kwLists[i]}
+	}
+	return msgs, argLists, kwLists
+}
+
+// BenchmarkSerializeRoundTrip measures the full serialization path of one
+// 64-task batch from submission to executable arguments on a worker,
+// including the memoization hash — everything the serialization layer does
+// for a task, end to end.
+//
+//	oneshot-baseline   the pre-encode-once pipeline, retained for
+//	                   comparison: per-argument hash encoders, a
+//	                   validation encode per task, then a self-describing
+//	                   one-shot encode/decode at each hop
+//	                   (client → interchange → manager)
+//	encode-once-streaming   the encode-once pipeline: arguments encoded
+//	                   exactly once, hash taken over the cached bytes,
+//	                   envelopes re-framed hop to hop on persistent
+//	                   streams, arguments decoded once at the worker
+//
+// The acceptance bar for this layer is streaming ≥ 2× faster ns/op than
+// the baseline in the same run.
+func BenchmarkSerializeRoundTrip(b *testing.B) {
+	const batchSize = 64
+
+	b.Run("oneshot-baseline", func(b *testing.B) {
+		msgs, argLists, kwLists := benchBatch(batchSize)
+		oneShot := OneShotCodec{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Submit side: memo hash (per-argument encoders) and the
+			// validation encode the old client performed per task.
+			for j := range msgs {
+				if _, err := ArgsHash(argLists[j], kwLists[j]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := EncodeTask(msgs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Wire: client → interchange → manager, one self-describing
+			// frame per hop, full re-encode in between.
+			wires := make([]WireTask, len(msgs))
+			for j := range msgs {
+				w, err := msgs[j].Wire()
+				if err != nil {
+					b.Fatal(err)
+				}
+				wires[j] = w
+				msgs[j].payload = nil // the old path cached nothing
+			}
+			var hop1 []byte
+			if err := oneShot.EncodeFrame(wires, func(f []byte) error {
+				hop1 = append(hop1[:0], f...)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			var atIx []WireTask
+			if err := NewStreamDecoder().DecodeFrame(hop1, &atIx); err != nil {
+				b.Fatal(err)
+			}
+			var hop2 []byte
+			if err := oneShot.EncodeFrame(atIx, func(f []byte) error {
+				hop2 = append(hop2[:0], f...)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			var atMgr []WireTask
+			if err := NewStreamDecoder().DecodeFrame(hop2, &atMgr); err != nil {
+				b.Fatal(err)
+			}
+			for j := range atMgr {
+				if _, err := atMgr[j].Task(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("encode-once-streaming", func(b *testing.B) {
+		clientEnc := NewStreamEncoder()
+		ixDec := NewStreamDecoder()
+		ixEnc := NewStreamEncoder()
+		mgrDec := NewStreamDecoder()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			msgs, argLists, kwLists := benchBatch(batchSize)
+			// Submit side: encode once, hash the bytes.
+			wires := make([]WireTask, len(msgs))
+			for j := range msgs {
+				p, err := EncodeArgs(argLists[j], kwLists[j])
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = p.ArgsHash()
+				msgs[j].AttachPayload(p)
+				w, err := msgs[j].Wire()
+				if err != nil {
+					b.Fatal(err)
+				}
+				wires[j] = w
+			}
+			// Wire: same two hops, but envelopes ride persistent streams
+			// and the argument bytes pass through untouched.
+			var hop1 []byte
+			if err := clientEnc.EncodeFrame(wires, func(f []byte) error {
+				hop1 = append(hop1[:0], f...)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			var atIx []WireTask
+			if err := ixDec.DecodeFrame(hop1, &atIx); err != nil {
+				b.Fatal(err)
+			}
+			var hop2 []byte
+			if err := ixEnc.EncodeFrame(atIx, func(f []byte) error {
+				hop2 = append(hop2[:0], f...)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			var atMgr []WireTask
+			if err := mgrDec.DecodeFrame(hop2, &atMgr); err != nil {
+				b.Fatal(err)
+			}
+			for j := range atMgr {
+				if _, err := atMgr[j].Task(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkArgsHash isolates the memoization hash: per-argument gob
+// streamed straight into a pooled FNV hasher.
+func BenchmarkArgsHash(b *testing.B) {
+	args := []any{7, "input-0007", 2.5, []string{"a", "b", "c"}}
+	kw := map[string]any{"threads": 4, "mode": "fast"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ArgsHash(args, kw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPayloadHash is the encode-once equivalent: EncodeArgs plus a
+// hash sweep over the cached bytes (what the DFK submit path actually pays,
+// since the same payload then serves the wire and the deep copy for free).
+func BenchmarkPayloadHash(b *testing.B) {
+	args := []any{7, "input-0007", 2.5, []string{"a", "b", "c"}}
+	kw := map[string]any{"threads": 4, "mode": "fast"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := EncodeArgs(args, kw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p.ArgsHash()
+	}
+}
+
+// BenchmarkDeepCopy compares the two defensive-copy paths an in-process
+// executor can take: the legacy encode+decode round trip versus a single
+// decode of the encode-once payload.
+func BenchmarkDeepCopy(b *testing.B) {
+	args := []any{7, "input-0007", 2.5, []string{"a", "b", "c"}}
+	kw := map[string]any{"threads": 4, "mode": "fast"}
+	b.Run("encode-and-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DeepCopyArgs(args, kw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-from-payload", func(b *testing.B) {
+		p, err := EncodeArgs(args, kw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.DecodeArgs(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStreamFrame isolates the codec itself on a result batch: a
+// persistent stream versus a self-describing frame per message.
+func BenchmarkStreamFrame(b *testing.B) {
+	batch := make([]ResultMsg, 16)
+	for i := range batch {
+		batch[i] = ResultMsg{ID: int64(i), Value: i * 3, WorkerID: "w0"}
+	}
+	sink := func([]byte) error { return nil }
+	b.Run("streaming", func(b *testing.B) {
+		enc := NewStreamEncoder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := enc.EncodeFrame(batch, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("oneshot", func(b *testing.B) {
+		enc := OneShotCodec{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := enc.EncodeFrame(batch, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

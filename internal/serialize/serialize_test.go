@@ -1,6 +1,7 @@
 package serialize
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -233,6 +234,237 @@ func TestQuickArgsHashPure(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestArgsHashGolden pins the digest for a spread of argument shapes.
+// Checkpoint files persist memo keys built from these hashes, so the values
+// must never drift across releases — including across the rewrite that
+// streams gob output straight into the hasher (the per-argument byte
+// streams, and therefore the digests, are unchanged).
+func TestArgsHashGolden(t *testing.T) {
+	cases := []struct {
+		args []any
+		kw   map[string]any
+		want string
+	}{
+		{nil, nil, "cbf29ce484222325"},
+		{[]any{}, map[string]any{}, "cbf29ce484222325"},
+		{[]any{int(42)}, nil, "8e76be993c2fd62b"},
+		{[]any{"chr1", 3, 2.5}, nil, "af96601ca0f65dde"},
+		{[]any{[]string{"a", "b"}, []int{1, 2, 3}}, nil, "3cc28995c38ba0fb"},
+		{[]any{1, "x"}, map[string]any{"a": "a-v", "b": "b-v", "c": "c-v"}, "fab4c8683b8ba743"},
+		{[]any{int64(7)}, map[string]any{"threads": 4, "mode": "fast"}, "b94a793ba1fd6355"},
+		{[]any{[]byte{0, 1, 2}}, map[string]any{"f": 3.14}, "1b69d6eeb0dd3f21"},
+	}
+	for i, c := range cases {
+		got, err := ArgsHash(c.args, c.kw)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Fatalf("case %d: ArgsHash = %s, want golden %s", i, got, c.want)
+		}
+	}
+}
+
+// TestPayloadHashGolden pins the payload digest — the args component of
+// every memoization key the DFK computes — for a spread of argument shapes
+// across the whole value-codec tag set. Checkpoint files persist these, so
+// the values must never drift; a change here means every existing
+// checkpoint goes cold (if that is ever intended, bump payloadVersion and
+// regenerate).
+func TestPayloadHashGolden(t *testing.T) {
+	cases := []struct {
+		args []any
+		kw   map[string]any
+		want string
+	}{
+		{nil, nil, "d0a397186727310c"},
+		{[]any{int(42)}, nil, "5ea12fb6efd94a88"},
+		{[]any{"chr1", 3, 2.5}, nil, "a766a3dadf2f1481"},
+		{[]any{[]string{"a", "b"}, []int{1, 2, 3}}, nil, "a72ecdb561b6d449"},
+		{[]any{1, "x"}, map[string]any{"a": "a-v", "b": "b-v", "c": "c-v"}, "9048989477f80b9a"},
+		{[]any{int64(7), true, nil}, map[string]any{"threads": 4, "mode": "fast"}, "6007252735e5e249"},
+		{[]any{[]byte{0, 1, 2}, []float64{1.5}}, map[string]any{"f": 3.14}, "512f6b90b95ea80b"},
+		{[]any{[]any{1, "nested"}, map[string]string{"k": "v"}}, nil, "e9a96da6a538c1f4"},
+	}
+	for i, c := range cases {
+		p, err := EncodeArgs(c.args, c.kw)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got := p.ArgsHash(); got != c.want {
+			t.Fatalf("case %d: payload hash = %s, want golden %s", i, got, c.want)
+		}
+	}
+}
+
+// TestPayloadRoundTripAllTags round-trips a value of every fast-path tag
+// plus a gob-fallback struct, checking type and value fidelity.
+func TestPayloadRoundTripAllTags(t *testing.T) {
+	type custom struct{ N int }
+	RegisterType(custom{})
+	args := []any{
+		nil, true, false, int(-3), int64(1 << 40), 2.5, "s",
+		[]byte{1, 2}, []string{"a"}, []int{-1, 2}, []float64{0.5},
+		[]any{1, "in", nil}, custom{N: 9},
+	}
+	kw := map[string]any{
+		"m":  map[string]any{"x": 1},
+		"ss": map[string]string{"k": "v"},
+	}
+	p, err := EncodeArgs(args, kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotArgs, gotKw, err := p.DecodeArgs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotArgs) != len(args) {
+		t.Fatalf("args len = %d, want %d", len(gotArgs), len(args))
+	}
+	for i := range args {
+		if !reflect.DeepEqual(gotArgs[i], args[i]) {
+			t.Fatalf("arg %d: %#v != %#v", i, gotArgs[i], args[i])
+		}
+	}
+	if !reflect.DeepEqual(gotKw, kw) {
+		t.Fatalf("kwargs: %#v != %#v", gotKw, kw)
+	}
+	// Type fidelity for the numeric tags (DeepEqual would accept only
+	// identical types anyway; make the contract explicit).
+	if _, ok := gotArgs[3].(int); !ok {
+		t.Fatalf("int decoded as %T", gotArgs[3])
+	}
+	if _, ok := gotArgs[4].(int64); !ok {
+		t.Fatalf("int64 decoded as %T", gotArgs[4])
+	}
+}
+
+// TestPayloadDecodeRejectsCorruption: truncated and tag-corrupted payloads
+// error out instead of fabricating arguments or over-allocating.
+func TestPayloadDecodeRejectsCorruption(t *testing.T) {
+	p, err := EncodeArgs([]any{1, "x", []string{"a", "b"}}, map[string]any{"k": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := p.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		trunc := &Payload{data: data[:cut]}
+		if _, _, err := trunc.DecodeArgs(); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	bad := append([]byte{}, data...)
+	bad[1] = 0xff // absurd args count
+	if _, _, err := (&Payload{data: bad}).DecodeArgs(); err == nil {
+		t.Fatal("corrupt count decoded")
+	}
+}
+
+// TestEncodeArgsDeterministicAcrossKwargOrder: the payload bytes (and so
+// the payload-derived memo hash) canonicalize kwargs, matching the
+// determinism ArgsHash guarantees.
+func TestEncodeArgsDeterministicAcrossKwargOrder(t *testing.T) {
+	kw1 := map[string]any{}
+	kw2 := map[string]any{}
+	keys := []string{"a", "b", "c", "d", "e"}
+	for _, k := range keys {
+		kw1[k] = k + "-v"
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		kw2[keys[i]] = keys[i] + "-v"
+	}
+	p1, err := EncodeArgs([]any{1, "x"}, kw1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := EncodeArgs([]any{1, "x"}, kw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p1.Bytes()) != string(p2.Bytes()) {
+		t.Fatal("payload bytes differ across kwarg insertion order")
+	}
+	if p1.ArgsHash() != p2.ArgsHash() {
+		t.Fatalf("payload hash differs: %s %s", p1.ArgsHash(), p2.ArgsHash())
+	}
+	p3, err := EncodeArgs([]any{2, "x"}, kw1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.ArgsHash() == p3.ArgsHash() {
+		t.Fatal("different args hashed identically")
+	}
+}
+
+// TestPayloadDecodeArgsIsDeepCopy: every decode of the cached bytes yields
+// an isolated copy — mutations through one copy reach neither the original
+// arguments nor subsequent copies (the deep-copy-from-bytes path the
+// threadpool executor runs).
+func TestPayloadDecodeArgsIsDeepCopy(t *testing.T) {
+	orig := []any{[]string{"a", "b"}}
+	kw := map[string]any{"list": []int{1, 2, 3}}
+	p, err := EncodeArgs(orig, kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cargs, ckw, err := p.DecodeArgs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cargs[0].([]string)[0] = "MUTATED"
+	ckw["list"].([]int)[0] = 999
+	if orig[0].([]string)[0] != "a" || kw["list"].([]int)[0] != 1 {
+		t.Fatal("mutation leaked into caller state")
+	}
+	again, akw, err := p.DecodeArgs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].([]string)[0] != "a" || akw["list"].([]int)[0] != 1 {
+		t.Fatal("mutation leaked into a later decode of the same payload")
+	}
+}
+
+// TestWirePayloadZeroRedundancy: attaching a payload makes Wire() reuse the
+// encoded bytes verbatim (no re-encode), and the payload survives a decode
+// hop still attached — the property EXEX's rank-0 forwarding relies on.
+func TestWirePayloadZeroRedundancy(t *testing.T) {
+	p, err := EncodeArgs([]any{"x", 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := TaskMsg{ID: 5, App: "a", Priority: 2}
+	m.AttachPayload(p)
+	w, err := m.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &w.P[0] != &p.Bytes()[0] {
+		t.Fatal("Wire() copied the payload instead of reusing its bytes")
+	}
+	got, err := w.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload() == nil {
+		t.Fatal("payload not re-attached after wire decode")
+	}
+	if got.Args[0] != "x" || got.Args[1] != 7 || got.ID != 5 || got.Priority != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	w2, err := got.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &w2.P[0] != &w.P[0] {
+		t.Fatal("onward hop re-encoded the argument payload")
+	}
+	if got.Payload().ArgsHash() != p.ArgsHash() {
+		t.Fatal("payload hash changed across the wire")
 	}
 }
 

@@ -1,0 +1,356 @@
+package serialize
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// collect returns a send func that appends a copy of each frame (the codec
+// only guarantees the bytes during send, exactly like a transport write).
+func collect(frames *[][]byte) func([]byte) error {
+	return func(b []byte) error {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		*frames = append(*frames, cp)
+		return nil
+	}
+}
+
+func mkTaskBatch(r *rand.Rand, n int) []WireTask {
+	batch := make([]WireTask, n)
+	for i := range batch {
+		args := []any{r.Int(), fmt.Sprintf("arg-%d", r.Intn(1000)), r.Float64()}
+		kw := map[string]any{"k": r.Intn(10), "mode": "m"}
+		p, err := EncodeArgs(args, kw)
+		if err != nil {
+			panic(err)
+		}
+		m := TaskMsg{ID: r.Int63(), App: "app", Priority: r.Intn(5)}
+		m.AttachPayload(p)
+		w, err := m.Wire()
+		if err != nil {
+			panic(err)
+		}
+		batch[i] = w
+	}
+	return batch
+}
+
+func mkResultBatch(r *rand.Rand, n int) []ResultMsg {
+	batch := make([]ResultMsg, n)
+	for i := range batch {
+		batch[i] = ResultMsg{
+			ID: r.Int63(), Value: r.Intn(1 << 20),
+			WorkerID: fmt.Sprintf("w%d", r.Intn(8)),
+		}
+		if r.Intn(4) == 0 {
+			batch[i].Err = "boom"
+		}
+	}
+	return batch
+}
+
+// TestStreamRoundTripTaskAndResultBatches drives many randomly sized task
+// and result batches through one persistent encoder/decoder pair and checks
+// every batch survives byte-identical (args included).
+func TestStreamRoundTripTaskAndResultBatches(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	enc := NewStreamEncoder()
+	dec := NewStreamDecoder()
+	for round := 0; round < 50; round++ {
+		if round%2 == 0 {
+			in := mkTaskBatch(r, 1+r.Intn(8))
+			var frames [][]byte
+			if err := enc.EncodeFrame(in, collect(&frames)); err != nil {
+				t.Fatal(err)
+			}
+			var out []WireTask
+			if err := dec.DecodeFrame(frames[0], &out); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round %d: task batch mutated in transit", round)
+			}
+			// The payload must decode to executable args on the far side.
+			got, err := out[0].Task()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Args) != 3 || got.Kwargs["mode"] != "m" {
+				t.Fatalf("args lost: %+v", got)
+			}
+		} else {
+			in := mkResultBatch(r, 1+r.Intn(8))
+			var frames [][]byte
+			if err := enc.EncodeFrame(in, collect(&frames)); err != nil {
+				t.Fatal(err)
+			}
+			var out []ResultMsg
+			if err := dec.DecodeFrame(frames[0], &out); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round %d: result batch mutated in transit", round)
+			}
+		}
+	}
+}
+
+// TestStreamAmortizesTypeDescriptors pins the point of streaming: after the
+// first frame ships the gob type descriptors, steady-state frames of the
+// same shape are strictly smaller than the one-shot framing of the same
+// value.
+func TestStreamAmortizesTypeDescriptors(t *testing.T) {
+	batch := mkResultBatch(rand.New(rand.NewSource(2)), 4)
+	enc := NewStreamEncoder()
+	var frames [][]byte
+	for i := 0; i < 3; i++ {
+		if err := enc.EncodeFrame(batch, collect(&frames)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var oneShot [][]byte
+	if err := (OneShotCodec{}).EncodeFrame(batch, collect(&oneShot)); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames[1]) >= len(frames[0]) {
+		t.Fatalf("second stream frame (%dB) not smaller than first (%dB)", len(frames[1]), len(frames[0]))
+	}
+	if len(frames[2]) >= len(oneShot[0]) {
+		t.Fatalf("steady-state stream frame (%dB) not smaller than one-shot (%dB)", len(frames[2]), len(oneShot[0]))
+	}
+}
+
+// TestStreamDecoderResyncsOnNewEpoch models the reconnect path: a sender
+// resets (fresh epoch, self-describing first frame) and the same decoder
+// picks the new stream up without external coordination.
+func TestStreamDecoderResyncsOnNewEpoch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	enc := NewStreamEncoder()
+	dec := NewStreamDecoder()
+
+	var frames [][]byte
+	a := mkResultBatch(r, 3)
+	if err := enc.EncodeFrame(a, collect(&frames)); err != nil {
+		t.Fatal(err)
+	}
+	var out []ResultMsg
+	if err := dec.DecodeFrame(frames[0], &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reconnect": the sender restarts its stream.
+	enc.Reset()
+	frames = nil
+	b := mkResultBatch(r, 2)
+	if err := enc.EncodeFrame(b, collect(&frames)); err != nil {
+		t.Fatal(err)
+	}
+	out = nil
+	if err := dec.DecodeFrame(frames[0], &out); err != nil {
+		t.Fatalf("decoder did not resync on new epoch: %v", err)
+	}
+	if !reflect.DeepEqual(b, out) {
+		t.Fatal("post-reset batch mutated in transit")
+	}
+}
+
+// TestStreamDecoderJoinsFreshStreamOnly is the other half of the reconnect
+// story: a receiver that appears mid-stream (fresh decoder, old epoch
+// already past its first frame) must reject frames rather than misdecode,
+// and must recover the moment the sender starts a new epoch.
+func TestStreamDecoderJoinsFreshStreamOnly(t *testing.T) {
+	enc := NewStreamEncoder()
+	batch := mkResultBatch(rand.New(rand.NewSource(4)), 3)
+	var frames [][]byte
+	for i := 0; i < 3; i++ {
+		if err := enc.EncodeFrame(batch, collect(&frames)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late := NewStreamDecoder()
+	var out []ResultMsg
+	if err := late.DecodeFrame(frames[2], &out); err == nil {
+		t.Fatal("mid-stream join decoded successfully; descriptors were missing")
+	}
+	// Sender resets — the late receiver must sync on the fresh stream.
+	enc.Reset()
+	frames = nil
+	if err := enc.EncodeFrame(batch, collect(&frames)); err != nil {
+		t.Fatal(err)
+	}
+	out = nil
+	if err := late.DecodeFrame(frames[0], &out); err != nil {
+		t.Fatalf("late receiver did not recover on fresh epoch: %v", err)
+	}
+	if !reflect.DeepEqual(batch, out) {
+		t.Fatal("recovered batch mutated")
+	}
+}
+
+// TestOneShotFramesInterleaveWithStream checks mixed traffic: one-shot
+// frames decode standalone at any point without disturbing the persistent
+// stream's state.
+func TestOneShotFramesInterleaveWithStream(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	enc := NewStreamEncoder()
+	dec := NewStreamDecoder()
+	for i := 0; i < 10; i++ {
+		in := mkResultBatch(r, 2)
+		var frames [][]byte
+		var err error
+		if i%3 == 2 {
+			err = (OneShotCodec{}).EncodeFrame(in, collect(&frames))
+		} else {
+			err = enc.EncodeFrame(in, collect(&frames))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []ResultMsg
+		if err := dec.DecodeFrame(frames[0], &out); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("frame %d mutated", i)
+		}
+	}
+}
+
+// TestStreamConcurrentEncodes hammers one StreamEncoder from many
+// goroutines. The encoder's contract is that encode+send are atomic, so the
+// frames — decoded in send order by one decoder — must yield every message
+// exactly once, uncorrupted.
+func TestStreamConcurrentEncodes(t *testing.T) {
+	const workers, perWorker = 8, 50
+	enc := NewStreamEncoder()
+	var mu sync.Mutex
+	var frames [][]byte
+	send := func(b []byte) error {
+		// Caller already holds the encoder lock; mu only guards the slice
+		// against a hypothetical future in which send runs unlocked.
+		mu.Lock()
+		defer mu.Unlock()
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		frames = append(frames, cp)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				batch := []ResultMsg{{ID: int64(w*perWorker + i), WorkerID: fmt.Sprintf("w%d", w)}}
+				if err := enc.EncodeFrame(batch, send); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	dec := NewStreamDecoder()
+	seen := make(map[int64]bool)
+	for i, f := range frames {
+		var out []ResultMsg
+		if err := dec.DecodeFrame(f, &out); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(out) != 1 || seen[out[0].ID] {
+			t.Fatalf("frame %d: bad or duplicate message %+v", i, out)
+		}
+		seen[out[0].ID] = true
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("recovered %d messages, want %d", len(seen), workers*perWorker)
+	}
+}
+
+// TestStreamDecodeRejectsGarbage covers the decoder's failure modes: short
+// frames, unknown tags, and corrupt stream bodies.
+func TestStreamDecodeRejectsGarbage(t *testing.T) {
+	dec := NewStreamDecoder()
+	var v []ResultMsg
+	if err := dec.DecodeFrame([]byte{1, 2}, &v); err == nil {
+		t.Fatal("short frame decoded")
+	}
+	if err := dec.DecodeFrame([]byte{0x7f, 0, 0, 0, 1, 9, 9}, &v); err == nil {
+		t.Fatal("unknown tag decoded")
+	}
+	if err := dec.DecodeFrame([]byte{0x01, 0, 0, 0, 1, 0xff, 0xfe, 0xfd}, &v); err == nil {
+		t.Fatal("corrupt stream body decoded")
+	}
+	// The decoder must still work once real frames arrive.
+	enc := NewStreamEncoder()
+	in := []ResultMsg{{ID: 1}}
+	var frames [][]byte
+	if err := enc.EncodeFrame(in, collect(&frames)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.DecodeFrame(frames[0], &v); err != nil {
+		t.Fatalf("decoder did not recover after garbage: %v", err)
+	}
+}
+
+// TestStreamEncoderSurvivesUnencodableValue: a poison value must neither
+// kill the encoder nor desync subsequent frames (the retry-on-fresh-stream
+// fallback).
+func TestStreamEncoderSurvivesUnencodableValue(t *testing.T) {
+	enc := NewStreamEncoder()
+	dec := NewStreamDecoder()
+	var frames [][]byte
+	if err := enc.EncodeFrame([]ResultMsg{{ID: 1}}, collect(&frames)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeFrame(make(chan int), collect(&frames)); err == nil {
+		t.Fatal("channel encoded")
+	}
+	if err := enc.EncodeFrame([]ResultMsg{{ID: 2}}, collect(&frames)); err != nil {
+		t.Fatal(err)
+	}
+	var out []ResultMsg
+	for i, f := range frames {
+		out = nil
+		if err := dec.DecodeFrame(f, &out); err != nil {
+			t.Fatalf("frame %d after poison: %v", i, err)
+		}
+	}
+	if out[0].ID != 2 {
+		t.Fatalf("post-poison frame decoded to %+v", out)
+	}
+}
+
+// Property: any (ids × values) batch round-trips the streaming codec
+// losslessly, regardless of batch size or how many frames preceded it.
+func TestQuickStreamRoundTrip(t *testing.T) {
+	enc := NewStreamEncoder()
+	dec := NewStreamDecoder()
+	prop := func(ids []int64, val int, errStr string) bool {
+		in := make([]ResultMsg, len(ids))
+		for i, id := range ids {
+			in[i] = ResultMsg{ID: id, Value: val, Err: errStr}
+		}
+		var frames [][]byte
+		if err := enc.EncodeFrame(in, collect(&frames)); err != nil {
+			return false
+		}
+		var out []ResultMsg
+		if err := dec.DecodeFrame(frames[0], &out); err != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

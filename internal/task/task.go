@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/future"
+	"repro/internal/serialize"
 )
 
 // State is the lifecycle of a task inside the DataFlowKernel, mirroring the
@@ -107,6 +108,12 @@ type Record struct {
 	// the attempt (dropping it from its lane) and name it to the executor.
 	attemptFut  *future.Future
 	attemptWire int64
+
+	// payload is the encode-once serialization of the resolved arguments,
+	// recorded when the task first becomes ready. Every later consumer —
+	// retries, the memo hash, executor wire frames, deep copies — reuses
+	// these bytes instead of re-encoding.
+	payload *serialize.Payload
 
 	// Timestamps for monitoring and the elasticity utilization metric.
 	SubmitTime time.Time
@@ -324,6 +331,21 @@ func (r *Record) MemoKeyOverride() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.memoKeyOver
+}
+
+// SetPayload records the encode-once serialized arguments at first launch.
+func (r *Record) SetPayload(p *serialize.Payload) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.payload = p
+}
+
+// Payload returns the encode-once serialized arguments (nil before the task
+// first becomes ready, and for memoized tasks that never launched).
+func (r *Record) Payload() *serialize.Payload {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.payload
 }
 
 // SetAttempt records the in-flight attempt's outcome future and wire id.

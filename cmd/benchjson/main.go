@@ -15,6 +15,11 @@
 // least `factor` times slower (ns/op) than benchmark `new`. CI uses it to
 // enforce the encode-once acceptance bar — streaming must stay ≥2× faster
 // than the retained one-shot baseline — instead of merely recording it.
+//
+// The optional -max-metric name,unit,limit flag (repeatable) gates absolute
+// per-benchmark metrics: it exits non-zero when benchmark `name` reports a
+// `unit` value (e.g. allocs/op, B/op; ns/op works too) above `limit`. CI
+// uses it as the allocation-regression bar on the DFK submission hot path.
 package main
 
 import (
@@ -34,16 +39,19 @@ type result struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// speedupFlag collects repeated -min-speedup base,new,factor assertions.
-type speedupFlag []string
+// repeatFlag collects repeated comma-form assertions (-min-speedup, -max-metric).
+type repeatFlag []string
 
-func (f *speedupFlag) String() string     { return strings.Join(*f, ";") }
-func (f *speedupFlag) Set(v string) error { *f = append(*f, v); return nil }
+func (f *repeatFlag) String() string     { return strings.Join(*f, ";") }
+func (f *repeatFlag) Set(v string) error { *f = append(*f, v); return nil }
 
 func main() {
-	var asserts speedupFlag
+	var asserts repeatFlag
 	flag.Var(&asserts, "min-speedup",
 		"base,new,factor: fail unless base ns/op >= factor * new ns/op (repeatable)")
+	var maxes repeatFlag
+	flag.Var(&maxes, "max-metric",
+		"name,unit,limit: fail when benchmark name's unit metric exceeds limit (repeatable)")
 	flag.Parse()
 
 	var results []result
@@ -133,6 +141,44 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: %s is %.2fx faster than %s (bar: %.2fx) — ok\n",
 			parts[1], speedup, parts[0], factor)
+	}
+	for _, a := range maxes {
+		parts := strings.Split(a, ",")
+		if len(parts) != 3 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -max-metric %q (want name,unit,limit)\n", a)
+			failed = true
+			continue
+		}
+		limit, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad limit in %q: %v\n", a, err)
+			failed = true
+			continue
+		}
+		r, ok := byName[parts[0]]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: missing result %q for -max-metric\n", parts[0])
+			failed = true
+			continue
+		}
+		var v float64
+		if parts[1] == "ns/op" {
+			v = r.NsPerOp
+		} else if m, ok := r.Metrics[parts[1]]; ok {
+			v = m
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: %s reported no %q metric\n", parts[0], parts[1])
+			failed = true
+			continue
+		}
+		if v > limit {
+			fmt.Fprintf(os.Stderr, "benchjson: %s %s = %g exceeds limit %g\n",
+				parts[0], parts[1], v, limit)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s %s = %g within limit %g — ok\n",
+			parts[0], parts[1], v, limit)
 	}
 	if failed {
 		os.Exit(1)

@@ -8,6 +8,7 @@
 //	parsl-bench throughput   Table 2 — tasks/second per framework
 //	parsl-bench elasticity   Fig. 5/6 — utilization with and without elasticity
 //	parsl-bench submission   priority dispatch + cancellation through App.Submit
+//	parsl-bench noisy        multi-tenant fairness + bounded admission under a burst
 //	parsl-bench all          everything above
 //
 // Latency, throughput-at-laptop-scale, and elasticity run on the real
@@ -24,10 +25,11 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|all>\n")
 		flag.PrintDefaults()
 	}
 	tasks := flag.Int("tasks", 1000, "tasks for the latency experiment")
+	burst := flag.Int("burst", 10000, "noisy: burst-tenant task count")
 	full := flag.Bool("full", false, "run full-scale sweeps (up to 262144 simulated workers)")
 	timeScaleMs := flag.Int("timescale", 8, "elasticity: wall milliseconds per paper second")
 	flag.Parse()
@@ -59,6 +61,8 @@ func main() {
 		run("Fig. 5/6: elasticity", func() error { return runElasticity(*timeScaleMs) })
 	case "submission":
 		run("submission API: priority + cancellation", func() error { return runSubmission(*tasks) })
+	case "noisy":
+		run("multi-tenant noisy neighbor", func() error { return runNoisy(*burst) })
 	case "all":
 		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
 		run("Fig. 4 (top): strong scaling", func() error { return runStrong(*full) })
@@ -67,6 +71,7 @@ func main() {
 		run("Table 2: throughput", runThroughput)
 		run("Fig. 5/6: elasticity", func() error { return runElasticity(*timeScaleMs) })
 		run("submission API: priority + cancellation", func() error { return runSubmission(*tasks) })
+		run("multi-tenant noisy neighbor", func() error { return runNoisy(*burst) })
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -264,7 +264,7 @@ func TestPriorityDispatchOrder(t *testing.T) {
 	hf := high.Submit(ctx, nil, WithPriority(10))
 	mf := mid.Submit(ctx, nil, WithPriority(5))
 	waitFor(t, func() bool { return d.lanes["gate"].queued.Load() == 4 })
-	if p := d.lanes["gate"].queue.maxPriority(); p != 10 {
+	if p := d.lanes["gate"].maxQueuedPriority(); p != 10 {
 		t.Fatalf("lane maxPriority = %d, want 10", p)
 	}
 	if loads := d.Loads(); loads[0].MaxQueuedPriority != 10 {

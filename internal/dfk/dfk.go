@@ -20,6 +20,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/data"
 	"repro/internal/executor"
+	"repro/internal/fair"
 	"repro/internal/future"
 	"repro/internal/memo"
 	"repro/internal/monitor"
@@ -67,7 +68,28 @@ type Config struct {
 	// DispatchBatch caps ready tasks drained per dispatch cycle and so the
 	// largest batch handed to an executor's SubmitBatch (default 256).
 	DispatchBatch int
+	// MaxTasksPerTenant caps each tenant's live tasks — submitted but not
+	// yet terminal — bounding memory under overload. 0 (the default) keeps
+	// the pre-tenant behavior: unbounded admission for everyone. A task
+	// counts against its tenant from App.Submit until its future settles.
+	MaxTasksPerTenant int
+	// TenantQuotas overrides MaxTasksPerTenant for specific tenant ids
+	// (<= 0 entries mean unlimited for that tenant).
+	TenantQuotas map[string]int
+	// OverloadPolicy selects what a submission over quota does:
+	// OverloadBlock (default) parks the submitter until completions free
+	// quota or its context is canceled; OverloadShed fails fast with
+	// ErrOverloaded.
+	OverloadPolicy string
 }
+
+// Overload policies for Config.OverloadPolicy.
+const (
+	// OverloadBlock propagates backpressure to the submitting goroutine.
+	OverloadBlock = "block"
+	// OverloadShed rejects over-quota submissions with ErrOverloaded.
+	OverloadShed = "shed"
+)
 
 // DependencyError is set on a task's future when one of its dependencies
 // failed; the task itself is never launched (§4.1).
@@ -94,6 +116,12 @@ var ErrTimeout = errors.New("dfk: task attempt timed out")
 // errors.Is(err, context.Canceled) holds too.
 var ErrCanceled = errors.New("dfk: submission canceled")
 
+// ErrOverloaded is set on the returned future when a submission exceeds its
+// tenant's quota under the shed policy. No task record is created: a shed
+// submission never existed as far as the graph, the memo table, or the
+// monitor's task log are concerned (a KindTenant event records the shed).
+var ErrOverloaded = fair.ErrOverloaded
+
 // DFK is the DataFlowKernel.
 type DFK struct {
 	cfg       Config
@@ -106,11 +134,14 @@ type DFK struct {
 
 	schedr        sched.Scheduler
 	schedUsesLoad bool
-	queue         *dispatchQueue
+	queue         *fair.Queue[*pendingLaunch]
 	lanes         map[string]*lane
 	batchMax      int
-	dispatchWG    sync.WaitGroup
-	laneWG        sync.WaitGroup
+	// adm bounds live tasks per tenant at the submission boundary; nil when
+	// no quota is configured (the default, behavior-identical path).
+	adm        *fair.Admission
+	dispatchWG sync.WaitGroup
+	laneWG     sync.WaitGroup
 
 	wg sync.WaitGroup
 	// mu orders submissions against Shutdown: submitters hold it shared (a
@@ -135,11 +166,25 @@ func New(cfg Config) (*DFK, error) {
 		registry:  reg,
 		graph:     task.NewGraph(),
 		executors: make(map[string]executor.Executor, len(cfg.Executors)),
-		queue:     newDispatchQueue(),
+		queue:     fair.NewQueue[*pendingLaunch](nil),
 		batchMax:  cfg.DispatchBatch,
 	}
 	if d.batchMax <= 0 {
 		d.batchMax = 256
+	}
+	// Validate the policy string even in quota-less configs, so a typo is
+	// rejected where it was written, not when quotas are enabled later.
+	var policy fair.Policy
+	switch cfg.OverloadPolicy {
+	case "", OverloadBlock:
+		policy = fair.Block
+	case OverloadShed:
+		policy = fair.Shed
+	default:
+		return nil, fmt.Errorf("dfk: unknown overload policy %q", cfg.OverloadPolicy)
+	}
+	if cfg.MaxTasksPerTenant > 0 || len(cfg.TenantQuotas) > 0 {
+		d.adm = fair.NewAdmission(cfg.MaxTasksPerTenant, cfg.TenantQuotas, policy)
 	}
 	d.schedr = cfg.Scheduler
 	if d.schedr == nil {
@@ -192,7 +237,7 @@ func New(cfg Config) (*DFK, error) {
 	}
 	d.lanes = make(map[string]*lane, len(d.execList))
 	for _, ex := range d.execList {
-		l := &lane{ex: ex, queue: newLaneQueue()}
+		l := &lane{ex: ex, queue: fair.NewQueue(laneLess)}
 		d.lanes[ex.Label()] = l
 		d.laneWG.Add(1)
 		go d.laneRunner(l)
@@ -223,13 +268,29 @@ func (d *DFK) Scheduler() sched.Scheduler { return d.schedr }
 // Loads samples live load signals from every configured executor, in config
 // order — the same view the capacity-aware scheduler decides from. Each
 // Load carries the highest dispatch priority still queued in the executor's
-// lane, so strategies can see urgent backlog, not just its size.
+// lane and the lane backlog's per-tenant composition, so strategies can see
+// urgent backlog — and whose it is — not just its size.
 func (d *DFK) Loads() []sched.Load {
 	out := sched.Loads(d.execList)
 	for i, ex := range d.execList {
-		out[i].MaxQueuedPriority = d.lanes[ex.Label()].queue.maxPriority()
+		l := d.lanes[ex.Label()]
+		out[i].MaxQueuedPriority = l.maxQueuedPriority()
+		out[i].TenantBacklog = l.queue.PerTenant()
 	}
 	return out
+}
+
+// TenantBacklog reports queued-but-unrouted tasks per tenant in the routing
+// queue — the client-side admission backlog, before executor lanes.
+func (d *DFK) TenantBacklog() map[string]int { return d.queue.PerTenant() }
+
+// TenantLive reports a tenant's live (admitted, not yet terminal) task
+// count; always 0 when no quota is configured, since nothing is counted.
+func (d *DFK) TenantLive(tenant string) int {
+	if d.adm == nil {
+		return 0
+	}
+	return d.adm.Live(tenant)
 }
 
 // App is an invocable Parsl app — what the @python_app/@bash_app decorators
@@ -346,9 +407,9 @@ func (a *App) CallKw(kwargs map[string]any, args ...any) *future.Future {
 	return a.SubmitKw(context.Background(), kwargs, args)
 }
 
-// submit is the core of App invocation: build the task record, apply the
-// per-call options, wire dependency callbacks and the cancellation watcher,
-// and launch when ready.
+// submit is the core of App invocation: admit the submission against its
+// tenant's quota, build the task record, apply the per-call options, wire
+// dependency callbacks and the cancellation watcher, and launch when ready.
 func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]any, o *callOpts) *future.Future {
 	if ctx == nil {
 		ctx = context.Background()
@@ -356,9 +417,37 @@ func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]
 	if err := ctx.Err(); err != nil {
 		return future.FromError(fmt.Errorf("%w: %w", ErrCanceled, err))
 	}
+	// Admission runs before anything is allocated or registered: a shed (or
+	// canceled-while-blocked) submission leaves no trace in the graph. It
+	// must stay on the submitting goroutine — blocking here is safe because
+	// quota is released by completion callbacks that never pass through
+	// admission (see the invariant note in dispatch.go).
+	admitted := false
+	if d.adm != nil && !o.noAdmission {
+		waited, err := d.adm.Admit(ctx, o.tenant)
+		if err != nil {
+			if errors.Is(err, fair.ErrOverloaded) {
+				d.emitTenant(o.tenant, "shed", 0)
+				return future.FromError(fmt.Errorf(
+					"dfk: tenant %q over quota %d: %w", o.tenant, d.adm.QuotaFor(o.tenant), err))
+			}
+			// Context canceled (or deadline exceeded) while parked.
+			return future.FromError(fmt.Errorf("%w: %w", ErrCanceled, err))
+		}
+		if waited > 0 {
+			d.emitTenant(o.tenant, "admitted", waited)
+		}
+		admitted = true
+	}
+	release := func() {
+		if admitted {
+			d.adm.Release(o.tenant)
+		}
+	}
 	d.mu.RLock()
 	if d.shutdown {
 		d.mu.RUnlock()
+		release()
 		return future.FromError(executor.ErrShutdown)
 	}
 	d.wg.Add(1)
@@ -366,6 +455,7 @@ func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]
 
 	id := d.graph.NextID()
 	rec := task.NewRecord(id, a.name, args, kwargs)
+	rec.SetTenant(o.tenant, o.weight)
 	rec.SetMaxRetries(d.cfg.Retries)
 	if o.retries != nil {
 		rec.SetMaxRetries(*o.retries)
@@ -385,7 +475,13 @@ func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]
 		rec.SetMemoKeyOverride(o.memoKey)
 	}
 	d.graph.Add(rec)
-	rec.Future.AddDoneCallback(func(*future.Future) { d.wg.Done() })
+	// Terminal futures release the tenant's quota slot whichever way the
+	// task concluded — done, failed, memoized, or canceled — so admission
+	// accounting cannot leak.
+	rec.Future.AddDoneCallback(func(*future.Future) {
+		release()
+		d.wg.Done()
+	})
 	if ctx.Done() != nil {
 		stop := context.AfterFunc(ctx, func() {
 			d.cancelTask(rec, fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx)))
@@ -479,7 +575,7 @@ func (d *DFK) stageInTask(f *data.File) *future.Future {
 	// The transfer task returns the staged path; record the translation on
 	// the original *File here on the submit side, so it survives the
 	// executor serialization boundary.
-	inner := d.submit(context.Background(), stageApp, []any{f.URL}, nil, &callOpts{})
+	inner := d.submit(context.Background(), stageApp, []any{f.URL}, nil, &callOpts{noAdmission: true})
 	return future.Then(inner, func(v any) (any, error) {
 		p, ok := v.(string)
 		if !ok {
@@ -539,6 +635,7 @@ func (d *DFK) launch(rec *task.Record, a *App) {
 	d.enqueueAttempt(&pendingLaunch{
 		rec: rec, app: a, args: args, kwargs: kwargs, payload: payload,
 		wireID: rec.ID, priority: rec.Priority(),
+		tenant: rec.Tenant(), weight: rec.TenantWeight(),
 	})
 }
 
@@ -619,7 +716,7 @@ func (d *DFK) newRouter() *router {
 		r.base = make([]executor.Executor, len(d.execList))
 		for i, ex := range d.execList {
 			l := d.lanes[ex.Label()]
-			f := sched.FreezeLane(ex, int(l.queued.Load()), l.queue.maxPriority())
+			f := sched.FreezeLane(ex, int(l.queued.Load()), l.maxQueuedPriority())
 			r.frozen[ex.Label()] = f
 			r.base[i] = f
 		}
@@ -679,6 +776,19 @@ func (d *DFK) emitState(rec *task.Record, from, to string) {
 		From:     from,
 		To:       to,
 		Executor: rec.Executor(),
+		Tenant:   rec.Tenant(),
+	})
+}
+
+// emitTenant records an admission outcome ("shed", or "admitted" with the
+// time the submitter spent parked) for the monitoring subsystem.
+func (d *DFK) emitTenant(tenant, detail string, waited time.Duration) {
+	d.mon.Emit(monitor.Event{
+		Kind:     monitor.KindTenant,
+		At:       time.Now(),
+		Tenant:   tenant,
+		Detail:   detail,
+		Duration: waited,
 	})
 }
 
@@ -714,10 +824,10 @@ func (d *DFK) Shutdown() error {
 	// it then lets the dispatcher drain and exit, after which the lanes can
 	// no longer receive work and are drained the same way.
 	d.wg.Wait()
-	d.queue.close()
+	d.queue.Close()
 	d.dispatchWG.Wait()
 	for _, l := range d.lanes {
-		l.queue.close()
+		l.queue.Close()
 	}
 	d.laneWG.Wait()
 	var first error

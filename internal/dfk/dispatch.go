@@ -1,13 +1,12 @@
 package dfk
 
 import (
-	"container/heap"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/executor"
+	"repro/internal/fair"
 	"repro/internal/future"
 	"repro/internal/serialize"
 	"repro/internal/task"
@@ -40,219 +39,81 @@ type pendingLaunch struct {
 	// corrupt the accounting of) the new one.
 	wireID int64
 	// priority caches rec.Priority(), which is immutable once the task is
-	// ready: heap comparisons and routing run on the dispatch hot path and
+	// ready: queue comparisons and routing run on the dispatch hot path and
 	// must not take the record mutex per element.
 	priority int
+	// tenant/weight cache rec.Tenant()/rec.TenantWeight() for the same
+	// reason: every fair queue the attempt crosses keys on them.
+	tenant string
+	weight int
 }
 
-// dispatchQueue is the unbounded MPSC queue between the submit/callback side
-// and the dispatcher. Unbounded on purpose: pushes come from executor
-// completion callbacks (dependency edges fire there), and a bounded queue
-// could deadlock the pipeline when both it and an executor's input queue
-// fill — a worker blocked pushing a dependent launch is a worker that never
-// drains the executor queue the dispatcher is blocked on. Memory stays
-// bounded by the number of live tasks, which the task graph holds anyway.
-type dispatchQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []*pendingLaunch
-	closed bool
-}
-
-func newDispatchQueue() *dispatchQueue {
-	q := &dispatchQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-// batchPool recycles the scratch slices that dispatchQueue.take and
-// laneQueue.take drain into. The dispatch pump runs one take per cycle per
-// lane; without pooling, every cycle allocates (and garbage-collects) a
-// fresh batch slice. Consumers hand the slice back via putBatch once the
-// entries are dispatched.
-var batchPool = sync.Pool{
-	New: func() any {
-		s := make([]*pendingLaunch, 0, 256)
-		return &s
-	},
-}
-
-func getBatch() []*pendingLaunch {
-	return (*batchPool.Get().(*[]*pendingLaunch))[:0]
-}
-
-// putBatch clears the entries (so pooled slices do not pin submitted tasks
-// and their resolved arguments) and returns the slice to the pool.
-func putBatch(batch []*pendingLaunch) {
-	for i := range batch {
-		batch[i] = nil
+// laneLess orders one tenant's routed-but-unsubmitted attempts by dispatch
+// priority (higher first), breaking ties by wire id (lower first), so equal-
+// priority work keeps submission order and WithPriority is observable the
+// moment a lane backs up. Priority is scoped to the submitting tenant: an
+// urgent task jumps its own tenant's sub-queue, never another tenant's fair
+// share — otherwise priority would be a cross-tenant starvation primitive.
+func laneLess(a, b *pendingLaunch) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
 	}
-	batch = batch[:0]
-	batchPool.Put(&batch)
+	return a.wireID < b.wireID
 }
 
-// push appends one ready task. It never blocks.
-func (q *dispatchQueue) push(pl *pendingLaunch) {
-	q.mu.Lock()
-	q.items = append(q.items, pl)
-	q.mu.Unlock()
-	q.cond.Signal()
-}
+// The dispatch pipeline's queues — the routing queue feeding the dispatcher
+// and the per-executor lanes feeding the lane runners — are deficit-round-
+// robin weighted fair queues (internal/fair) keyed by the submitting tenant.
+// A single-tenant program (the default) sees exactly the old behavior: FIFO
+// routing, priority-ordered lanes. With multiple tenants, each queue drains
+// tenants in proportion to their WithTenant weights, so one hot submitter
+// cannot head-of-line-block the others anywhere tasks wait on the client
+// side (the HTEX interchange applies the same discipline past the wire).
+//
+// Boundedness invariant: these queues are deliberately UNBOUNDED, and per-
+// tenant volume is bounded elsewhere — by admission control at the App.Submit
+// boundary (Config.MaxTasksPerTenant / TenantQuotas, enforced before a task
+// record exists). The split is what keeps the pipeline deadlock-free:
+// pushes into these queues come from executor completion callbacks
+// (dependency edges fire there, and retries re-enter the routing queue from
+// attempt callbacks), and a bounded queue could deadlock the pipeline when
+// both it and an executor's input queue fill — a worker blocked pushing a
+// dependent launch is a worker that never drains the executor queue the
+// dispatcher is blocked on. Admission, in contrast, blocks only the
+// submitting goroutine, which holds no pipeline resources; its quota is
+// released by task-completion callbacks that never pass through it. So the
+// lanes cannot deadlock regardless of quota, policy, or executor backpressure
+// (an executor's blocking SubmitBatch stalls only its own lane runner), and
+// memory under overload is O(sum of tenant quotas), not O(submissions).
 
-// take blocks until at least one item is queued (returning up to max of
-// them) or the queue is closed and drained (returning nil, false). The
-// returned slice comes from a pooled scratch buffer; the caller returns it
-// with putBatch once the entries have been handed off.
-func (q *dispatchQueue) take(max int) ([]*pendingLaunch, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if len(q.items) == 0 {
-		return nil, false
-	}
-	n := len(q.items)
-	if n > max {
-		n = max
-	}
-	batch := append(getBatch(), q.items[:n]...)
-	// Clear consumed slots so the backing array does not pin submitted
-	// tasks (and their resolved arguments) after a burst drains.
-	for i := range q.items[:n] {
-		q.items[i] = nil
-	}
-	if n == len(q.items) {
-		q.items = q.items[:0]
-	} else {
-		q.items = q.items[n:]
-	}
-	return batch, true
-}
-
-// close marks the queue finished; take drains remaining items first.
-func (q *dispatchQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-// laneHeap orders routed-but-unsubmitted attempts by dispatch priority
-// (higher first), breaking ties by wire id (lower first), so equal-priority
-// work keeps submission order and WithPriority is observable the moment a
-// lane backs up.
-type laneHeap []*pendingLaunch
-
-func (h laneHeap) Len() int { return len(h) }
-func (h laneHeap) Less(i, j int) bool {
-	if h[i].priority != h[j].priority {
-		return h[i].priority > h[j].priority
-	}
-	return h[i].wireID < h[j].wireID
-}
-func (h laneHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *laneHeap) Push(x any)   { *h = append(*h, x.(*pendingLaunch)) }
-func (h *laneHeap) Pop() any {
-	old := *h
-	n := len(old)
-	pl := old[n-1]
-	old[n-1] = nil // do not pin submitted tasks
-	*h = old[:n-1]
-	return pl
-}
-
-// laneQueue is the priority-ordered per-executor queue: same blocking
-// push/take/close contract as dispatchQueue, but take drains in priority
-// order rather than FIFO. The routing queue upstream stays FIFO — ordering
-// only matters where tasks actually wait, which is the lane of a backlogged
-// executor.
-type laneQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	h      laneHeap
-	closed bool
-}
-
-func newLaneQueue() *laneQueue {
-	q := &laneQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-// push adds one routed task. It never blocks.
-func (q *laneQueue) push(pl *pendingLaunch) {
-	q.mu.Lock()
-	heap.Push(&q.h, pl)
-	q.mu.Unlock()
-	q.cond.Signal()
-}
-
-// take blocks until at least one task is queued (returning up to max of
-// them, highest priority first) or the queue is closed and drained. As with
-// dispatchQueue.take, the returned slice is pooled scratch that the caller
-// recycles via putBatch.
-func (q *laneQueue) take(max int) ([]*pendingLaunch, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.h) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if len(q.h) == 0 {
-		return nil, false
-	}
-	n := len(q.h)
-	if n > max {
-		n = max
-	}
-	batch := getBatch()
-	for i := 0; i < n; i++ {
-		batch = append(batch, heap.Pop(&q.h).(*pendingLaunch))
-	}
-	return batch, true
-}
-
-// maxPriority peeks the highest priority currently queued (0 when empty) —
-// the lane-backlog urgency signal surfaced through sched.Load.
-func (q *laneQueue) maxPriority() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.h) == 0 {
-		return 0
-	}
-	return q.h[0].priority
-}
-
-// close marks the queue finished; take drains remaining items first.
-func (q *laneQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-// lane is the per-executor leg of the dispatch pipeline: a priority queue of
-// routed tasks plus a runner goroutine that submits them in batches.
-// Per-executor lanes keep one backlogged executor (a blocking
-// Submit/SubmitBatch into a full input queue) from head-of-line-blocking
-// dispatch to every other executor.
+// lane is the per-executor leg of the dispatch pipeline: a tenant-fair,
+// priority-ordered queue of routed tasks plus a runner goroutine that
+// submits them in batches. Per-executor lanes keep one backlogged executor
+// (a blocking Submit/SubmitBatch into a full input queue) from
+// head-of-line-blocking dispatch to every other executor.
 type lane struct {
 	ex    executor.Executor
-	queue *laneQueue
+	queue *fair.Queue[*pendingLaunch]
 	// queued counts tasks routed to this lane but not yet submitted — load
 	// the executor's own Outstanding cannot see yet. Capacity-aware
 	// scheduling seeds each cycle's sched.Frozen snapshot with it.
 	queued atomic.Int64
 }
 
+// maxQueuedPriority peeks the highest priority currently queued (0 when
+// empty) — the lane-backlog urgency signal surfaced through sched.Load.
+func (l *lane) maxQueuedPriority() int {
+	return l.queue.PeekMax(func(pl *pendingLaunch) int { return pl.priority })
+}
+
 // dispatcher is the DFK's routing pump: it drains ready tasks from the
-// dispatch queue in batches and asks the scheduler for a target executor
-// per task; the target's lane runner does the actual submission. Replaces
-// the seed's inline launch-on-the-callback-goroutine path.
+// routing queue in tenant-fair batches and asks the scheduler for a target
+// executor per task; the target's lane runner does the actual submission.
+// Replaces the seed's inline launch-on-the-callback-goroutine path.
 func (d *DFK) dispatcher() {
 	defer d.dispatchWG.Done()
 	for {
-		batch, ok := d.queue.take(d.batchMax)
+		batch, ok := d.queue.Take(d.batchMax)
 		if !ok {
 			return
 		}
@@ -270,9 +131,9 @@ func (d *DFK) dispatcher() {
 			pl.rec.SetExecutor(ex.Label())
 			l := d.lanes[ex.Label()]
 			l.queued.Add(1)
-			l.queue.push(pl)
+			l.queue.Push(pl.tenant, pl.weight, pl)
 		}
-		putBatch(batch)
+		d.queue.PutBatch(batch)
 	}
 }
 
@@ -281,7 +142,7 @@ func (d *DFK) dispatcher() {
 func (d *DFK) laneRunner(l *lane) {
 	defer d.laneWG.Done()
 	for {
-		batch, ok := l.queue.take(d.batchMax)
+		batch, ok := l.queue.Take(d.batchMax)
 		if !ok {
 			return
 		}
@@ -307,7 +168,7 @@ func (d *DFK) laneRunner(l *lane) {
 			}
 			m := serialize.TaskMsg{
 				ID: pl.wireID, App: pl.app.name, Args: pl.args, Kwargs: pl.kwargs,
-				Priority: pl.priority,
+				Priority: pl.priority, Tenant: pl.tenant, Weight: pl.weight,
 			}
 			// Ride the encode-once payload onto the wire message: remote
 			// executors frame its bytes verbatim, in-process ones decode
@@ -332,7 +193,7 @@ func (d *DFK) laneRunner(l *lane) {
 		// dropping the lane counter after submission means the worst case
 		// is a brief double count, never a blind spot.
 		l.queued.Add(-int64(len(batch)))
-		putBatch(batch)
+		l.queue.PutBatch(batch)
 	}
 }
 
@@ -392,7 +253,7 @@ func (d *DFK) enqueueAttempt(pl *pendingLaunch) {
 		}
 		d.attemptDone(pl, af)
 	})
-	d.queue.push(pl)
+	d.queue.Push(pl.tenant, pl.weight, pl)
 }
 
 // attemptDone handles one attempt's outcome: completion, or retry through
@@ -438,6 +299,7 @@ func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
 				rec: pl.rec, app: pl.app, args: pl.args, kwargs: pl.kwargs,
 				payload: pl.payload,
 				wireID:  d.graph.NextID(), priority: pl.priority,
+				tenant: pl.tenant, weight: pl.weight,
 			}
 			d.enqueueAttempt(next)
 			return

@@ -14,6 +14,14 @@ type callOpts struct {
 	timeout  time.Duration
 	retries  *int
 	memoKey  string
+	tenant   string
+	weight   int
+	// noAdmission marks DFK-internal submissions (hidden stage-in tasks)
+	// that must bypass tenant admission: the user task that spawned them
+	// already holds a quota slot and cannot release it until they finish,
+	// so admitting them against the same tenant could self-deadlock under
+	// the block policy (or spuriously shed them under shed).
+	noAdmission bool
 }
 
 // WithPriority sets the task's dispatch priority. Higher values dispatch
@@ -55,4 +63,20 @@ func WithRetries(n int) CallOption {
 // the same key share one result.
 func WithMemoKey(key string) CallOption {
 	return func(o *callOpts) { o.memoKey = key }
+}
+
+// WithTenant attributes this submission to a fair-queuing tenant. Every
+// queue the task waits in — the DFK routing queue, the per-executor lanes,
+// and the HTEX interchange — serves tenants by deficit round robin in
+// proportion to weight, so a backlogged tenant cannot head-of-line-block the
+// others; and when the DFK configures admission quotas
+// (Config.MaxTasksPerTenant / TenantQuotas), the tenant's live tasks are
+// bounded, blocking or shedding the submitter per Config.OverloadPolicy.
+//
+// weight sets the tenant's share relative to other tenants (latest
+// submission wins; <= 0 leaves the current weight, which defaults to 1).
+// Submissions without WithTenant belong to the default tenant ("", weight
+// 1) and behave exactly as before multi-tenancy existed.
+func WithTenant(id string, weight int) CallOption {
+	return func(o *callOpts) { o.tenant = id; o.weight = weight }
 }

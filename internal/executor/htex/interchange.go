@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fair"
 	"repro/internal/mq"
 	"repro/internal/serialize"
 	"repro/internal/simnet"
@@ -88,8 +89,14 @@ type Interchange struct {
 
 	mu       sync.Mutex
 	managers map[string]*managerState
-	queue    []serialize.WireTask // priority-ordered; see enqueue
-	client   string               // identity of the connected client, "" until it speaks
+	// queue holds tasks waiting for manager capacity. It is tenant-fair:
+	// dispatch drains tenants by deficit round robin in proportion to the
+	// weights carried on the wire envelopes, with priority ordering within
+	// each tenant — so fairness established on the client leg holds past
+	// the submission boundary too. Single-tenant traffic (the default)
+	// drains in plain priority-then-arrival order, exactly as before.
+	queue  *fair.Queue[serialize.WireTask]
+	client string // identity of the connected client, "" until it speaks
 	// clientEpoch is the last stream epoch observed on the client's TASKB
 	// stream; a change marks a new client session (see handle).
 	clientEpoch uint32
@@ -112,9 +119,12 @@ func StartInterchange(tr simnet.Transport, addr string, cfg InterchangeConfig) (
 		return nil, fmt.Errorf("htex: interchange: %w", err)
 	}
 	ix := &Interchange{
-		cfg:       cfg,
-		router:    r,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		router: r,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		queue: fair.NewQueue(func(a, b serialize.WireTask) bool {
+			return a.Priority > b.Priority
+		}),
 		clientEnc: serialize.NewStreamEncoder(),
 		managers:  make(map[string]*managerState),
 		decs:      make(map[string]*serialize.StreamDecoder),
@@ -164,9 +174,7 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		if err != nil {
 			return
 		}
-		ix.mu.Lock()
 		ix.enqueue(task)
-		ix.mu.Unlock()
 		ix.dispatch()
 	case frameTaskSub:
 		ix.setClient(del.From)
@@ -193,9 +201,7 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		if err := ix.decoderFor(del.From).DecodeFrame(del.Msg[1], &batch); err != nil {
 			return
 		}
-		ix.mu.Lock()
 		ix.enqueue(batch...)
-		ix.mu.Unlock()
 		ix.dispatch()
 	case frameReg:
 		if len(del.Msg) < 2 {
@@ -312,13 +318,7 @@ func (ix *Interchange) cancel(ids []int64) {
 	}
 	forward := make(map[string][]int64)
 	ix.mu.Lock()
-	kept := ix.queue[:0]
-	for _, t := range ix.queue {
-		if !drop[t.ID] {
-			kept = append(kept, t)
-		}
-	}
-	ix.queue = kept
+	ix.queue.Filter(func(t serialize.WireTask) bool { return !drop[t.ID] })
 	for _, m := range ix.managers {
 		for id := range drop {
 			if _, ok := m.outstanding[id]; ok {
@@ -357,7 +357,7 @@ func (ix *Interchange) command(del mq.Delivery) {
 	switch name {
 	case "OUTSTANDING":
 		ix.mu.Lock()
-		n := len(ix.queue)
+		n := ix.queue.Len()
 		for _, m := range ix.managers {
 			n += len(m.outstanding)
 		}
@@ -386,42 +386,28 @@ func (ix *Interchange) command(del mq.Delivery) {
 	}
 }
 
-// enqueue appends tasks to the interchange queue, honoring the wire-carried
-// dispatch priority: the queue is kept priority-ordered (non-increasing,
-// stable, so equal priorities dispatch in arrival order) and dispatch's
-// take-from-the-front becomes highest-priority-first. The sort runs only
-// when an append actually breaks the ordering invariant — an all-default
-// workload, or the steady state after a priority burst drains, appends in
-// O(1) like the old FIFO. Callers must hold ix.mu.
+// enqueue hands tasks to the tenant-fair interchange queue, keyed by the
+// tenant and weight each wire envelope carries. Within a tenant, dispatch
+// order honors the wire-carried priority (stable, so equal priorities
+// dispatch in arrival order); across tenants, deficit round robin applies.
+// The queue locks internally; callers need not hold ix.mu.
 func (ix *Interchange) enqueue(tasks ...serialize.WireTask) {
-	if len(tasks) == 0 {
-		return
-	}
-	prev := tasks[0].Priority
-	if n := len(ix.queue); n > 0 {
-		prev = ix.queue[n-1].Priority
-	}
-	needSort := false
 	for _, t := range tasks {
-		if t.Priority > prev {
-			needSort = true
-		}
-		prev = t.Priority
-	}
-	ix.queue = append(ix.queue, tasks...)
-	if needSort {
-		sort.SliceStable(ix.queue, func(i, j int) bool {
-			return ix.queue[i].Priority > ix.queue[j].Priority
-		})
+		ix.queue.Push(t.Tenant, t.Weight, t)
 	}
 }
 
-// dispatch matches queued tasks to managers with free capacity, choosing
-// uniformly at random among eligible managers for fairness.
+// dispatch matches queued tasks to managers with advertised free capacity,
+// choosing uniformly at random among eligible managers for distribution
+// fairness (§4.3.1) and draining the queue tenant-fairly for share fairness.
 func (ix *Interchange) dispatch() {
 	for {
 		ix.mu.Lock()
-		if len(ix.queue) == 0 {
+		// Empty-queue check before manager selection: an idle-queue poke
+		// (result or heartbeat frames trigger dispatch too) must not
+		// advance the round-robin cursor, or rotation order would depend
+		// on arrival timing.
+		if ix.queue.Len() == 0 {
 			ix.mu.Unlock()
 			return
 		}
@@ -448,12 +434,16 @@ func (ix *Interchange) dispatch() {
 		if n > ix.cfg.BatchSize {
 			n = ix.cfg.BatchSize
 		}
-		if n > len(ix.queue) {
-			n = len(ix.queue)
+		scratch := ix.queue.TryTake(n)
+		if len(scratch) == 0 {
+			ix.mu.Unlock()
+			return
 		}
-		batch := make([]serialize.WireTask, n)
-		copy(batch, ix.queue[:n])
-		ix.queue = ix.queue[n:]
+		// Copy out of the pooled scratch: the frame encode below runs
+		// outside ix.mu and must not hold pooled storage.
+		batch := make([]serialize.WireTask, len(scratch))
+		copy(batch, scratch)
+		ix.queue.PutBatch(scratch)
 		for _, t := range batch {
 			m.outstanding[t.ID] = t
 		}
@@ -543,11 +533,12 @@ func (ix *Interchange) OutstandingByManager() map[string]int {
 }
 
 // QueueDepth reports tasks waiting for capacity.
-func (ix *Interchange) QueueDepth() int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return len(ix.queue)
-}
+func (ix *Interchange) QueueDepth() int { return ix.queue.Len() }
+
+// QueueDepthByTenant reports the waiting tasks per tenant (key "" is the
+// default tenant; nil when the queue is empty) — the broker-side half of the
+// backlog signal sched.Load.TenantBacklog exposes on the client side.
+func (ix *Interchange) QueueDepthByTenant() map[string]int { return ix.queue.PerTenant() }
 
 // Close shuts the interchange down.
 func (ix *Interchange) Close() error {

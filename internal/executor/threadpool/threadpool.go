@@ -41,16 +41,30 @@ type item struct {
 }
 
 // New creates a thread-pool executor with the given worker count (minimum 1)
-// executing apps from reg.
+// executing apps from reg, with the default input-queue depth of 4096.
 func New(label string, workers int, reg *serialize.Registry) *Executor {
+	return NewWithDepth(label, workers, 4096, reg)
+}
+
+// NewWithDepth creates a thread-pool executor with an explicit input-queue
+// depth (minimum 1). The depth is the executor's backpressure knob: a full
+// queue blocks SubmitBatch, backing work up into the DFK's per-executor
+// lane, where tenant-fair (and priority) ordering applies. A deep queue
+// maximizes burst absorption; a shallow one (a small multiple of workers)
+// keeps queueing decisions upstream where fairness holds, at no throughput
+// cost as long as depth covers the submit round trip.
+func NewWithDepth(label string, workers, depth int, reg *serialize.Registry) *Executor {
 	if workers < 1 {
 		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
 	}
 	return &Executor{
 		label:   label,
 		workers: workers,
 		reg:     reg,
-		queue:   make(chan item, 4096),
+		queue:   make(chan item, depth),
 		pending: make(map[int64]*future.Future),
 	}
 }

@@ -1,0 +1,449 @@
+package fair
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSingleTenantFIFO pins the compatibility contract: one tenant, no
+// comparator — strict FIFO, exactly the queue the DFK's routing FIFO was.
+func TestSingleTenantFIFO(t *testing.T) {
+	q := NewQueue[int](nil)
+	for i := 0; i < 100; i++ {
+		q.Push(DefaultTenant, 0, i)
+	}
+	var got []int
+	for len(got) < 100 {
+		batch, ok := q.Take(7)
+		if !ok {
+			t.Fatal("queue closed unexpectedly")
+		}
+		got = append(got, batch...)
+		q.PutBatch(batch)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d: got %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+// TestDRRShares pins the deterministic weighted shares: tenants weighted 2:1
+// with deep backlogs drain 2:1 in every window.
+func TestDRRShares(t *testing.T) {
+	q := NewQueue[string](nil)
+	for i := 0; i < 300; i++ {
+		q.Push("a", 2, "a")
+		q.Push("b", 1, "b")
+	}
+	batch := q.TryTake(30)
+	counts := map[string]int{}
+	for _, v := range batch {
+		counts[v]++
+	}
+	q.PutBatch(batch)
+	if counts["a"] != 20 || counts["b"] != 10 {
+		t.Fatalf("30-entry DRR window: got a=%d b=%d, want a=20 b=10", counts["a"], counts["b"])
+	}
+}
+
+// TestDRRSharesSmallTakes pins that weights hold even when the consumer
+// drains one entry at a time — the broker shape, where dispatch size is one
+// free capacity slot. A quantum interrupted by a full batch must resume on
+// the next take, not forfeit, or shares collapse toward round robin.
+func TestDRRSharesSmallTakes(t *testing.T) {
+	for _, takeSize := range []int{1, 2, 3} {
+		q := NewQueue[string](nil)
+		for i := 0; i < 400; i++ {
+			q.Push("a", 10, "a")
+			q.Push("b", 1, "b")
+		}
+		counts := map[string]int{}
+		for drained := 0; drained < 110; {
+			n := takeSize
+			if rem := 110 - drained; n > rem {
+				n = rem
+			}
+			batch := q.TryTake(n)
+			for _, v := range batch {
+				counts[v]++
+			}
+			drained += len(batch)
+			q.PutBatch(batch)
+		}
+		if counts["a"] != 100 || counts["b"] != 10 {
+			t.Fatalf("takeSize %d: 110 entries split a=%d b=%d, want 100/10",
+				takeSize, counts["a"], counts["b"])
+		}
+	}
+}
+
+// TestTenantStateReclaimed: a drained tenant leaves no residue in the
+// tenant table — high-cardinality one-shot tenants must not accumulate.
+func TestTenantStateReclaimed(t *testing.T) {
+	q := NewQueue[int](nil)
+	for i := 0; i < 100; i++ {
+		q.Push(fmt.Sprintf("tenant-%d", i), 2, i)
+	}
+	for {
+		batch := q.TryTake(8)
+		if len(batch) == 0 {
+			break
+		}
+		q.PutBatch(batch)
+	}
+	q.mu.Lock()
+	residual := len(q.tenants)
+	q.mu.Unlock()
+	if residual != 0 {
+		t.Fatalf("%d tenant flows retained after drain, want 0", residual)
+	}
+
+	a := NewAdmission(1, nil, Block)
+	for i := 0; i < 100; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		if _, err := a.Admit(context.Background(), tenant); err != nil {
+			t.Fatal(err)
+		}
+		a.Release(tenant)
+	}
+	a.mu.Lock()
+	gates := len(a.tenants)
+	a.mu.Unlock()
+	if gates != 0 {
+		t.Fatalf("%d admission gates retained after release, want 0", gates)
+	}
+}
+
+// TestDRRInterleaves verifies a late-arriving light tenant is served on the
+// next round rather than behind the heavy tenant's whole backlog.
+func TestDRRInterleaves(t *testing.T) {
+	q := NewQueue[string](nil)
+	for i := 0; i < 1000; i++ {
+		q.Push("heavy", 1, "heavy")
+	}
+	q.Push("light", 1, "light")
+	batch := q.TryTake(4)
+	defer q.PutBatch(batch)
+	found := false
+	for _, v := range batch {
+		if v == "light" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("light tenant not served within the first 4 slots: %v", batch)
+	}
+}
+
+type prioItem struct {
+	prio int
+	seq  int
+}
+
+func prioLess(a, b prioItem) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return a.seq < b.seq
+}
+
+// TestIntraTenantPriority checks the comparator path: within one tenant,
+// higher priority pops first, equal priorities keep arrival order, and
+// PeekMax reports the top queued priority.
+func TestIntraTenantPriority(t *testing.T) {
+	q := NewQueue[prioItem](prioLess)
+	q.Push("t", 0, prioItem{prio: 0, seq: 1})
+	q.Push("t", 0, prioItem{prio: 5, seq: 2})
+	q.Push("t", 0, prioItem{prio: 0, seq: 3})
+	q.Push("t", 0, prioItem{prio: 5, seq: 4})
+	if got := q.PeekMax(func(it prioItem) int { return it.prio }); got != 5 {
+		t.Fatalf("PeekMax = %d, want 5", got)
+	}
+	batch := q.TryTake(10)
+	defer q.PutBatch(batch)
+	want := []prioItem{{5, 2}, {5, 4}, {0, 1}, {0, 3}}
+	if len(batch) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(batch), len(want))
+	}
+	for i := range want {
+		if batch[i] != want[i] {
+			t.Fatalf("position %d: got %+v, want %+v", i, batch[i], want[i])
+		}
+	}
+}
+
+// TestPriorityDoesNotCrossTenants: a tenant's urgent task jumps its own
+// sub-queue only; the other tenant still gets its round share.
+func TestPriorityDoesNotCrossTenants(t *testing.T) {
+	q := NewQueue[prioItem](prioLess)
+	for i := 0; i < 10; i++ {
+		q.Push("noisy", 1, prioItem{prio: 100, seq: i})
+	}
+	q.Push("quiet", 1, prioItem{prio: 0, seq: 99})
+	batch := q.TryTake(2)
+	defer q.PutBatch(batch)
+	seen := map[int]bool{}
+	for _, it := range batch {
+		seen[it.prio] = true
+	}
+	if !seen[0] {
+		t.Fatalf("quiet tenant starved by another tenant's priorities: %+v", batch)
+	}
+}
+
+// TestFilter removes entries and keeps DRR bookkeeping consistent.
+func TestFilter(t *testing.T) {
+	q := NewQueue[int](nil)
+	for i := 0; i < 10; i++ {
+		q.Push("a", 0, i)
+		q.Push("b", 0, 100+i)
+	}
+	q.Filter(func(v int) bool { return v%2 == 0 })
+	if got := q.Len(); got != 10 {
+		t.Fatalf("Len after filter = %d, want 10", got)
+	}
+	per := q.PerTenant()
+	if per["a"] != 5 || per["b"] != 5 {
+		t.Fatalf("per-tenant after filter = %v, want a=5 b=5", per)
+	}
+	q.Filter(func(v int) bool { return v >= 100 })
+	if got := q.Len(); got != 5 {
+		t.Fatalf("Len after second filter = %d, want 5", got)
+	}
+	batch := q.TryTake(10)
+	defer q.PutBatch(batch)
+	for _, v := range batch {
+		if v < 100 || v%2 != 0 {
+			t.Fatalf("unexpected survivor %d", v)
+		}
+	}
+}
+
+// TestCloseDrains: Take returns queued items after Close, then (nil, false).
+func TestCloseDrains(t *testing.T) {
+	q := NewQueue[int](nil)
+	q.Push("a", 0, 1)
+	q.Close()
+	batch, ok := q.Take(10)
+	if !ok || len(batch) != 1 {
+		t.Fatalf("Take after close = (%v, %v), want one item", batch, ok)
+	}
+	q.PutBatch(batch)
+	if _, ok := q.Take(10); ok {
+		t.Fatal("drained closed queue still returning items")
+	}
+}
+
+// TestBlockingTakeWakes: a parked Take wakes on Push.
+func TestBlockingTakeWakes(t *testing.T) {
+	q := NewQueue[int](nil)
+	done := make(chan int, 1)
+	go func() {
+		batch, _ := q.Take(1)
+		done <- batch[0]
+		q.PutBatch(batch)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push("a", 0, 42)
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Fatalf("got %d, want 42", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Take never woke")
+	}
+}
+
+// TestQueueConcurrent hammers Push/Take/PerTenant from many goroutines under
+// -race; every pushed item must come out exactly once.
+func TestQueueConcurrent(t *testing.T) {
+	q := NewQueue[int](nil)
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", p%3)
+			for i := 0; i < perProducer; i++ {
+				q.Push(tenant, p%3+1, p*perProducer+i)
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+	seen := make(map[int]bool, producers*perProducer)
+	var consumed int
+	for {
+		if consumed%100 == 0 {
+			_ = q.PerTenant()
+			_ = q.Len()
+		}
+		batch, ok := q.Take(64)
+		if !ok {
+			break
+		}
+		for _, v := range batch {
+			if seen[v] {
+				t.Fatalf("item %d delivered twice", v)
+			}
+			seen[v] = true
+		}
+		consumed += len(batch)
+		q.PutBatch(batch)
+	}
+	if consumed != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", consumed, producers*perProducer)
+	}
+}
+
+// TestAdmissionShed: at quota, Shed returns ErrOverloaded without blocking;
+// a release reopens admission.
+func TestAdmissionShed(t *testing.T) {
+	a := NewAdmission(2, nil, Shed)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := a.Admit(ctx, "t"); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	if _, err := a.Admit(ctx, "t"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("admit over quota = %v, want ErrOverloaded", err)
+	}
+	if _, err := a.Admit(ctx, "other"); err != nil {
+		t.Fatalf("other tenant sheds too: %v", err)
+	}
+	a.Release("t")
+	if _, err := a.Admit(ctx, "t"); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	if got := a.Live("t"); got != 2 {
+		t.Fatalf("Live = %d, want 2", got)
+	}
+}
+
+// TestAdmissionBlockRelease: a blocked Admit wakes when quota frees and
+// reports a non-zero wait.
+func TestAdmissionBlockRelease(t *testing.T) {
+	a := NewAdmission(1, nil, Block)
+	ctx := context.Background()
+	if _, err := a.Admit(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan time.Duration, 1)
+	go func() {
+		waited, err := a.Admit(ctx, "t")
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- waited
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-admitted:
+		t.Fatal("Admit returned before quota freed")
+	default:
+	}
+	a.Release("t")
+	select {
+	case waited := <-admitted:
+		if waited <= 0 {
+			t.Fatalf("waited = %v, want > 0", waited)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Admit never woke after Release")
+	}
+}
+
+// TestAdmissionCtxCancel: canceling the context unblocks a parked Admit with
+// the context's error and without consuming quota.
+func TestAdmissionCtxCancel(t *testing.T) {
+	a := NewAdmission(1, nil, Block)
+	if _, err := a.Admit(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.Admit(ctx, "t")
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Admit after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled Admit never returned")
+	}
+	if got := a.Live("t"); got != 1 {
+		t.Fatalf("Live after canceled wait = %d, want 1 (no quota leak)", got)
+	}
+}
+
+// TestAdmissionQuotaOverrides: per-tenant overrides beat the default, and a
+// zero default means unlimited for everyone else.
+func TestAdmissionQuotaOverrides(t *testing.T) {
+	a := NewAdmission(0, map[string]int{"capped": 1}, Shed)
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if _, err := a.Admit(ctx, "free"); err != nil {
+			t.Fatalf("unlimited tenant refused at %d: %v", i, err)
+		}
+	}
+	if _, err := a.Admit(ctx, "capped"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Admit(ctx, "capped"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("override quota not enforced: %v", err)
+	}
+}
+
+// TestAdmissionConcurrent floods a quota from many goroutines under -race:
+// live count must never exceed the cap, and everyone eventually admits.
+func TestAdmissionConcurrent(t *testing.T) {
+	const quota, n = 4, 64
+	a := NewAdmission(quota, nil, Block)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	inFlight, maxInFlight := 0, 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := a.Admit(ctx, "t"); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+			a.Release("t")
+		}()
+	}
+	wg.Wait()
+	if maxInFlight > quota {
+		t.Fatalf("observed %d concurrent admissions, quota %d", maxInFlight, quota)
+	}
+	if got := a.Live("t"); got != 0 {
+		t.Fatalf("Live after drain = %d, want 0", got)
+	}
+}

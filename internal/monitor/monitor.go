@@ -25,6 +25,10 @@ const (
 	KindWorkerInfo EventKind = "worker_info"
 	KindResource   EventKind = "resource"
 	KindBlockState EventKind = "block_state"
+	// KindTenant records multi-tenant admission outcomes: Detail is "shed"
+	// (quota exceeded under the shed policy) or "admitted" (a submission
+	// that had to wait under the block policy; Duration is the wait).
+	KindTenant EventKind = "tenant"
 )
 
 // Event is one monitoring record.
@@ -36,6 +40,7 @@ type Event struct {
 	From     string        `json:"from,omitempty"`
 	To       string        `json:"to,omitempty"`
 	Executor string        `json:"executor,omitempty"`
+	Tenant   string        `json:"tenant,omitempty"`
 	Worker   string        `json:"worker,omitempty"`
 	Block    string        `json:"block,omitempty"`
 	Duration time.Duration `json:"duration,omitempty"`

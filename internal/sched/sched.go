@@ -52,6 +52,11 @@ type Load struct {
 	// backlog, where Outstanding is only its size. 0 when the lane is empty
 	// or the source exposes no priority signal.
 	MaxQueuedPriority int
+	// TenantBacklog is the per-tenant composition of the lane backlog (key
+	// "" is the default tenant), so strategies and operators can see *whose*
+	// work is queued, not just how much. Nil when the lane is empty or the
+	// source exposes no tenant signal.
+	TenantBacklog map[string]int
 }
 
 // PerWorker is outstanding work normalized by capacity; with unknown

@@ -166,13 +166,17 @@ func (r *Registry) Names() []string {
 // TaskMsg is the in-memory form of a task crossing the submission boundary:
 // app name plus fully resolved arguments (futures have been replaced by
 // their values before encoding). Priority carries the per-call dispatch
-// priority across the submission boundary so remote queues can honor it too.
+// priority across the submission boundary so remote queues can honor it too;
+// Tenant and Weight carry the fair-queuing identity so brokers past the
+// client leg (the HTEX interchange) can keep tenant shares fair as well.
 type TaskMsg struct {
 	ID       int64
 	App      string
 	Args     []any
 	Kwargs   map[string]any
 	Priority int
+	Tenant   string
+	Weight   int
 
 	// payload is the encode-once serialization of Args/Kwargs, attached by
 	// the dispatch pipeline at launch. Unexported so it never rides the gob
@@ -426,14 +430,16 @@ func (p *Payload) DecodeArgs() ([]any, map[string]any, error) {
 }
 
 // WireTask is the on-the-wire form of a task: the routing envelope (id, app,
-// priority) plus the encode-once argument payload as raw bytes. Brokers (the
-// HTEX interchange) queue, prioritize, cancel, and re-frame WireTasks
-// without ever decoding — or re-encoding — the argument bytes; only the
-// worker that executes the task pays the argument decode.
+// priority, tenant) plus the encode-once argument payload as raw bytes.
+// Brokers (the HTEX interchange) queue, prioritize, fair-share, cancel, and
+// re-frame WireTasks without ever decoding — or re-encoding — the argument
+// bytes; only the worker that executes the task pays the argument decode.
 type WireTask struct {
 	ID       int64
 	App      string
 	Priority int
+	Tenant   string
+	Weight   int
 	P        []byte
 }
 
@@ -444,7 +450,10 @@ func (m *TaskMsg) Wire() (WireTask, error) {
 	if err != nil {
 		return WireTask{}, fmt.Errorf("serialize: encode task %d: %w", m.ID, err)
 	}
-	return WireTask{ID: m.ID, App: m.App, Priority: m.Priority, P: p.Bytes()}, nil
+	return WireTask{
+		ID: m.ID, App: m.App, Priority: m.Priority,
+		Tenant: m.Tenant, Weight: m.Weight, P: p.Bytes(),
+	}, nil
 }
 
 // Task decodes the argument payload and rebuilds the executable message.
@@ -458,6 +467,7 @@ func (w WireTask) Task() (TaskMsg, error) {
 	}
 	return TaskMsg{
 		ID: w.ID, App: w.App, Priority: w.Priority,
+		Tenant: w.Tenant, Weight: w.Weight,
 		Args: args, Kwargs: kwargs, payload: p,
 	}, nil
 }

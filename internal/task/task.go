@@ -102,6 +102,8 @@ type Record struct {
 	timeout     time.Duration // per-call override of Config.TaskTimeout
 	deadline    time.Time     // absolute per-call deadline (zero = none)
 	memoKeyOver string        // per-call memo key override ("" = computed)
+	tenant      string        // fair-queuing tenant id ("" = default tenant)
+	weight      int           // tenant DRR weight (0 = leave current, min 1)
 
 	// Current execution attempt: its outcome future and wire id, recorded so
 	// a cancellation arriving from outside the dispatch pipeline can conclude
@@ -317,6 +319,32 @@ func (r *Record) Deadline() time.Time {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.deadline
+}
+
+// SetTenant records the submission's fair-queuing tenant and DRR weight
+// (App.Submit's WithTenant). Fixed before the task enters the dispatch
+// pipeline; every fair queue the task crosses reads it from here.
+func (r *Record) SetTenant(id string, weight int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tenant = id
+	r.weight = weight
+}
+
+// Tenant returns the fair-queuing tenant id ("" = default tenant).
+func (r *Record) Tenant() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tenant
+}
+
+// TenantWeight returns the tenant DRR weight carried by this submission
+// (0 = no update; queues treat the tenant's current weight, default 1, as
+// authoritative).
+func (r *Record) TenantWeight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.weight
 }
 
 // SetMemoKeyOverride records an explicit per-call memoization key.

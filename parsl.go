@@ -109,6 +109,11 @@ var (
 	WithTimeout  = dfk.WithTimeout
 	WithRetries  = dfk.WithRetries
 	WithMemoKey  = dfk.WithMemoKey
+	// WithTenant attributes one submission to a fair-queuing tenant with a
+	// DRR weight: every queue the task waits in serves tenants in proportion
+	// to their weights, and Config.MaxTasksPerTenant/TenantQuotas bound each
+	// tenant's live tasks (blocking or shedding per Config.OverloadPolicy).
+	WithTenant = dfk.WithTenant
 	// NewMonitorStore creates the in-memory monitoring sink.
 	NewMonitorStore = monitor.NewStore
 	// MapReduce and Chain are the §7 "constructs for delivering
@@ -153,6 +158,18 @@ var (
 // distinguish "too slow" from "broken" with errors.Is.
 var ErrTaskTimeout = dfk.ErrTimeout
 
+// ErrOverloaded is set on the returned future when a submission exceeds its
+// tenant's admission quota under the shed policy (Config.OverloadPolicy =
+// OverloadShed). Detect it with errors.Is and retry later or elsewhere.
+var ErrOverloaded = dfk.ErrOverloaded
+
+// Overload policies for Config.OverloadPolicy: block the submitter until
+// quota frees (backpressure) or shed with ErrOverloaded (load shedding).
+const (
+	OverloadBlock = dfk.OverloadBlock
+	OverloadShed  = dfk.OverloadShed
+)
+
 // NewLocal builds the simplest useful deployment: a DFK over an in-process
 // thread-pool executor with n workers — the laptop configuration.
 func NewLocal(n int) (*DFK, error) {
@@ -175,6 +192,47 @@ func NewLocalMulti(policy string, workersPerPool ...int) (*DFK, error) {
 		exs[i] = threadpool.New(fmt.Sprintf("local-%d", i), n, reg)
 	}
 	return dfk.New(dfk.Config{Registry: reg, Executors: exs, SchedulerPolicy: policy})
+}
+
+// TenantConfig bundles the multi-tenancy and backpressure knobs for the
+// local facades; the zero value means "single-tenant, unbounded" — exactly
+// the pre-tenant behavior.
+type TenantConfig struct {
+	// MaxTasksPerTenant caps live tasks per tenant (0 = unbounded).
+	MaxTasksPerTenant int
+	// TenantQuotas overrides the cap per tenant id.
+	TenantQuotas map[string]int
+	// OverloadPolicy is OverloadBlock (default) or OverloadShed.
+	OverloadPolicy string
+	// QueueDepth bounds each pool's input queue (0 = the 4096 default). A
+	// shallow depth keeps backlog in the DFK's tenant-fair lanes instead of
+	// the executor's FIFO, making fair shares visible in task latency.
+	QueueDepth int
+}
+
+// NewLocalMultiTenant is NewLocalMulti with the multi-tenancy knobs exposed:
+// several thread pools under the named scheduling policy, per-tenant
+// admission quotas, and bounded executor input queues. Submissions opt in
+// per call with parsl.WithTenant.
+func NewLocalMultiTenant(policy string, tc TenantConfig, workersPerPool ...int) (*DFK, error) {
+	if len(workersPerPool) == 0 {
+		return nil, fmt.Errorf("parsl: NewLocalMultiTenant needs at least one pool")
+	}
+	reg := serialize.NewRegistry()
+	depth := tc.QueueDepth
+	if depth <= 0 {
+		depth = 4096
+	}
+	exs := make([]executor.Executor, len(workersPerPool))
+	for i, n := range workersPerPool {
+		exs[i] = threadpool.NewWithDepth(fmt.Sprintf("local-%d", i), n, depth, reg)
+	}
+	return dfk.New(dfk.Config{
+		Registry: reg, Executors: exs, SchedulerPolicy: policy,
+		MaxTasksPerTenant: tc.MaxTasksPerTenant,
+		TenantQuotas:      tc.TenantQuotas,
+		OverloadPolicy:    tc.OverloadPolicy,
+	})
 }
 
 // NewLocalHTEX builds a DFK over a full HTEX deployment (interchange,

@@ -9,6 +9,7 @@
 //	parsl-bench elasticity   Fig. 5/6 — utilization with and without elasticity
 //	parsl-bench submission   priority dispatch + cancellation through App.Submit
 //	parsl-bench noisy        multi-tenant fairness + bounded admission under a burst
+//	parsl-bench chaos        fault-injection scenarios: recovery invariants under a seeded schedule
 //	parsl-bench all          everything above
 //
 // Latency, throughput-at-laptop-scale, and elasticity run on the real
@@ -25,13 +26,16 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|all>\n")
 		flag.PrintDefaults()
 	}
 	tasks := flag.Int("tasks", 1000, "tasks for the latency experiment")
 	burst := flag.Int("burst", 10000, "noisy: burst-tenant task count")
 	full := flag.Bool("full", false, "run full-scale sweeps (up to 262144 simulated workers)")
 	timeScaleMs := flag.Int("timescale", 8, "elasticity: wall milliseconds per paper second")
+	chaosSeed := flag.Int64("seed", 0, "chaos: run a single seed (0 = the default 1..5 matrix)")
+	chaosTasks := flag.Int("chaos-tasks", 240, "chaos: tasks per seed")
+	chaosVerbose := flag.Bool("chaos-verbose", false, "chaos: print the fired fault schedule even on PASS")
 	flag.Parse()
 
 	cmd := "all"
@@ -46,6 +50,12 @@ func main() {
 		}
 	}
 
+	chaosSeeds := func() []int64 {
+		if *chaosSeed != 0 {
+			return []int64{*chaosSeed}
+		}
+		return []int64{1, 2, 3, 4, 5}
+	}
 	switch cmd {
 	case "latency":
 		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
@@ -63,6 +73,10 @@ func main() {
 		run("submission API: priority + cancellation", func() error { return runSubmission(*tasks) })
 	case "noisy":
 		run("multi-tenant noisy neighbor", func() error { return runNoisy(*burst) })
+	case "chaos":
+		run("chaos: recovery under fault injection", func() error {
+			return runChaos(chaosSeeds(), *chaosTasks, *chaosVerbose)
+		})
 	case "all":
 		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
 		run("Fig. 4 (top): strong scaling", func() error { return runStrong(*full) })
@@ -72,6 +86,9 @@ func main() {
 		run("Fig. 5/6: elasticity", func() error { return runElasticity(*timeScaleMs) })
 		run("submission API: priority + cancellation", func() error { return runSubmission(*tasks) })
 		run("multi-tenant noisy neighbor", func() error { return runNoisy(*burst) })
+		run("chaos: recovery under fault injection", func() error {
+			return runChaos(chaosSeeds(), *chaosTasks, *chaosVerbose)
+		})
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,45 @@
+package chaos
+
+import "testing"
+
+// The disabled-path benchmarks pin the tentpole's hot-path promise: a fault
+// point with no injector installed costs one atomic pointer load (plus the
+// pass-through call for Frame) and zero allocations.
+
+func BenchmarkDisabledExec(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Exec(PointExecRun, "w")
+	}
+}
+
+func BenchmarkDisabledFrame(b *testing.B) {
+	Disable()
+	frame := make([]byte, 256)
+	send := func([]byte) error { return nil }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Frame(PointClientSend, frame, send)
+	}
+}
+
+func BenchmarkDisabledFail(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Fail(PointSubmitFail, "lane")
+	}
+}
+
+// BenchmarkEnabledMiss measures an armed point whose rule does not fire —
+// the steady-state cost while a chaos run is active.
+func BenchmarkEnabledMiss(b *testing.B) {
+	inj := New(1, Plan{{Point: PointSubmitFail, Act: ActFail, Prob: 0}})
+	restore := Enable(inj)
+	defer restore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Fail(PointSubmitFail, "lane")
+	}
+}

@@ -1,0 +1,352 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// pump drives n hits through every armed point of inj, exercising each
+// point's helper the way product code does.
+func pump(inj *Injector, n int) {
+	restore := Enable(inj)
+	defer restore()
+	frame := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		_ = Frame(PointClientSend, frame, func([]byte) error { return nil })
+		_ = Frame(PointIxTasks, frame, func([]byte) error { return nil })
+		func() {
+			defer func() { _ = recover() }()
+			Exec(PointExecRun, "pool/thread-0")
+		}()
+		_ = Fail(PointSubmitFail, "pool")
+		Sleep(PointLaneDelay, "pool")
+		_ = Kill(PointMgrKill, "mgr-1")
+	}
+}
+
+func testPlan() Plan {
+	return Plan{
+		{Point: PointClientSend, Act: ActDrop, Prob: 0.1},
+		{Point: PointClientSend, Act: ActCorrupt, Prob: 0.1},
+		{Point: PointIxTasks, Act: ActDup, Prob: 0.2},
+		{Point: PointExecRun, Act: ActPanic, Prob: 0.15},
+		{Point: PointSubmitFail, Act: ActFail, Prob: 0.2},
+		{Point: PointLaneDelay, Act: ActDelay, Prob: 0.3, Delay: time.Microsecond},
+		{Point: PointMgrKill, Act: ActKill, Prob: 0.5, Max: 2},
+	}
+}
+
+// TestScheduleDeterministic is the reproducibility contract: two injectors
+// armed with the same seed and plan, driven through the same hits, log the
+// identical event sequence.
+func TestScheduleDeterministic(t *testing.T) {
+	a, b := New(42, testPlan()), New(42, testPlan())
+	pump(a, 500)
+	pump(b, 500)
+	ea, eb := a.Events(), b.Events()
+	if len(ea) == 0 {
+		t.Fatal("no events fired in 500 hits — plan probabilities broken")
+	}
+	if !reflect.DeepEqual(ea, eb) {
+		t.Fatalf("same seed diverged:\n%v\nvs\n%v", ea, eb)
+	}
+}
+
+// TestScheduleSeedSensitive: different seeds give different schedules.
+func TestScheduleSeedSensitive(t *testing.T) {
+	a, b := New(1, testPlan()), New(2, testPlan())
+	pump(a, 500)
+	pump(b, 500)
+	ka := make([]string, 0)
+	for _, e := range a.Events() {
+		ka = append(ka, e.ScheduleKey())
+	}
+	kb := make([]string, 0)
+	for _, e := range b.Events() {
+		kb = append(kb, e.ScheduleKey())
+	}
+	if reflect.DeepEqual(ka, kb) {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// TestScheduleIndependentOfInterleaving: the decision for hit n at a point
+// does not depend on how many hits other points have taken.
+func TestScheduleIndependentOfInterleaving(t *testing.T) {
+	plan := testPlan()
+	a, b := New(7, plan), New(7, plan)
+
+	ra := Enable(a)
+	for i := 0; i < 200; i++ {
+		_ = Fail(PointSubmitFail, "x")
+	}
+	ra()
+
+	rb := Enable(b)
+	for i := 0; i < 200; i++ {
+		// Interleave hits at other points between the SubmitFail hits.
+		_ = Kill(PointMgrKill, "mgr")
+		_ = Fail(PointSubmitFail, "x")
+		Sleep(PointLaneDelay, "x")
+	}
+	rb()
+
+	filter := func(evs []Event) []string {
+		var out []string
+		for _, e := range evs {
+			if e.Point == PointSubmitFail {
+				out = append(out, e.ScheduleKey())
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(filter(a.Events()), filter(b.Events())) {
+		t.Fatalf("SubmitFail schedule depends on other points' traffic:\n%v\nvs\n%v",
+			filter(a.Events()), filter(b.Events()))
+	}
+}
+
+func TestMaxBoundsFires(t *testing.T) {
+	inj := New(3, Plan{{Point: PointMgrKill, Act: ActKill, Prob: 1.0, Max: 2}})
+	restore := Enable(inj)
+	defer restore()
+	kills := 0
+	for i := 0; i < 50; i++ {
+		if Kill(PointMgrKill, "mgr") {
+			kills++
+		}
+	}
+	if kills != 2 {
+		t.Fatalf("kills = %d, want exactly Max=2", kills)
+	}
+	if inj.Fires(PointMgrKill) != 2 || inj.Hits(PointMgrKill) != 50 {
+		t.Fatalf("fires=%d hits=%d", inj.Fires(PointMgrKill), inj.Hits(PointMgrKill))
+	}
+}
+
+func TestMatchFilters(t *testing.T) {
+	inj := New(5, Plan{{Point: PointExecRun, Act: ActStall, Prob: 1.0, Match: "pool/"}})
+	restore := Enable(inj)
+	defer restore()
+	Exec(PointExecRun, "mgr-1/w0") // unmatched: no fire
+	Exec(PointExecRun, "pool/thread-3")
+	evs := inj.Events()
+	if len(evs) != 1 || evs[0].Detail != "pool/thread-3" {
+		t.Fatalf("events = %v, want one fire for the matched worker", evs)
+	}
+}
+
+// TestMatchedHitScheduleDeterministic: a Match-scoped rule's schedule is a
+// pure function of its own matched-hit sequence — unmatched traffic at the
+// same point, however much and however interleaved, cannot shift which
+// matched hit fires. This is what makes targeted scenarios ("kill manager
+// X's 3rd dequeue") reproducible from their seed.
+func TestMatchedHitScheduleDeterministic(t *testing.T) {
+	plan := Plan{{Point: PointExecRun, Act: ActStall, Prob: 0.3, Match: "pool/"}}
+	run := func(noise int) []string {
+		inj := New(23, plan)
+		restore := Enable(inj)
+		defer restore()
+		for i := 0; i < 100; i++ {
+			for j := 0; j < noise; j++ {
+				Exec(PointExecRun, "mgr-7/w0") // unmatched traffic
+			}
+			Exec(PointExecRun, "pool/thread-1")
+		}
+		var keys []string
+		for _, e := range inj.Events() {
+			keys = append(keys, e.ScheduleKey())
+		}
+		return keys
+	}
+	quiet, noisy := run(0), run(5)
+	if len(quiet) == 0 {
+		t.Fatal("no fires in 100 matched hits at Prob 0.3")
+	}
+	if !reflect.DeepEqual(quiet, noisy) {
+		t.Fatalf("unmatched traffic shifted the matched schedule:\n%v\nvs\n%v", quiet, noisy)
+	}
+}
+
+func TestFrameActions(t *testing.T) {
+	mk := func(act Action) (*Injector, func()) {
+		inj := New(9, Plan{{Point: PointClientSend, Act: act, Prob: 1.0, Delay: time.Microsecond}})
+		return inj, Enable(inj)
+	}
+	frame := make([]byte, 32)
+	for i := range frame {
+		frame[i] = byte(i + 1)
+	}
+
+	// Drop: send never called, nil error.
+	_, restore := mk(ActDrop)
+	calls := 0
+	if err := Frame(PointClientSend, frame, func([]byte) error { calls++; return nil }); err != nil || calls != 0 {
+		t.Fatalf("drop: calls=%d err=%v", calls, err)
+	}
+	restore()
+
+	// Dup: send called twice with identical bytes.
+	_, restore = mk(ActDup)
+	calls = 0
+	_ = Frame(PointClientSend, frame, func(f []byte) error {
+		calls++
+		if !reflect.DeepEqual(f, frame) {
+			t.Fatalf("dup mutated frame")
+		}
+		return nil
+	})
+	if calls != 2 {
+		t.Fatalf("dup: calls=%d", calls)
+	}
+	restore()
+
+	// Corrupt: exactly one body byte differs, caller's buffer untouched.
+	_, restore = mk(ActCorrupt)
+	orig := append([]byte(nil), frame...)
+	var got []byte
+	_ = Frame(PointClientSend, frame, func(f []byte) error {
+		got = append([]byte(nil), f...)
+		return nil
+	})
+	restore()
+	if !reflect.DeepEqual(frame, orig) {
+		t.Fatal("corrupt mutated the caller's frame")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+			if i < len(orig)/2 {
+				t.Fatalf("corrupt touched front-half byte %d (headers live there)", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt changed %d bytes, want 1", diff)
+	}
+
+	// Truncate: half the frame.
+	_, restore = mk(ActTruncate)
+	_ = Frame(PointClientSend, frame, func(f []byte) error {
+		got = append([]byte(nil), f...)
+		return nil
+	})
+	restore()
+	if len(got) != len(frame)/2 {
+		t.Fatalf("truncate len=%d (orig %d)", len(got), len(frame))
+	}
+
+	// Delay: frame passes through unchanged.
+	_, restore = mk(ActDelay)
+	calls = 0
+	_ = Frame(PointClientSend, frame, func(f []byte) error { calls++; return nil })
+	restore()
+	if calls != 1 {
+		t.Fatalf("delay: calls=%d", calls)
+	}
+}
+
+func TestExecPanics(t *testing.T) {
+	inj := New(11, Plan{{Point: PointExecRun, Act: ActPanic, Prob: 1.0}})
+	restore := Enable(inj)
+	defer restore()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Exec did not panic")
+		}
+	}()
+	Exec(PointExecRun, "w0")
+}
+
+func TestFailWrapsErrInjected(t *testing.T) {
+	inj := New(13, Plan{{Point: PointSubmitFail, Act: ActFail, Prob: 1.0}})
+	restore := Enable(inj)
+	defer restore()
+	if err := Fail(PointSubmitFail, "lane"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	Disable()
+	if Enabled() || Active() != nil {
+		t.Fatal("injector active after Disable")
+	}
+	if Kill(PointMgrKill, "x") || Fail(PointSubmitFail, "x") != nil {
+		t.Fatal("disabled points fired")
+	}
+	calls := 0
+	if err := Frame(PointClientSend, []byte{1}, func([]byte) error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatal("disabled Frame did not pass through")
+	}
+}
+
+// TestDisabledZeroAlloc pins the hot-path contract: a disabled fault point
+// allocates nothing.
+func TestDisabledZeroAlloc(t *testing.T) {
+	Disable()
+	frame := []byte{1, 2, 3}
+	send := func([]byte) error { return nil }
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = Frame(PointClientSend, frame, send)
+		Exec(PointExecRun, "w")
+		_ = Fail(PointSubmitFail, "l")
+		Sleep(PointLaneDelay, "l")
+		_ = Kill(PointMgrKill, "m")
+	}); n != 0 {
+		t.Fatalf("disabled fault points allocate %v per run", n)
+	}
+}
+
+func TestEnableRestores(t *testing.T) {
+	a := New(1, nil)
+	ra := Enable(a)
+	b := New(2, nil)
+	rb := Enable(b)
+	if Active() != b {
+		t.Fatal("b not active")
+	}
+	rb()
+	if Active() != a {
+		t.Fatal("restore did not reinstate a")
+	}
+	ra()
+	if Active() != nil {
+		t.Fatal("restore did not clear")
+	}
+}
+
+func TestEventOrderCanonical(t *testing.T) {
+	inj := New(17, Plan{
+		{Point: PointSubmitFail, Act: ActFail, Prob: 1.0},
+		{Point: PointLaneDelay, Act: ActDelay, Prob: 1.0},
+	})
+	restore := Enable(inj)
+	// Interleave: lane, submit, lane, submit.
+	Sleep(PointLaneDelay, "a")
+	_ = Fail(PointSubmitFail, "b")
+	Sleep(PointLaneDelay, "c")
+	_ = Fail(PointSubmitFail, "d")
+	restore()
+	evs := inj.Events()
+	// Canonical order sorts by point name, then rule, then hit:
+	// "dfk.lane" < "dfk.submit".
+	want := []string{
+		fmt.Sprintf("%s/r1#0 delay 0s", PointLaneDelay),
+		fmt.Sprintf("%s/r1#1 delay 0s", PointLaneDelay),
+		fmt.Sprintf("%s/r0#0 fail 0s", PointSubmitFail),
+		fmt.Sprintf("%s/r0#1 fail 0s", PointSubmitFail),
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("events = %v", evs)
+	}
+	for i := range want {
+		if evs[i].ScheduleKey() != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, evs[i].ScheduleKey(), want[i])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/executor"
 	"repro/internal/fair"
 	"repro/internal/future"
@@ -146,6 +147,10 @@ func (d *DFK) laneRunner(l *lane) {
 		if !ok {
 			return
 		}
+		// Chaos: a delayed drain models a stalled lane runner — queued tasks
+		// keep aging against their attempt timers, which is the contract
+		// enqueueAttempt promises (the clock runs while they queue).
+		chaos.Sleep(chaos.PointLaneDelay, l.ex.Label())
 		msgs := make([]serialize.TaskMsg, 0, len(batch))
 		live := make([]*pendingLaunch, 0, len(batch))
 		for _, pl := range batch {
@@ -158,6 +163,13 @@ func (d *DFK) laneRunner(l *lane) {
 				// the already-failed attempt future, and its SetState
 				// interleaves harmlessly with the retry's (same-state
 				// transitions no-op; failTask skips terminal tasks).
+				continue
+			}
+			// Chaos: an injected submission failure concludes this attempt
+			// before it crosses the executor boundary; attemptDone retries it
+			// through the scheduler exactly as a real submit error would.
+			if err := chaos.Fail(chaos.PointSubmitFail, l.ex.Label()); err != nil {
+				_ = pl.attempt.SetError(err)
 				continue
 			}
 			d.emitState(pl.rec, pl.rec.State().String(), "launched")
@@ -272,6 +284,17 @@ func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
 	if err == nil {
 		d.completeTask(pl.rec, pl.app, v)
 		return
+	}
+	// The attempt is abandoned; tell its executor to drop whatever it still
+	// holds under this wire id. For errors the executor itself reported this
+	// is a no-op (its bookkeeping is already clean), but a timeout leaves
+	// the attempt live executor-side — and if its frame was lost on the wire
+	// (drop, corruption) the executor would otherwise carry the ghost
+	// entry, and its inflated Outstanding() load signal, forever.
+	if label := pl.rec.Executor(); label != "" {
+		if c, ok := d.executors[label].(executor.Canceler); ok {
+			c.Cancel(pl.wireID)
+		}
 	}
 	if pl.rec.IncAttempts() <= pl.rec.MaxRetries() {
 		// A launched attempt moves to Retrying; an attempt that timed out

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"repro/internal/chaos"
 	"repro/internal/future"
 	"repro/internal/serialize"
 )
@@ -119,6 +120,10 @@ func RunKernel(reg *serialize.Registry, msg serialize.TaskMsg, workerID string) 
 			res.Err = fmt.Sprintf("panic in app %q: %v\n%s", msg.App, r, debug.Stack())
 		}
 	}()
+	// Execution fault point, inside the recover sandbox: an injected panic
+	// takes exactly the path a panicking app body would, and an injected
+	// stall models a slow task on this worker. No-op unless chaos is armed.
+	chaos.Exec(chaos.PointExecRun, workerID)
 	v, err := entry.Fn(msg.Args, msg.Kwargs)
 	if err != nil {
 		res.Err = err.Error()

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/executor"
 	"repro/internal/executor/htex"
 	"repro/internal/mpi"
@@ -72,6 +73,10 @@ type Pool struct {
 	reg  *serialize.Registry
 
 	dealer *mq.Dealer
+	// resEnc is this pool's persistent RESULTS stream toward the
+	// interchange. A field (not loop-local) because the NACK resync
+	// protocol resets it from the receive loop (see managerRecvLoop).
+	resEnc *htex.ResultStreamEncoder
 
 	done     chan struct{}
 	once     sync.Once
@@ -99,6 +104,7 @@ func StartPool(tr simnet.Transport, addr, id string, reg *serialize.Registry, cf
 	}
 	p := &Pool{
 		id: id, cfg: cfg, comm: comm, reg: reg, dealer: dealer,
+		resEnc:   htex.NewResultStreamEncoder(),
 		done:     make(chan struct{}),
 		busy:     make(map[int]bool),
 		inflight: make(map[int64]int),
@@ -178,6 +184,11 @@ func (p *Pool) managerRecvLoop() {
 			}
 			batch, err := taskDec.Decode(msg[1])
 			if err != nil {
+				// Same resync contract as htex managers: NACK so the
+				// interchange restarts this pool's task stream and requeues
+				// what the pool was holding — without it one corrupted frame
+				// would wedge the pool's stream for the rest of the session.
+				_ = p.dealer.Send(htex.NackMessage(msg[1]))
 				continue
 			}
 			for _, t := range batch {
@@ -187,6 +198,15 @@ func (p *Pool) managerRecvLoop() {
 			}
 		case "HB":
 			// Interchange liveness echo; nothing to track beyond receipt.
+		case "NACK":
+			// The interchange cannot decode this pool's RESULTS stream:
+			// resync to a fresh self-describing epoch (epoch-matched, so
+			// duplicate NACKs for one epoch collapse to one reset).
+			if len(msg) >= 2 {
+				if ep := htex.NackEpoch(msg[1]); ep != 0 && p.resEnc.Epoch() == ep {
+					p.resEnc.Reset()
+				}
+			}
 		}
 	}
 }
@@ -229,7 +249,6 @@ func (p *Pool) dispatchMPI(t serialize.WireTask) bool {
 // ranks and batch them to the interchange.
 func (p *Pool) managerResultLoop() {
 	defer p.wg.Done()
-	resEnc := htex.NewResultStreamEncoder()
 	var batch []serialize.ResultMsg
 	flushTimer := time.NewTimer(p.cfg.FlushInterval)
 	defer flushTimer.Stop()
@@ -237,8 +256,10 @@ func (p *Pool) managerResultLoop() {
 		if len(batch) == 0 {
 			return
 		}
-		_ = resEnc.Encode(batch, func(frame []byte) error {
-			return p.dealer.Send(mq.Message{[]byte("RESULTS"), frame})
+		_ = p.resEnc.Encode(batch, func(frame []byte) error {
+			return chaos.Frame(chaos.PointMgrResults, frame, func(fr []byte) error {
+				return p.dealer.Send(mq.Message{[]byte("RESULTS"), fr})
+			})
 		})
 		batch = nil
 	}

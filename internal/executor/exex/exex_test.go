@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/executor"
 	"repro/internal/executor/htex"
 	"repro/internal/future"
@@ -226,4 +227,54 @@ func htexInterchangeCfg() htex.InterchangeConfig {
 		HeartbeatPeriod:    30 * time.Millisecond,
 		HeartbeatThreshold: 150 * time.Millisecond,
 	}
+}
+
+// TestStreamCorruptionRecovery corrupts both of the pool's manager-protocol
+// stream legs — the interchange's TASKS stream in, the pool's RESULTS
+// stream out — and asserts the NACK resync protocol recovers exactly as it
+// does for htex managers: every task completes, nothing wedges. (Before the
+// pool implemented the NACK contract, one corrupted frame on either leg
+// permanently wedged the pool's stream.)
+func TestStreamCorruptionRecovery(t *testing.T) {
+	inj := chaos.New(29, chaos.Plan{
+		{Point: chaos.PointIxTasks, Act: chaos.ActCorrupt, Prob: 0.3},
+		{Point: chaos.PointMgrResults, Act: chaos.ActCorrupt, Prob: 0.3},
+	})
+	restore := chaos.Enable(inj)
+	defer restore()
+
+	e := newEXEX(t, 1, 3, nil)
+	const n = 40
+	futs := make([]*future.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = e.Submit(serialize.TaskMsg{ID: int64(i), App: "echo", Args: []any{i}})
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for i, f := range futs {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			rem = time.Millisecond
+		}
+		v, err := f.ResultTimeout(rem)
+		if err != nil {
+			t.Fatalf("task %d stuck after stream corruption: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("task %d = %v", i, v)
+		}
+	}
+	if inj.Fires(chaos.PointIxTasks)+inj.Fires(chaos.PointMgrResults) == 0 {
+		t.Fatal("no corruption fired")
+	}
+	waitCond(t, "interchange drained", func() bool {
+		if e.Interchange().QueueDepth() != 0 {
+			return false
+		}
+		for _, held := range e.Interchange().OutstandingByManager() {
+			if held != 0 {
+				return false
+			}
+		}
+		return true
+	})
 }

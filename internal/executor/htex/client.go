@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/executor"
 	"repro/internal/future"
 	"repro/internal/mq"
@@ -145,6 +146,11 @@ func (e *Executor) recvLoop() {
 			}
 			var results []serialize.ResultMsg
 			if err := e.resDec.DecodeFrame(msg[1], &results); err != nil {
+				// The interchange's RESULTS stream is undecodable mid-epoch;
+				// NACK so it resyncs on a fresh self-describing epoch. Tasks
+				// whose results rode the lost frame stay pending here and
+				// recover via the DFK's attempt timeout (see codec.go).
+				_ = e.dealer.Send(mq.Message{[]byte(frameNack), nackPayload(msg[1])})
 				continue
 			}
 			for _, r := range results {
@@ -170,8 +176,55 @@ func (e *Executor) recvLoop() {
 			case e.cmdReplies <- msg:
 			default:
 			}
+		case frameNack:
+			if len(msg) < 2 {
+				continue
+			}
+			e.handleNack(nackEpoch(msg[1]))
 		}
 	}
+}
+
+// handleNack repairs the client's task stream after the interchange reported
+// it undecodable: reset the encoder (fresh self-describing epoch) and
+// retransmit every in-flight task. The client cannot know which tasks the
+// lost frame carried, so the retransmission is a superset; tasks that were
+// delivered run at most twice, and the pending map completes each future
+// exactly once whichever copy's result arrives first. Epoch mismatch means
+// the stream was already reset (duplicate NACKs for one epoch collapse to
+// one repair).
+func (e *Executor) handleNack(epoch uint32) {
+	if epoch == 0 || e.taskEnc.Epoch() != epoch {
+		return
+	}
+	e.taskEnc.Reset()
+	e.mu.Lock()
+	msgs := make([]serialize.TaskMsg, 0, len(e.inflight))
+	for _, m := range e.inflight {
+		msgs = append(msgs, m)
+	}
+	e.mu.Unlock()
+	if len(msgs) == 0 {
+		return
+	}
+	wires := make([]serialize.WireTask, 0, len(msgs))
+	for i := range msgs {
+		// Payloads were encoded at first submission; Wire() reuses them, so
+		// a retransmission re-encodes nothing.
+		if w, err := msgs[i].Wire(); err == nil {
+			wires = append(wires, w)
+		}
+	}
+	_ = e.sendTasks(wires)
+}
+
+// sendTasks frames one task batch onto the (chaos-instrumented) client wire.
+func (e *Executor) sendTasks(wires []serialize.WireTask) error {
+	return e.taskEnc.EncodeFrame(wires, func(frame []byte) error {
+		return chaos.Frame(chaos.PointClientSend, frame, func(fr []byte) error {
+			return e.dealer.Send(mq.Message{[]byte(frameTaskSub), fr})
+		})
+	})
 }
 
 func (e *Executor) complete(r serialize.ResultMsg) {
@@ -254,9 +307,7 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 	if len(wires) == 0 {
 		return futs
 	}
-	err := e.taskEnc.EncodeFrame(wires, func(frame []byte) error {
-		return e.dealer.Send(mq.Message{[]byte(frameTaskSub), frame})
-	})
+	err := e.sendTasks(wires)
 	if err != nil {
 		for _, w := range wires {
 			e.fail(w.ID, fmt.Errorf("htex: submit batch: %w", err))

@@ -195,7 +195,12 @@ func TestDrainRequeuesInFlight(t *testing.T) {
 		return e.ix.OutstandingByManager()["mgr-slow"] >= 1
 	})
 	futQueued := e.Submit(serialize.TaskMsg{ID: 2, App: "echo", Args: []any{"requeued"}})
-	time.Sleep(10 * time.Millisecond)
+	// Deterministic, not a sleep: the manager's single slot is occupied by
+	// the long task, so the queued task is visible in the interchange queue
+	// before the drain begins.
+	waitCond(t, "queued task parked at interchange", func() bool {
+		return e.ix.QueueDepth() == 1
+	})
 	slow.Drain()
 
 	fresh, err := StartManager(tr, e.ix.Addr(), "mgr-fresh", reg, cfg.Manager)
@@ -477,7 +482,16 @@ func TestSubmitAfterShutdown(t *testing.T) {
 func TestShutdownFailsPending(t *testing.T) {
 	e := newHTEX(t, 1, 1, nil)
 	fut := e.Submit(serialize.TaskMsg{ID: 1, App: "sleep", Args: []any{10000}})
-	time.Sleep(20 * time.Millisecond)
+	// Condition, not a sleep: shut down only once the task is actually held
+	// by the manager, so the test always exercises the in-flight path.
+	waitCond(t, "task in flight", func() bool {
+		for _, n := range e.ix.OutstandingByManager() {
+			if n > 0 {
+				return true
+			}
+		}
+		return false
+	})
 	_ = e.Shutdown()
 	if _, err := fut.Result(); err == nil {
 		t.Fatal("pending task succeeded across shutdown")

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fair"
 	"repro/internal/mq"
 	"repro/internal/serialize"
@@ -199,6 +200,9 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		}
 		var batch []serialize.WireTask
 		if err := ix.decoderFor(del.From).DecodeFrame(del.Msg[1], &batch); err != nil {
+			// Undecodable client task stream: NACK so the client resets to a
+			// fresh epoch and retransmits its in-flight tasks (codec.go).
+			_ = ix.router.SendTo(del.From, mq.Message{[]byte(frameNack), nackPayload(del.Msg[1])})
 			return
 		}
 		ix.enqueue(batch...)
@@ -227,6 +231,14 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		}
 		var results []serialize.ResultMsg
 		if err := ix.decoderFor(del.From).DecodeFrame(del.Msg[1], &results); err != nil {
+			// Undecodable manager result stream: NACK so the manager resets
+			// its encoder, and requeue everything this manager holds — the
+			// lost frame's results cannot be recovered, so their tasks must
+			// re-execute, and the broker must not leak their capacity slots.
+			// Tasks still running on the manager finish twice at most; the
+			// client's pending map reconciles duplicates (codec.go).
+			_ = ix.router.SendTo(del.From, mq.Message{[]byte(frameNack), nackPayload(del.Msg[1])})
+			ix.requeueOutstanding(del.From)
 			return
 		}
 		ix.mu.Lock()
@@ -240,7 +252,9 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		ix.mu.Unlock()
 		if client != "" {
 			_ = ix.clientEnc.EncodeFrame(results, func(frame []byte) error {
-				return ix.router.SendTo(client, mq.Message{[]byte(frameResults), frame})
+				return chaos.Frame(chaos.PointIxResults, frame, func(fr []byte) error {
+					return ix.router.SendTo(client, mq.Message{[]byte(frameResults), fr})
+				})
 			})
 		}
 		ix.dispatch()
@@ -279,7 +293,58 @@ func (ix *Interchange) handle(del mq.Delivery) {
 	case frameCmd:
 		ix.setClient(del.From)
 		ix.command(del)
+	case frameNack:
+		if len(del.Msg) < 2 {
+			return
+		}
+		ix.handleNack(del.From, nackEpoch(del.Msg[1]))
 	}
+}
+
+// handleNack repairs one of the interchange's outbound streams after a peer
+// reported it undecodable. Epoch matching dedups stale NACKs (codec.go).
+func (ix *Interchange) handleNack(from string, epoch uint32) {
+	if epoch == 0 {
+		return
+	}
+	ix.mu.Lock()
+	m, isMgr := ix.managers[from]
+	isClient := from == ix.client
+	ix.mu.Unlock()
+	switch {
+	case isMgr && m.enc.Epoch() == epoch:
+		// The manager cannot decode its TASKS stream: resync the encoder and
+		// requeue everything it was holding — the lost frame's tasks never
+		// arrived, and the interchange cannot tell which those were.
+		m.enc.Reset()
+		ix.requeueOutstanding(from)
+	case isClient && ix.clientEnc.Epoch() == epoch:
+		// The client cannot decode the RESULTS stream: resync. Results in
+		// the lost frame are gone; the DFK's attempt timeout re-executes
+		// their tasks (codec.go).
+		ix.clientEnc.Reset()
+	}
+}
+
+// requeueOutstanding moves every task a manager holds back into the
+// interchange queue (stream-corruption repair; the clean-departure BYE path
+// does its own inline requeue under the lock).
+func (ix *Interchange) requeueOutstanding(id string) {
+	ix.mu.Lock()
+	m, ok := ix.managers[id]
+	var tasks []serialize.WireTask
+	if ok {
+		for _, t := range m.outstanding {
+			tasks = append(tasks, t)
+		}
+		m.outstanding = make(map[int64]serialize.WireTask)
+	}
+	ix.mu.Unlock()
+	if len(tasks) == 0 {
+		return
+	}
+	ix.enqueue(tasks...)
+	ix.dispatch()
 }
 
 // setClient records the identity results are relayed to. Stream resync for
@@ -453,7 +518,9 @@ func (ix *Interchange) dispatch() {
 		// Re-frame the envelopes on this manager's stream; the argument
 		// payloads inside pass through as opaque bytes.
 		err := enc.EncodeFrame(batch, func(frame []byte) error {
-			return ix.router.SendTo(id, mq.Message{[]byte(frameTasks), frame})
+			return chaos.Frame(chaos.PointIxTasks, frame, func(fr []byte) error {
+				return ix.router.SendTo(id, mq.Message{[]byte(frameTasks), fr})
+			})
 		})
 		if err != nil {
 			// Send failed: the manager is gone; requeue via loss path.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/executor"
 	"repro/internal/mq"
 	"repro/internal/serialize"
@@ -150,6 +151,11 @@ func (m *Manager) recvLoop() {
 			}
 			batch, err := m.taskDec.Decode(msg[1])
 			if err != nil {
+				// Undecodable task stream: NACK so the interchange resyncs
+				// this manager's encoder and requeues what it was holding
+				// (codec.go). Without this, the lost frame's tasks would sit
+				// in the broker's outstanding set forever, leaking capacity.
+				_ = m.dealer.Send(mq.Message{[]byte(frameNack), nackPayload(msg[1])})
 				continue
 			}
 			for _, t := range batch {
@@ -176,6 +182,16 @@ func (m *Manager) recvLoop() {
 				m.canceled[id] = struct{}{}
 			}
 			m.mu.Unlock()
+		case frameNack:
+			// The interchange cannot decode this manager's RESULTS stream:
+			// resync to a fresh self-describing epoch. The interchange
+			// requeued our outstanding set when it sent the NACK, so the
+			// lost frame's results re-execute elsewhere (codec.go).
+			if len(msg) >= 2 {
+				if epoch := nackEpoch(msg[1]); epoch != 0 && m.resEnc.Epoch() == epoch {
+					m.resEnc.Reset()
+				}
+			}
 		}
 	}
 }
@@ -198,6 +214,13 @@ func (m *Manager) worker(workerID string) {
 		case <-m.done:
 			return
 		case w := <-m.tasks:
+			// Chaos: abrupt manager death mid-batch — no BYE, no result. The
+			// interchange's disconnect/heartbeat policing reports the held
+			// tasks LOST, and the DFK retry path re-executes them (§3.7).
+			if chaos.Kill(chaos.PointMgrKill, m.id) {
+				m.Stop()
+				return
+			}
 			if m.dropCanceled(w.ID) {
 				continue // struck by the interchange; never starts
 			}
@@ -238,7 +261,9 @@ func (m *Manager) resultLoop() {
 			return
 		}
 		_ = m.resEnc.Encode(batch, func(frame []byte) error {
-			return m.dealer.Send(mq.Message{[]byte(frameResults), frame})
+			return chaos.Frame(chaos.PointMgrResults, frame, func(fr []byte) error {
+				return m.dealer.Send(mq.Message{[]byte(frameResults), fr})
+			})
 		})
 		batch = nil
 	}

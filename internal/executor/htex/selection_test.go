@@ -53,8 +53,13 @@ func TestRoundRobinCompletesAll(t *testing.T)      { runSelection(t, SelectRound
 func TestRandomSelectionCompletesAll(t *testing.T) { runSelection(t, SelectRandom, 30) }
 
 func TestRoundRobinCyclesManagersEvenly(t *testing.T) {
-	// Direct policy check: three single-worker managers, batch size 1,
-	// round-robin — every manager must execute exactly n/3 tasks.
+	// Direct policy check: three serial managers, batch size 1, round-robin
+	// — every manager must execute exactly n/3 tasks. Each manager
+	// advertises capacity for its whole share (prefetch n/3 - 1), so all
+	// three stay dispatch-eligible until the queue is empty and the
+	// rotation is a pure function of arrival order. With capacity 1 the
+	// even split would instead depend on result-return timing (whichever
+	// manager freed first got the next task) — a load-dependent flake.
 	reg := trackingRegistry(t)
 	tr := simnet.NewNetwork(0)
 	ix, err := StartInterchange(tr, "ix-rr", InterchangeConfig{
@@ -68,7 +73,7 @@ func TestRoundRobinCyclesManagersEvenly(t *testing.T) {
 
 	var mgrs []*Manager
 	for _, id := range []string{"mgr-a", "mgr-b", "mgr-c"} {
-		m, err := StartManager(tr, ix.Addr(), id, reg, ManagerConfig{Workers: 1, HeartbeatPeriod: time.Hour})
+		m, err := StartManager(tr, ix.Addr(), id, reg, ManagerConfig{Workers: 1, Prefetch: 3, HeartbeatPeriod: time.Hour})
 		if err != nil {
 			t.Fatal(err)
 		}

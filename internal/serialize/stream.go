@@ -5,22 +5,43 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 	"sync/atomic"
 )
 
-// Frame tags. Every streamed frame starts with a 5-byte header: one tag byte
-// plus a big-endian uint32 stream epoch. The epoch identifies the sender's
-// encoder incarnation, letting a receiver detect a new stream (sender reset
-// or reconnect) and start a fresh decoder at exactly the right frame — the
-// first frame of a fresh gob stream is self-describing.
+// Frame tags. Every framed message starts with a 9-byte header: one tag
+// byte, a big-endian uint32 stream epoch, and a CRC-32C of the body. The
+// epoch identifies the sender's encoder incarnation, letting a receiver
+// detect a new stream (sender reset or reconnect) and start a fresh decoder
+// at exactly the right frame — the first frame of a fresh gob stream is
+// self-describing.
+//
+// The checksum exists because gob has no integrity protection of its own: a
+// frame corrupted in transit can decode *successfully* into wrong data — a
+// silently wrong task argument, or a result whose mangled id debits the
+// wrong broker bookkeeping entry (both were observed the moment the chaos
+// plane started flipping bytes). Verifying CRC-32C before any decode turns
+// every corruption into a loud, attributable frame error that the NACK
+// resync protocol (internal/executor/htex) can repair.
 const (
 	frameStream  byte = 0x01 // next message of the sender's persistent gob stream
 	frameOneShot byte = 0x02 // standalone self-describing gob stream
 )
 
-const frameHeaderLen = 5
+const frameHeaderLen = 9
+
+// crcTable is CRC-32C (Castagnoli) — hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameChecksum digests a frame's tag, epoch, and body (everything except
+// the checksum field itself), so corruption anywhere in the frame — body
+// bytes, the epoch, even the tag — is detected rather than misinterpreted.
+func frameChecksum(frame []byte) uint32 {
+	crc := crc32.Update(0, crcTable, frame[:5])
+	return crc32.Update(crc, crcTable, frame[frameHeaderLen:])
+}
 
 // epochSeq hands out globally unique stream epochs so no sender incarnation
 // can ever be mistaken for its predecessor.
@@ -88,12 +109,14 @@ func (e *StreamEncoder) frameLocked(v any) ([]byte, error) {
 	e.buf.Reset()
 	var hdr [frameHeaderLen]byte
 	hdr[0] = frameStream
-	binary.BigEndian.PutUint32(hdr[1:], e.epoch)
+	binary.BigEndian.PutUint32(hdr[1:5], e.epoch)
 	e.buf.Write(hdr[:])
 	if err := e.enc.Encode(v); err != nil {
 		return nil, err
 	}
-	return e.buf.Bytes(), nil
+	frame := e.buf.Bytes()
+	binary.BigEndian.PutUint32(frame[5:frameHeaderLen], frameChecksum(frame))
+	return frame, nil
 }
 
 // EncodeFrame encodes v on the persistent stream and hands the finished
@@ -138,7 +161,9 @@ func (OneShotCodec) EncodeFrame(v any, send func(frame []byte) error) error {
 	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("serialize: one-shot encode: %w", err)
 	}
-	return send(buf.Bytes())
+	frame := buf.Bytes()
+	binary.BigEndian.PutUint32(frame[5:frameHeaderLen], frameChecksum(frame))
+	return send(frame)
 }
 
 // frameFeed is the io.Reader a StreamDecoder's persistent gob.Decoder pulls
@@ -193,17 +218,28 @@ func PeekFrameEpoch(frame []byte) (epoch uint32, ok bool) {
 	if len(frame) < frameHeaderLen || frame[0] != frameStream {
 		return 0, false
 	}
-	return binary.BigEndian.Uint32(frame[1:frameHeaderLen]), true
+	return binary.BigEndian.Uint32(frame[1:5]), true
 }
 
-// DecodeFrame decodes one received frame into v.
+// DecodeFrame decodes one received frame into v. The body checksum is
+// verified before any gob state is touched: a corrupted frame fails loudly
+// here and can never decode into silently wrong data.
 func (d *StreamDecoder) DecodeFrame(frame []byte, v any) error {
 	if len(frame) < frameHeaderLen {
 		return fmt.Errorf("serialize: frame of %d bytes is shorter than the header", len(frame))
 	}
 	tag := frame[0]
-	epoch := binary.BigEndian.Uint32(frame[1:frameHeaderLen])
+	epoch := binary.BigEndian.Uint32(frame[1:5])
 	body := frame[frameHeaderLen:]
+	if want, got := binary.BigEndian.Uint32(frame[5:frameHeaderLen]), frameChecksum(frame); want != got {
+		if tag == frameStream {
+			// The sender's gob stream advanced past this frame (it may have
+			// carried type descriptors), so the rest of the epoch cannot be
+			// trusted; drop the stream and let the NACK/resync path repair it.
+			d.live = false
+		}
+		return fmt.Errorf("serialize: frame checksum mismatch (epoch %d): %08x != %08x", epoch, got, want)
+	}
 	switch tag {
 	case frameOneShot:
 		return gob.NewDecoder(bytes.NewReader(body)).Decode(v)

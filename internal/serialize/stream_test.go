@@ -354,3 +354,60 @@ func TestQuickStreamRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFrameChecksumDetectsEveryByteFlip is the integrity property the chaos
+// plane depends on: a frame with any single body byte flipped must fail
+// DecodeFrame — never decode silently into wrong data. (Before the CRC-32C
+// header field, a flipped byte inside a gob-encoded integer could decode
+// "successfully" and deliver a wrong task result; chaos seed 4 caught it.)
+func TestFrameChecksumDetectsEveryByteFlip(t *testing.T) {
+	enc := NewStreamEncoder()
+	var frames [][]byte
+	in := []ResultMsg{{ID: 77, Value: 12345, WorkerID: "w"}}
+	if err := enc.EncodeFrame(in, collect(&frames)); err != nil {
+		t.Fatal(err)
+	}
+	frame := frames[0]
+	for i := range frame {
+		cp := append([]byte(nil), frame...)
+		cp[i] ^= 0xA5
+		dec := NewStreamDecoder()
+		var out []ResultMsg
+		if err := dec.DecodeFrame(cp, &out); err == nil {
+			t.Fatalf("flip of byte %d decoded silently to %+v", i, out)
+		}
+	}
+	// And every truncation.
+	for n := 0; n < len(frame); n++ {
+		dec := NewStreamDecoder()
+		var out []ResultMsg
+		if err := dec.DecodeFrame(frame[:n], &out); err == nil {
+			t.Fatalf("truncation to %d bytes decoded silently", n)
+		}
+	}
+	// The pristine frame still decodes.
+	dec := NewStreamDecoder()
+	var out []ResultMsg
+	if err := dec.DecodeFrame(frame, &out); err != nil || out[0].ID != 77 {
+		t.Fatalf("pristine frame: %v %+v", err, out)
+	}
+}
+
+// TestOneShotChecksum: the one-shot framing carries the same integrity
+// guarantee.
+func TestOneShotChecksum(t *testing.T) {
+	var frames [][]byte
+	if err := (OneShotCodec{}).EncodeFrame([]ResultMsg{{ID: 9}}, collect(&frames)); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), frames[0]...)
+	frame[len(frame)-1] ^= 0x01
+	var out []ResultMsg
+	if err := NewStreamDecoder().DecodeFrame(frame, &out); err == nil {
+		t.Fatal("corrupted one-shot frame decoded")
+	}
+	var ok []ResultMsg
+	if err := NewStreamDecoder().DecodeFrame(frames[0], &ok); err != nil || ok[0].ID != 9 {
+		t.Fatalf("pristine one-shot: %v %+v", err, ok)
+	}
+}

@@ -10,6 +10,7 @@
 //	parsl-bench submission   priority dispatch + cancellation through App.Submit
 //	parsl-bench noisy        multi-tenant fairness + bounded admission under a burst
 //	parsl-bench chaos        fault-injection scenarios: recovery invariants under a seeded schedule
+//	parsl-bench graph        million-task DAG drain: makespan, peak RSS, record recycling
 //	parsl-bench all          everything above
 //
 // Latency, throughput-at-laptop-scale, and elasticity run on the real
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|graph|all>\n")
 		flag.PrintDefaults()
 	}
 	tasks := flag.Int("tasks", 1000, "tasks for the latency experiment")
@@ -36,6 +37,10 @@ func main() {
 	chaosSeed := flag.Int64("seed", 0, "chaos: run a single seed (0 = the default 1..5 matrix)")
 	chaosTasks := flag.Int("chaos-tasks", 240, "chaos: tasks per seed")
 	chaosVerbose := flag.Bool("chaos-verbose", false, "chaos: print the fired fault schedule even on PASS")
+	graphNodes := flag.Int("graph-nodes", 1_000_000, "graph: total DAG node count")
+	graphJSON := flag.String("graph-json", "", "graph: write the result JSON to this path")
+	graphRSSBudget := flag.Float64("graph-rss-budget", 0, "graph: fail if peak RSS exceeds base + this many bytes per task (0 = report only)")
+	graphRSSBase := flag.Int("graph-rss-base-mb", 256, "graph: fixed RSS allowance (MiB) excluded from the per-task budget")
 	flag.Parse()
 
 	cmd := "all"
@@ -77,6 +82,10 @@ func main() {
 		run("chaos: recovery under fault injection", func() error {
 			return runChaos(chaosSeeds(), *chaosTasks, *chaosVerbose)
 		})
+	case "graph":
+		run("million-task DAG drain", func() error {
+			return runGraph(*graphNodes, *graphJSON, *graphRSSBudget, *graphRSSBase)
+		})
 	case "all":
 		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
 		run("Fig. 4 (top): strong scaling", func() error { return runStrong(*full) })
@@ -88,6 +97,9 @@ func main() {
 		run("multi-tenant noisy neighbor", func() error { return runNoisy(*burst) })
 		run("chaos: recovery under fault injection", func() error {
 			return runChaos(chaosSeeds(), *chaosTasks, *chaosVerbose)
+		})
+		run("million-task DAG drain", func() error {
+			return runGraph(*graphNodes, *graphJSON, *graphRSSBudget, *graphRSSBase)
 		})
 	default:
 		flag.Usage()

@@ -33,7 +33,9 @@ func main() {
 		InitBlocks: 1,
 		Manager:    htex.ManagerConfig{Workers: 2},
 	})
-	d, err := parsl.New(dfk.Config{Registry: reg, Executors: []executor.Executor{tp, hx}})
+	// RetainRecords keeps terminal task records introspectable: the spread
+	// report below reads each task's executor label after the drain.
+	d, err := parsl.New(dfk.Config{Registry: reg, Executors: []executor.Executor{tp, hx}, RetainRecords: true})
 	if err != nil {
 		log.Fatal(err)
 	}

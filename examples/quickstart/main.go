@@ -83,5 +83,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("diamond dataflow result:", total) // (1+10)+(1+100) = 112
-	fmt.Println("tasks executed:", d.Graph().Len(), "edges:", d.Graph().EdgeCount())
+	// Terminal records are pruned and recycled as tasks settle, so the live
+	// graph is empty after the drain; RecycledNodes is the cumulative count.
+	d.WaitAll()
+	fmt.Println("tasks executed:", d.Graph().RecycledNodes(), "live records:", d.Graph().LiveNodes())
 }

@@ -73,7 +73,8 @@ func (g *gateExec) submitted() []string {
 func TestCancelBeforeDispatch(t *testing.T) {
 	ge := newGateExec("gate")
 	close(ge.gate) // open: this test must see zero submissions regardless
-	d, err := New(Config{Executors: []executor.Executor{ge}})
+	// RetainRecords: the test reads the canceled record's state afterwards.
+	d, err := New(Config{Executors: []executor.Executor{ge}, RetainRecords: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,8 @@ func TestCancelWhileQueuedInLane(t *testing.T) {
 // TestCancelAfterCompletion verifies canceling a finished task is a no-op:
 // the resolved value and terminal state are untouched.
 func TestCancelAfterCompletion(t *testing.T) {
-	d := newDFK(t, nil)
+	// RetainRecords: cancelTask is poked directly at the terminal record.
+	d := newDFK(t, func(c *Config) { c.RetainRecords = true })
 	app, err := d.PythonApp("echo", func(args []any, _ map[string]any) (any, error) { return args[0], nil })
 	if err != nil {
 		t.Fatal(err)

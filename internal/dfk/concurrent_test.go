@@ -44,6 +44,8 @@ func TestConcurrentSubmissionMixedDeps(t *testing.T) {
 			threadpool.New("tp-b", 4, reg),
 		},
 		DataManager: dm,
+		// This test audits every record after the drain, so keep them.
+		RetainRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -173,6 +175,7 @@ func TestLeastOutstandingPolicyRoutesAroundBusyExecutor(t *testing.T) {
 		Registry:        reg,
 		Executors:       []executor.Executor{a, b},
 		SchedulerPolicy: "least-outstanding",
+		RetainRecords:   true, // test reads Executor() off terminal records
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -250,6 +253,7 @@ func TestRoundRobinPolicyAlternates(t *testing.T) {
 			threadpool.New("y", 1, reg),
 		},
 		SchedulerPolicy: "round-robin",
+		RetainRecords:   true, // test reads Executor() off terminal records
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -300,6 +304,7 @@ func TestDispatchBatchesAcrossExecutors(t *testing.T) {
 			threadpool.New("e2", 2, reg),
 		},
 		DispatchBatch: 8,
+		RetainRecords: true, // test reads Executor() off terminal records
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -382,6 +387,8 @@ func TestQueuedTimeoutStillRetries(t *testing.T) {
 		Executors:   []executor.Executor{tp},
 		TaskTimeout: 60 * time.Millisecond,
 		Retries:     3,
+		// Attempts() is read off the terminal record below.
+		RetainRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -440,6 +447,8 @@ func TestPickErrorCompletesAttemptWithoutRetryEcho(t *testing.T) {
 		Scheduler:   rogueSched{},
 		TaskTimeout: 30 * time.Millisecond,
 		Retries:     2,
+		// Attempts()/State() are read off the terminal record below.
+		RetainRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -29,6 +29,8 @@ func newDataDFK(t *testing.T, opts ...data.ManagerOption) *DFK {
 		Registry:    reg,
 		Executors:   []executor.Executor{threadpool.New("tp", 4, reg)},
 		DataManager: dm,
+		// Data tests look for hidden staging tasks in the graph afterwards.
+		RetainRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -81,6 +81,12 @@ type Config struct {
 	// quota or its context is canceled; OverloadShed fails fast with
 	// ErrOverloaded.
 	OverloadPolicy string
+	// RetainRecords keeps terminal task records resident in the graph
+	// instead of pruning and recycling them, restoring the pre-reclamation
+	// behavior where Graph().Get/Tasks can inspect concluded tasks post
+	// hoc. Steady-state memory becomes O(total tasks) again — intended for
+	// tests and debugging, not million-task runs.
+	RetainRecords bool
 }
 
 // Overload policies for Config.OverloadPolicy.
@@ -134,7 +140,7 @@ type DFK struct {
 
 	schedr        sched.Scheduler
 	schedUsesLoad bool
-	queue         *fair.Queue[*pendingLaunch]
+	queue         *fair.MPSC[*pendingLaunch]
 	lanes         map[string]*lane
 	batchMax      int
 	// adm bounds live tasks per tenant at the submission boundary; nil when
@@ -166,7 +172,7 @@ func New(cfg Config) (*DFK, error) {
 		registry:  reg,
 		graph:     task.NewGraph(),
 		executors: make(map[string]executor.Executor, len(cfg.Executors)),
-		queue:     fair.NewQueue[*pendingLaunch](nil),
+		queue:     fair.NewMPSC(func(pl *pendingLaunch) string { return pl.tenant }),
 		batchMax:  cfg.DispatchBatch,
 	}
 	if d.batchMax <= 0 {
@@ -388,11 +394,16 @@ func (a *App) Submit(ctx context.Context, args []any, opts ...CallOption) *futur
 
 // SubmitKw is Submit with keyword arguments.
 func (a *App) SubmitKw(ctx context.Context, kwargs map[string]any, args []any, opts ...CallOption) *future.Future {
+	if len(opts) == 0 {
+		// Option-free fast path: &o below escapes into the opaque option
+		// funcs, heap-allocating on every call; plain submissions skip it.
+		return a.dfk.submit(ctx, a, args, kwargs, callOpts{})
+	}
 	var o callOpts
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return a.dfk.submit(ctx, a, args, kwargs, &o)
+	return a.dfk.submit(ctx, a, args, kwargs, o)
 }
 
 // Call invokes the app asynchronously with positional args, returning the
@@ -410,7 +421,12 @@ func (a *App) CallKw(kwargs map[string]any, args ...any) *future.Future {
 // submit is the core of App invocation: admit the submission against its
 // tenant's quota, build the task record, apply the per-call options, wire
 // dependency callbacks and the cancellation watcher, and launch when ready.
-func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]any, o *callOpts) *future.Future {
+//
+// The returned future is captured before anything that could conclude the
+// task: a synchronous terminal path (memo hit, dependency already failed)
+// retires the record, and a retired record may be recycled — its Future
+// field cleared — before submit returns.
+func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]any, o callOpts) *future.Future {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -420,8 +436,8 @@ func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]
 	// Admission runs before anything is allocated or registered: a shed (or
 	// canceled-while-blocked) submission leaves no trace in the graph. It
 	// must stay on the submitting goroutine — blocking here is safe because
-	// quota is released by completion callbacks that never pass through
-	// admission (see the invariant note in dispatch.go).
+	// quota is released by task-retirement bookkeeping that never passes
+	// through admission (see the invariant note in dispatch.go).
 	admitted := false
 	if d.adm != nil && !o.noAdmission {
 		waited, err := d.adm.Admit(ctx, o.tenant)
@@ -439,15 +455,12 @@ func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]
 		}
 		admitted = true
 	}
-	release := func() {
-		if admitted {
-			d.adm.Release(o.tenant)
-		}
-	}
 	d.mu.RLock()
 	if d.shutdown {
 		d.mu.RUnlock()
-		release()
+		if admitted {
+			d.adm.Release(o.tenant)
+		}
 		return future.FromError(executor.ErrShutdown)
 	}
 	d.wg.Add(1)
@@ -455,6 +468,13 @@ func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]
 
 	id := d.graph.NextID()
 	rec := task.NewRecord(id, a.name, args, kwargs)
+	fut := rec.Future
+	// The retire path releases the quota slot whichever way the task
+	// concluded — done, failed, memoized, or canceled — so admission
+	// accounting cannot leak.
+	if admitted {
+		rec.SetAdmitted()
+	}
 	rec.SetTenant(o.tenant, o.weight)
 	rec.SetMaxRetries(d.cfg.Retries)
 	if o.retries != nil {
@@ -475,18 +495,18 @@ func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]
 		rec.SetMemoKeyOverride(o.memoKey)
 	}
 	d.graph.Add(rec)
-	// Terminal futures release the tenant's quota slot whichever way the
-	// task concluded — done, failed, memoized, or canceled — so admission
-	// accounting cannot leak.
-	rec.Future.AddDoneCallback(func(*future.Future) {
-		release()
-		d.wg.Done()
-	})
+	gen := rec.Gen()
 	if ctx.Done() != nil {
 		stop := context.AfterFunc(ctx, func() {
+			if !rec.Enter(gen) {
+				return
+			}
 			d.cancelTask(rec, fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx)))
+			rec.Exit()
 		})
-		rec.Future.AddDoneCallback(func(*future.Future) { stop() })
+		// Retirement detaches the watcher (TakeCancelStop), replacing the
+		// seed's per-task done callback.
+		rec.SetCancelStop(stop)
 	}
 
 	// Collect dependencies: futures anywhere in args/kwargs, plus staging
@@ -514,12 +534,12 @@ func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]
 	d.emitState(rec, "", "pending")
 	if err := rec.SetState(task.Pending); err != nil {
 		d.failTask(rec, err)
-		return rec.Future
+		return fut
 	}
 
 	if len(deps) == 0 {
 		d.launch(rec, a)
-		return rec.Future
+		return fut
 	}
 
 	rec.SetPendingDeps(len(deps))
@@ -529,6 +549,13 @@ func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]
 		}
 		dep := dep
 		dep.AddDoneCallback(func(df *future.Future) {
+			// Edge callbacks can fire long after the task concluded on
+			// another path (dependency failure, cancellation); the
+			// generation check drops them once the record has moved on.
+			if !rec.Enter(gen) {
+				return
+			}
+			defer rec.Exit()
 			if err := df.Err(); err != nil {
 				d.failTask(rec, &DependencyError{TaskID: id, DepID: dep.TaskID, Err: err})
 				return
@@ -538,7 +565,7 @@ func (d *DFK) submit(ctx context.Context, a *App, args []any, kwargs map[string]
 			}
 		})
 	}
-	return rec.Future
+	return fut
 }
 
 // stageInTask creates the hidden data-transfer task for a remote file. HTTP
@@ -575,7 +602,7 @@ func (d *DFK) stageInTask(f *data.File) *future.Future {
 	// The transfer task returns the staged path; record the translation on
 	// the original *File here on the submit side, so it survives the
 	// executor serialization boundary.
-	inner := d.submit(context.Background(), stageApp, []any{f.URL}, nil, &callOpts{noAdmission: true})
+	inner := d.submit(context.Background(), stageApp, []any{f.URL}, nil, callOpts{noAdmission: true})
 	return future.Then(inner, func(v any) (any, error) {
 		p, ok := v.(string)
 		if !ok {
@@ -612,9 +639,16 @@ func (d *DFK) launch(rec *task.Record, a *App) {
 	if memoKey != "" {
 		rec.SetMemoKey(memoKey)
 		if v, hit := d.memoizer.Lookup(memoKey); hit {
-			d.emitState(rec, rec.State().String(), "memoized")
-			_ = rec.SetState(task.Memoized)
-			_ = rec.Future.SetResult(v)
+			// The payload built for the key was never installed on the
+			// record; drop its reference here (a memoized task ships no
+			// bytes anywhere).
+			payload.Release()
+			from := rec.State().String()
+			if rec.SetState(task.Memoized) == nil {
+				d.emitState(rec, from, "memoized")
+				_ = rec.Future.SetResult(v)
+				d.retire(rec)
+			}
 			return
 		}
 	}
@@ -631,10 +665,13 @@ func (d *DFK) launch(rec *task.Record, a *App) {
 		d.failTask(rec, encErr)
 		return
 	}
+	// The record owns the EncodeArgs reference (released at retirement);
+	// the attempt takes its own, released when the attempt settles.
 	rec.SetPayload(payload)
 	d.enqueueAttempt(&pendingLaunch{
-		rec: rec, app: a, args: args, kwargs: kwargs, payload: payload,
-		wireID: rec.ID, priority: rec.Priority(),
+		d: d, rec: rec, gen: rec.Gen(), app: a, args: args, kwargs: kwargs,
+		payload: payload.Retain(),
+		wireID:  rec.ID, priority: rec.Priority(),
 		tenant: rec.Tenant(), weight: rec.TenantWeight(),
 	})
 }
@@ -681,21 +718,78 @@ func (d *DFK) completeTask(rec *task.Record, a *App, v any) {
 			}
 		}
 	}
-	d.emitState(rec, rec.State().String(), "done")
-	_ = rec.SetState(task.Done)
+	from := rec.State().String()
+	if rec.SetState(task.Done) != nil {
+		// Lost the race to another terminal path (cancellation); that path
+		// settled the future and retires the record.
+		return
+	}
+	d.emitState(rec, from, "done")
 	_ = rec.Future.SetResult(v)
+	d.retire(rec)
 }
 
 // failTask wraps the exception and associates it with the future (§4.1).
-// Idempotent on terminal tasks, so a stale attempt racing its own retry
-// (or timeout) cannot emit duplicate failure events for a concluded task.
+// Idempotent on terminal tasks — SetState decides the exactly-once winner —
+// so a stale attempt racing its own retry (or timeout) cannot emit duplicate
+// failure events for, or double-retire, a concluded task.
 func (d *DFK) failTask(rec *task.Record, err error) {
 	if rec.State().Terminal() {
 		return
 	}
-	d.emitState(rec, rec.State().String(), "failed")
-	_ = rec.SetState(task.Failed)
+	from := rec.State().String()
+	if rec.SetState(task.Failed) != nil {
+		return
+	}
+	d.emitState(rec, from, "failed")
 	_ = rec.Future.SetError(fmt.Errorf("dfk: task %d (%s): %w", rec.ID, rec.AppName, err))
+	d.retire(rec)
+}
+
+// retire concludes a task's bookkeeping after its future settled: detach the
+// cancellation watcher, release the admission slot and the record's payload
+// reference, prune the record from the graph (unless Config.RetainRecords),
+// and count the task done for WaitAll. Exactly one terminal path reaches
+// here per task — the one whose SetState to a terminal state succeeded.
+// Dependents observed the future inside SetResult/SetError (done callbacks
+// run synchronously there), so pruning afterwards never hides a value a
+// dependent still needs: results live on futures, not records.
+func (d *DFK) retire(rec *task.Record) {
+	if stop := rec.TakeCancelStop(); stop != nil {
+		stop()
+	}
+	if rec.TakeAdmitted() {
+		d.adm.Release(rec.Tenant())
+	}
+	if d.cfg.RetainRecords {
+		d.wg.Done()
+		return
+	}
+	if p := rec.Payload(); p != nil {
+		rec.SetPayload(nil)
+		p.Release()
+	}
+	id := rec.ID
+	// After Graph.Retire the record may be recycled at any moment (as soon
+	// as outstanding holds drain); it must not be touched again.
+	pruned := d.graph.Retire(rec)
+	if pruned == 1 || pruned%1024 == 0 {
+		d.emitPrune(id, pruned)
+	}
+	d.wg.Done()
+}
+
+// emitPrune records a graph-reclamation event: emitted on a shard's first
+// prune and every 1024th after, so small runs still observe reclamation and
+// million-task runs don't pay a monitor event per task.
+func (d *DFK) emitPrune(id int64, pruned int64) {
+	d.mon.Emit(monitor.Event{
+		Kind:   monitor.KindGraph,
+		At:     time.Now(),
+		TaskID: id,
+		Detail: fmt.Sprintf("shard %d pruned %d records, %d live graph-wide",
+			task.Shard(id), pruned, d.graph.LiveNodes()),
+	})
 }
 
 // router picks executors for the tasks of one dispatch cycle. For
@@ -901,8 +995,43 @@ func collectFiles(args []any, kwargs map[string]any) []*data.File {
 }
 
 // resolveArgs replaces futures with their resolved values (deps are done by
-// the time this runs), recursing one level into []any.
+// the time this runs), recursing one level into []any. Argument lists with
+// no futures anywhere — the common case, and the whole hot path of a
+// dependency-free workload — are returned as-is without copying: the
+// encode-once payload, not the arg slice, is what isolates executors from
+// the submitting program.
 func resolveArgs(args []any, kwargs map[string]any) ([]any, map[string]any) {
+	hasFuture := func(v any) bool {
+		switch t := v.(type) {
+		case *future.Future:
+			return true
+		case []any:
+			for _, e := range t {
+				if _, ok := e.(*future.Future); ok {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	dirty := false
+	for _, a := range args {
+		if hasFuture(a) {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		for _, v := range kwargs {
+			if hasFuture(v) {
+				dirty = true
+				break
+			}
+		}
+	}
+	if !dirty {
+		return args, kwargs
+	}
 	res := func(v any) any {
 		switch t := v.(type) {
 		case *future.Future:

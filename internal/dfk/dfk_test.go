@@ -54,7 +54,8 @@ func TestSimpleAppInvocation(t *testing.T) {
 }
 
 func TestFuturePassingCreatesDependency(t *testing.T) {
-	d := newDFK(t, nil)
+	// RetainRecords keeps the edges visible after the chain drains.
+	d := newDFK(t, func(c *Config) { c.RetainRecords = true })
 	inc, err := d.PythonApp("inc", func(args []any, _ map[string]any) (any, error) {
 		time.Sleep(5 * time.Millisecond)
 		return args[0].(int) + 1, nil
@@ -123,7 +124,8 @@ func TestFuturesInsideSliceArgs(t *testing.T) {
 }
 
 func TestDependencyFailurePropagates(t *testing.T) {
-	d := newDFK(t, nil)
+	// RetainRecords: Attempts() is read off the failed record afterwards.
+	d := newDFK(t, func(c *Config) { c.RetainRecords = true })
 	bad, _ := d.PythonApp("bad", func([]any, map[string]any) (any, error) {
 		return nil, errors.New("upstream broke")
 	})
@@ -245,7 +247,7 @@ func TestExecutorHints(t *testing.T) {
 	regB := serialize.NewRegistry()
 	tpA := threadpool.New("cpu", 1, regA)
 	tpB := threadpool.New("gpu", 1, regB)
-	d, err := New(Config{Executors: []executor.Executor{tpA, tpB}, Seed: 42})
+	d, err := New(Config{Executors: []executor.Executor{tpA, tpB}, Seed: 42, RetainRecords: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +289,7 @@ func TestRandomExecutorSelectionCoversAll(t *testing.T) {
 	_ = regB.Register("spread", fn)
 	tpA := threadpool.New("ex-a", 2, regA)
 	tpB := threadpool.New("ex-b", 2, regB)
-	d, err := New(Config{Executors: []executor.Executor{tpA, tpB}, Seed: 7})
+	d, err := New(Config{Executors: []executor.Executor{tpA, tpB}, Seed: 7, RetainRecords: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,7 +444,7 @@ func TestMapReducePattern(t *testing.T) {
 func TestDynamicTaskGeneration(t *testing.T) {
 	// Tasks generating new tasks during execution (§3.4): each level
 	// submits the next from the program after observing a result.
-	d := newDFK(t, nil)
+	d := newDFK(t, func(c *Config) { c.RetainRecords = true })
 	step, _ := d.PythonApp("step", func(args []any, _ map[string]any) (any, error) {
 		return args[0].(int) + 1, nil
 	})

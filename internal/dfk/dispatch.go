@@ -13,25 +13,49 @@ import (
 	"repro/internal/task"
 )
 
-// pendingLaunch is one execution attempt waiting in the dispatch queue: the
-// task record, the app that produced it, and its fully resolved arguments.
-// Retries create a fresh pendingLaunch (sharing rec/app/args), so a stale
-// queue entry whose attempt already timed out can be recognized and skipped.
+// pendingLaunch is one execution attempt waiting in the dispatch pipeline:
+// the task record (with the generation stamp that validates it), the app that
+// produced it, and its fully resolved arguments. Retries create a fresh
+// pendingLaunch (sharing rec/app/args/payload), so a stale queue entry whose
+// attempt already timed out can be recognized and skipped.
+//
+// The struct is the hot path's one unavoidable allocation, so everything an
+// attempt needs lives inside it: the attempt future is embedded by value, the
+// executor-relay is an embedded struct registered as a DoneHook, and the
+// pendingLaunch itself is the DoneHook of its own attempt — no per-attempt
+// closures.
 type pendingLaunch struct {
-	rec    *task.Record
+	d   *DFK
+	rec *task.Record
+	// gen is rec's generation stamp captured at creation. Every pipeline
+	// stage revalidates with rec.Enter(gen) before touching the record, so
+	// an entry left in a queue after its task concluded (and its record was
+	// recycled for a new task) is recognized and dropped instead of
+	// corrupting the record's new occupant.
+	gen    uint32
 	app    *App
 	args   []any
 	kwargs map[string]any
 	// payload is the encode-once serialization of args/kwargs, built in
 	// launch and shared by every attempt: executors reuse the bytes for
 	// wire frames and defensive copies instead of re-encoding per attempt.
+	// Each pendingLaunch holds its own payload reference from creation
+	// until its attempt settles, so queued bytes can never be recycled
+	// under a pending attempt; the lane runner takes one more reference per
+	// executor submission, released when the executor future settles.
 	payload *serialize.Payload
-	// attempt is this attempt's outcome future. The TaskTimeout timer is
-	// armed against it when the attempt enters the dispatch queue — so a
-	// task stuck behind a backlogged lane times out on schedule — and the
-	// executor's result is forwarded into it after submission. Completing
-	// it (either way) triggers retry-or-finish handling exactly once.
-	attempt *future.Future
+	// attempt is this attempt's outcome future, embedded by value (the
+	// zero Future is pending). The TaskTimeout timer is armed against it
+	// when the attempt enters the dispatch queue — so a task stuck behind a
+	// backlogged lane times out on schedule — and the executor's result is
+	// forwarded into it after submission. Completing it (either way) fires
+	// the pendingLaunch's own FutureDone exactly once.
+	attempt future.Future
+	// relay forwards the executor future's outcome into attempt; registered
+	// as the executor future's DoneHook at submission.
+	relay execRelay
+	// timer is the attempt timeout, stopped when the attempt settles.
+	timer *time.Timer
 	// wireID identifies this attempt on the executor wire. The first
 	// attempt uses the task id; retries of a timed-out attempt draw a
 	// fresh id, because the abandoned attempt may still be in flight and
@@ -49,6 +73,42 @@ type pendingLaunch struct {
 	weight int
 }
 
+// FutureDone makes the pendingLaunch the DoneHook of its own attempt future:
+// stop the timeout clock, run retry-or-finish handling if the record is still
+// this attempt's generation, and drop the attempt's payload reference.
+func (pl *pendingLaunch) FutureDone(af *future.Future) {
+	if pl.timer != nil {
+		pl.timer.Stop()
+		pl.timer = nil
+	}
+	if pl.rec.Enter(pl.gen) {
+		pl.d.attemptDone(pl, af)
+		pl.rec.Exit()
+	}
+	pl.payload.Release()
+}
+
+// execRelay forwards an executor future's outcome into the attempt future as
+// the executor future's DoneHook. The relay loses the race against the
+// attempt's timeout timer harmlessly: a completed attempt future rejects
+// further writes. It also releases the per-submission payload reference the
+// lane runner took, which is what keeps the payload bytes alive for ghost
+// submissions (attempt timed out, executor still holds the frame).
+type execRelay struct {
+	pl *pendingLaunch
+}
+
+// FutureDone implements future.DoneHook.
+func (r *execRelay) FutureDone(ef *future.Future) {
+	pl := r.pl
+	if v, err := ef.Result(); err != nil {
+		_ = pl.attempt.SetError(err)
+	} else {
+		_ = pl.attempt.SetResult(v)
+	}
+	pl.payload.Release()
+}
+
 // laneLess orders one tenant's routed-but-unsubmitted attempts by dispatch
 // priority (higher first), breaking ties by wire id (lower first), so equal-
 // priority work keeps submission order and WithPriority is observable the
@@ -62,14 +122,19 @@ func laneLess(a, b *pendingLaunch) bool {
 	return a.wireID < b.wireID
 }
 
-// The dispatch pipeline's queues — the routing queue feeding the dispatcher
-// and the per-executor lanes feeding the lane runners — are deficit-round-
-// robin weighted fair queues (internal/fair) keyed by the submitting tenant.
-// A single-tenant program (the default) sees exactly the old behavior: FIFO
-// routing, priority-ordered lanes. With multiple tenants, each queue drains
-// tenants in proportion to their WithTenant weights, so one hot submitter
-// cannot head-of-line-block the others anywhere tasks wait on the client
-// side (the HTEX interchange applies the same discipline past the wire).
+// The dispatch pipeline's queues come in two shapes. The routing queue
+// feeding the dispatcher is a sharded MPSC queue (fair.MPSC) keyed by wire
+// id: submitters touch only their shard's mutex, so parallel submission
+// stops contending on a single queue head, and the single router drains the
+// shards round-robin. Routing is a fast hop with no waiting, so it carries
+// no fairness machinery of its own — the per-executor lanes feeding the lane
+// runners, where tasks actually wait, remain deficit-round-robin weighted
+// fair queues (fair.Queue) keyed by the submitting tenant. A single-tenant
+// program (the default) sees exactly the old behavior: FIFO routing,
+// priority-ordered lanes. With multiple tenants, each lane drains tenants in
+// proportion to their WithTenant weights, so one hot submitter cannot
+// head-of-line-block the others anywhere tasks wait on the client side (the
+// HTEX interchange applies the same discipline past the wire).
 //
 // Boundedness invariant: these queues are deliberately UNBOUNDED, and per-
 // tenant volume is bounded elsewhere — by admission control at the App.Submit
@@ -82,10 +147,11 @@ func laneLess(a, b *pendingLaunch) bool {
 // dependent launch is a worker that never drains the executor queue the
 // dispatcher is blocked on. Admission, in contrast, blocks only the
 // submitting goroutine, which holds no pipeline resources; its quota is
-// released by task-completion callbacks that never pass through it. So the
-// lanes cannot deadlock regardless of quota, policy, or executor backpressure
-// (an executor's blocking SubmitBatch stalls only its own lane runner), and
-// memory under overload is O(sum of tenant quotas), not O(submissions).
+// released by task-retirement bookkeeping that never passes through it. So
+// the lanes cannot deadlock regardless of quota, policy, or executor
+// backpressure (an executor's blocking SubmitBatch stalls only its own lane
+// runner), and memory under overload is O(sum of tenant quotas), not
+// O(submissions).
 
 // lane is the per-executor leg of the dispatch pipeline: a tenant-fair,
 // priority-ordered queue of routed tasks plus a runner goroutine that
@@ -108,9 +174,9 @@ func (l *lane) maxQueuedPriority() int {
 }
 
 // dispatcher is the DFK's routing pump: it drains ready tasks from the
-// routing queue in tenant-fair batches and asks the scheduler for a target
-// executor per task; the target's lane runner does the actual submission.
-// Replaces the seed's inline launch-on-the-callback-goroutine path.
+// sharded routing queue and asks the scheduler for a target executor per
+// task; the target's lane runner does the actual submission. Replaces the
+// seed's inline launch-on-the-callback-goroutine path.
 func (d *DFK) dispatcher() {
 	defer d.dispatchWG.Done()
 	for {
@@ -120,16 +186,26 @@ func (d *DFK) dispatcher() {
 		}
 		route := d.newRouter()
 		for _, pl := range batch {
+			if pl.attempt.Done() {
+				continue
+			}
+			if !pl.rec.Enter(pl.gen) {
+				// The task concluded and its record was recycled while this
+				// entry sat in the routing queue; nothing left to route.
+				continue
+			}
 			ex, err := route.pick(pl.rec.Hints, pl.priority)
 			if err != nil {
-				// Fail the task first, then complete the attempt: the
-				// done-callback stops the timeout timer, and attemptDone's
-				// terminal guard keeps it from re-processing the failure.
+				// Fail the task first, then complete the attempt: the done
+				// hook stops the timeout timer, and attemptDone's terminal
+				// guard keeps it from re-processing the failure.
 				d.failTask(pl.rec, err)
+				pl.rec.Exit()
 				_ = pl.attempt.SetError(err)
 				continue
 			}
 			pl.rec.SetExecutor(ex.Label())
+			pl.rec.Exit()
 			l := d.lanes[ex.Label()]
 			l.queued.Add(1)
 			l.queue.Push(pl.tenant, pl.weight, pl)
@@ -142,6 +218,12 @@ func (d *DFK) dispatcher() {
 // the executor's native BatchSubmitter when it has one.
 func (d *DFK) laneRunner(l *lane) {
 	defer d.laneWG.Done()
+	// Per-runner scratch, reused across batches. Safe because both
+	// BatchSubmitter implementations consume msgs synchronously (htex copies
+	// each TaskMsg into its inflight map, threadpool into channel items) and
+	// the per-task Submit fallback passes TaskMsg by value.
+	var msgs []serialize.TaskMsg
+	var live []*pendingLaunch
 	for {
 		batch, ok := l.queue.Take(d.batchMax)
 		if !ok {
@@ -151,15 +233,15 @@ func (d *DFK) laneRunner(l *lane) {
 		// keep aging against their attempt timers, which is the contract
 		// enqueueAttempt promises (the clock runs while they queue).
 		chaos.Sleep(chaos.PointLaneDelay, l.ex.Label())
-		msgs := make([]serialize.TaskMsg, 0, len(batch))
-		live := make([]*pendingLaunch, 0, len(batch))
+		msgs = msgs[:0]
+		live = live[:0]
 		for _, pl := range batch {
 			if pl.attempt.Done() {
 				// The attempt timed out while queued; its retry (if any)
 				// is a separate queue entry. Best-effort skip — if the
 				// timer wins the race after this check, the stale attempt
 				// is still submitted as a ghost: its remote result
-				// reconciles by wire id, the forward below is a no-op on
+				// reconciles by wire id, the relay below is a no-op on
 				// the already-failed attempt future, and its SetState
 				// interleaves harmlessly with the retry's (same-state
 				// transitions no-op; failTask skips terminal tasks).
@@ -172,20 +254,30 @@ func (d *DFK) laneRunner(l *lane) {
 				_ = pl.attempt.SetError(err)
 				continue
 			}
+			if !pl.rec.Enter(pl.gen) {
+				// Record already recycled (task concluded elsewhere with the
+				// attempt settled); drop the stale entry.
+				continue
+			}
 			d.emitState(pl.rec, pl.rec.State().String(), "launched")
 			if err := pl.rec.SetState(task.Launched); err != nil {
 				d.failTask(pl.rec, err)
+				pl.rec.Exit()
 				_ = pl.attempt.SetError(err) // stop the timer, see dispatcher
 				continue
 			}
+			pl.rec.Exit()
 			m := serialize.TaskMsg{
 				ID: pl.wireID, App: pl.app.name, Args: pl.args, Kwargs: pl.kwargs,
 				Priority: pl.priority, Tenant: pl.tenant, Weight: pl.weight,
 			}
-			// Ride the encode-once payload onto the wire message: remote
+			// Ride the encode-once payload onto the wire message — remote
 			// executors frame its bytes verbatim, in-process ones decode
-			// their defensive copy from it.
-			m.AttachPayload(pl.payload)
+			// their defensive copy from it — holding one reference for the
+			// executor leg, released by the relay when the executor future
+			// settles. The attempt's own reference (still held here) makes
+			// the Retain safe: the payload cannot have been recycled.
+			m.AttachPayload(pl.payload.Retain())
 			msgs = append(msgs, m)
 			live = append(live, pl)
 		}
@@ -193,11 +285,11 @@ func (d *DFK) laneRunner(l *lane) {
 			if bs, ok := l.ex.(executor.BatchSubmitter); ok {
 				futs := bs.SubmitBatch(msgs)
 				for i, pl := range live {
-					forward(futs[i], pl.attempt)
+					futs[i].SetDoneHook(&pl.relay)
 				}
 			} else {
 				for i, m := range msgs {
-					forward(l.ex.Submit(m), live[i].attempt)
+					l.ex.Submit(m).SetDoneHook(&live[i].relay)
 				}
 			}
 		}
@@ -209,29 +301,16 @@ func (d *DFK) laneRunner(l *lane) {
 	}
 }
 
-// forward relays an executor future's outcome into the attempt future. The
-// relay loses the race against the attempt's timeout timer harmlessly: a
-// completed attempt future rejects further writes.
-func forward(execFut, attempt *future.Future) {
-	execFut.AddDoneCallback(func(ef *future.Future) {
-		if v, err := ef.Result(); err != nil {
-			_ = attempt.SetError(err)
-		} else {
-			_ = attempt.SetResult(v)
-		}
-	})
-}
-
 // enqueueAttempt arms one execution attempt — its outcome future, the
-// timeout timer against it, and the retry-or-finish handler — and hands
-// it to the dispatch queue. Arming the timer here, not after submission,
-// is what makes the timeout contract hold for tasks stuck behind a
-// backlogged lane: the clock runs while they queue. The per-call
-// WithTimeout/WithDeadline options override Config.TaskTimeout; a deadline
-// bounds each attempt by the wall-clock time remaining.
+// timeout timer against it, and the retry-or-finish hook — and hands it to
+// the routing queue. Arming the timer here, not after submission, is what
+// makes the timeout contract hold for tasks stuck behind a backlogged lane:
+// the clock runs while they queue. The per-call WithTimeout/WithDeadline
+// options override Config.TaskTimeout; a deadline bounds each attempt by the
+// wall-clock time remaining.
 func (d *DFK) enqueueAttempt(pl *pendingLaunch) {
-	pl.attempt = future.New()
-	pl.rec.SetAttempt(pl.attempt, pl.wireID)
+	pl.relay.pl = pl
+	pl.rec.SetAttempt(&pl.attempt, pl.wireID)
 	dur := d.cfg.TaskTimeout
 	if t := pl.rec.Timeout(); t > 0 {
 		dur = t
@@ -246,6 +325,7 @@ func (d *DFK) enqueueAttempt(pl *pendingLaunch) {
 			// the attempt keeps attemptDone's terminal guard from retrying.
 			err := fmt.Errorf("%w: deadline %v already passed", ErrTimeout, dl.Format(time.RFC3339Nano))
 			d.failTask(pl.rec, err)
+			pl.attempt.SetDoneHook(pl)
 			_ = pl.attempt.SetError(err)
 			return
 		}
@@ -253,19 +333,13 @@ func (d *DFK) enqueueAttempt(pl *pendingLaunch) {
 			dur = rem
 		}
 	}
-	var timer *time.Timer
 	if dur > 0 {
-		timer = time.AfterFunc(dur, func() {
+		pl.timer = time.AfterFunc(dur, func() {
 			_ = pl.attempt.SetError(fmt.Errorf("%w after %v", ErrTimeout, dur))
 		})
 	}
-	pl.attempt.AddDoneCallback(func(af *future.Future) {
-		if timer != nil {
-			timer.Stop()
-		}
-		d.attemptDone(pl, af)
-	})
-	d.queue.Push(pl.tenant, pl.weight, pl)
+	pl.attempt.SetDoneHook(pl)
+	d.queue.Push(pl.wireID, pl)
 }
 
 // attemptDone handles one attempt's outcome: completion, or retry through
@@ -273,7 +347,8 @@ func (d *DFK) enqueueAttempt(pl *pendingLaunch) {
 // task by resubmitting it to an executor"). A retry re-enters the dispatch
 // queue as a fresh attempt, so the scheduler re-picks an executor from
 // current load — a task lost with a dying executor naturally drains toward
-// a healthier one.
+// a healthier one. Runs inside the caller's Enter/Exit window, so the record
+// is valid throughout even if this call retires it.
 func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
 	if pl.rec.State().Terminal() {
 		// The task already failed on a dispatch-side path (which completes
@@ -316,11 +391,13 @@ func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
 			// (the timed-out attempt may still be running remotely under
 			// the old one; ids are drawn from the task id sequence, so
 			// they never collide with any task's first-attempt id).
-			// The retry reuses the encode-once payload: resubmission costs
-			// zero re-serialization no matter how many attempts it takes.
+			// The retry reuses the encode-once payload — resubmission costs
+			// zero re-serialization no matter how many attempts it takes —
+			// taking its own reference before the old attempt's drops.
 			next := &pendingLaunch{
-				rec: pl.rec, app: pl.app, args: pl.args, kwargs: pl.kwargs,
-				payload: pl.payload,
+				d: d, rec: pl.rec, gen: pl.gen, app: pl.app,
+				args: pl.args, kwargs: pl.kwargs,
+				payload: pl.payload.Retain(),
 				wireID:  d.graph.NextID(), priority: pl.priority,
 				tenant: pl.tenant, weight: pl.weight,
 			}

@@ -131,7 +131,7 @@ func TestMultiSiteExecution(t *testing.T) {
 		Manager:    htex.ManagerConfig{Workers: 2},
 	})
 	lx := llex.New(llex.Config{Label: "interactive", Transport: simnet.NewNetwork(0), Registry: reg, Workers: 1})
-	d, err := New(Config{Seed: 3, Registry: reg, Executors: []executor.Executor{hx, lx}})
+	d, err := New(Config{Seed: 3, Registry: reg, Executors: []executor.Executor{hx, lx}, RetainRecords: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestRetryRecoversFromManagerLoss(t *testing.T) {
 			Seed: 1, HeartbeatPeriod: 30 * time.Millisecond, HeartbeatThreshold: 150 * time.Millisecond,
 		},
 	})
-	d, err := New(Config{Seed: 1, Registry: reg, Executors: []executor.Executor{ex}, Retries: 2})
+	d, err := New(Config{Seed: 1, Registry: reg, Executors: []executor.Executor{ex}, Retries: 2, RetainRecords: true})
 	if err != nil {
 		t.Fatal(err)
 	}

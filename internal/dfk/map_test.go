@@ -101,7 +101,8 @@ func TestChain(t *testing.T) {
 }
 
 func TestMapWithFutureInputsBuildsDAG(t *testing.T) {
-	d := newDFK(t, nil)
+	// RetainRecords keeps the DAG edges countable after the drain.
+	d := newDFK(t, func(c *Config) { c.RetainRecords = true })
 	inc, _ := d.PythonApp("incmap", func(args []any, _ map[string]any) (any, error) {
 		return args[0].(int) + 1, nil
 	})

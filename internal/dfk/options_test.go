@@ -19,7 +19,7 @@ func TestWithExecutorOverridesHints(t *testing.T) {
 	reg := serialize.NewRegistry()
 	a := threadpool.New("pool-a", 1, reg)
 	b := threadpool.New("pool-b", 1, reg)
-	d, err := New(Config{Registry: reg, Executors: []executor.Executor{a, b}, Seed: 3})
+	d, err := New(Config{Registry: reg, Executors: []executor.Executor{a, b}, Seed: 3, RetainRecords: true})
 	if err != nil {
 		t.Fatal(err)
 	}

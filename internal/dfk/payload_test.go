@@ -46,7 +46,8 @@ func (s *payloadSpy) Submit(msg serialize.TaskMsg) *future.Future {
 // the same bytes are recorded on the task record.
 func TestDispatchAttachesEncodeOncePayload(t *testing.T) {
 	spy := &payloadSpy{failN: 2}
-	d, err := New(Config{Executors: []executor.Executor{spy}, Retries: 3, Seed: 1})
+	// RetainRecords: the record's payload pointer is inspected afterwards.
+	d, err := New(Config{Executors: []executor.Executor{spy}, Retries: 3, Seed: 1, RetainRecords: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,160 @@
+package dfk
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/future"
+	"repro/internal/monitor"
+)
+
+// TestRecycleReclaimsTerminalRecords drains a batch and asserts the graph
+// kept nothing: every record pruned and recycled, futures still readable
+// (they are deliberately not pooled), and the monitor saw reclamation.
+func TestRecycleReclaimsTerminalRecords(t *testing.T) {
+	store := monitor.NewStore()
+	d := newDFK(t, func(c *Config) { c.Monitor = store })
+	dbl, err := d.PythonApp("dbl-recycle", func(args []any, _ map[string]any) (any, error) {
+		return args[0].(int) * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	futs := make([]*future.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = dbl.Call(i)
+	}
+	d.WaitAll()
+	if live := d.Graph().LiveNodes(); live != 0 {
+		t.Fatalf("LiveNodes = %d after drain, want 0", live)
+	}
+	if rec := d.Graph().RecycledNodes(); rec != n {
+		t.Fatalf("RecycledNodes = %d, want %d", rec, n)
+	}
+	// The AppFuture outlives its record: results readable post-recycle.
+	for i, f := range futs {
+		v, err := f.Result()
+		if err != nil || v != i*2 {
+			t.Fatalf("task %d after recycle: %v, %v", i, v, err)
+		}
+	}
+	if events := store.Events(monitor.KindGraph); len(events) == 0 {
+		t.Fatal("no graph-reclamation events emitted")
+	}
+}
+
+// TestRecycledRecordsCarryNoGhostState reuses pooled records across waves:
+// a second wave must see fresh state, not residue from the first, and the
+// recycled tally accumulates.
+func TestRecycledRecordsCarryNoGhostState(t *testing.T) {
+	d := newDFK(t, nil)
+	inc, err := d.PythonApp("inc-recycle", func(args []any, _ map[string]any) (any, error) {
+		return args[0].(int) + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wave = 100
+	for w := 0; w < 2; w++ {
+		for i := 0; i < wave; i++ {
+			if v, err := inc.Call(w*1000 + i).Result(); err != nil || v != w*1000+i+1 {
+				t.Fatalf("wave %d task %d: %v, %v", w, i, v, err)
+			}
+		}
+		d.WaitAll()
+	}
+	if rec := d.Graph().RecycledNodes(); rec != 2*wave {
+		t.Fatalf("RecycledNodes = %d, want %d", rec, 2*wave)
+	}
+}
+
+// TestRecycleAcrossDependencyChain recycles upstream records while their
+// futures still feed dependents: the chain must resolve correctly because
+// dependency edges hold futures, never record pointers.
+func TestRecycleAcrossDependencyChain(t *testing.T) {
+	d := newDFK(t, nil)
+	inc, err := d.PythonApp("inc-chain", func(args []any, _ map[string]any) (any, error) {
+		return args[0].(int) + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := inc.Call(0)
+	for i := 0; i < 50; i++ {
+		f = inc.Call(f)
+	}
+	if v, err := f.Result(); err != nil || v != 51 {
+		t.Fatalf("chain tail = %v, %v (want 51)", v, err)
+	}
+	d.WaitAll()
+	if live := d.Graph().LiveNodes(); live != 0 {
+		t.Fatalf("LiveNodes = %d after chain drain, want 0", live)
+	}
+}
+
+// TestRetainRecordsKeepsGraph: the introspection escape hatch disables
+// pruning so terminal records stay queryable.
+func TestRetainRecordsKeepsGraph(t *testing.T) {
+	d := newDFK(t, func(c *Config) { c.RetainRecords = true })
+	noop, err := d.PythonApp("noop-retain", func([]any, map[string]any) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if _, err := noop.Call(i).Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.WaitAll()
+	if live := d.Graph().LiveNodes(); live != n {
+		t.Fatalf("LiveNodes = %d with RetainRecords, want %d", live, n)
+	}
+	if rec := d.Graph().RecycledNodes(); rec != 0 {
+		t.Fatalf("RecycledNodes = %d with RetainRecords, want 0", rec)
+	}
+	if got := len(d.Graph().Tasks()); got != n {
+		t.Fatalf("Tasks() = %d records, want %d", got, n)
+	}
+}
+
+// TestLateAttemptSettleAfterRecycleIsNoOp times an attempt out (failing and
+// recycling the task) while the executor is still running it; the executor's
+// eventual result relays into an already-settled attempt future against a
+// recycled record. That late settle must be a clean no-op: no panic from the
+// use-after-recycle guard, no resurrected state, graph fully reclaimed.
+func TestLateAttemptSettleAfterRecycleIsNoOp(t *testing.T) {
+	d := newDFK(t, nil)
+	release := make(chan struct{})
+	slow, err := d.PythonApp("slow-recycle", func([]any, map[string]any) (any, error) {
+		<-release
+		return "too late", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := slow.Submit(context.Background(), nil, WithTimeout(20*time.Millisecond))
+	if _, err := fut.Result(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error = %v, want ErrTimeout", err)
+	}
+	d.WaitAll() // task concluded and retired; worker still parked
+	if live := d.Graph().LiveNodes(); live != 0 {
+		t.Fatalf("LiveNodes = %d after timeout conclusion, want 0", live)
+	}
+	// Unpark the worker: its success now chases a recycled record.
+	close(release)
+	// Shutdown (via cleanup) joins the worker; give the relay a moment first
+	// so the late settle actually runs under this test.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := fut.Result(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("late executor success resurrected the task: %v", err)
+	}
+	if rec := d.Graph().RecycledNodes(); rec != 1 {
+		t.Fatalf("RecycledNodes = %d, want 1", rec)
+	}
+}

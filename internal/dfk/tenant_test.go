@@ -29,6 +29,8 @@ func TestTenantConcurrentSubmission(t *testing.T) {
 	d, err := New(Config{
 		Registry:  reg,
 		Executors: []executor.Executor{threadpool.New("tp", 4, reg)},
+		// Per-tenant counts are tallied off the terminal records below.
+		RetainRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +93,8 @@ func TestTenantQuotaShed(t *testing.T) {
 		Monitor:           store,
 		MaxTasksPerTenant: 2,
 		OverloadPolicy:    OverloadShed,
+		// Graph().Len() before/after comparisons need stable residency.
+		RetainRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -201,6 +201,12 @@ func (e *Executor) handleNack(epoch uint32) {
 	e.mu.Lock()
 	msgs := make([]serialize.TaskMsg, 0, len(e.inflight))
 	for _, m := range e.inflight {
+		// Retain each snapshot entry under the lock: the framing below runs
+		// unlocked, racing completions that drop the inflight reference, and
+		// a recycled payload buffer must not reach the wire.
+		if p := m.Payload(); p != nil {
+			p.Retain()
+		}
 		msgs = append(msgs, m)
 	}
 	e.mu.Unlock()
@@ -216,6 +222,9 @@ func (e *Executor) handleNack(epoch uint32) {
 		}
 	}
 	_ = e.sendTasks(wires)
+	for i := range msgs {
+		msgs[i].Payload().Release()
+	}
 }
 
 // sendTasks frames one task batch onto the (chaos-instrumented) client wire.
@@ -227,11 +236,21 @@ func (e *Executor) sendTasks(wires []serialize.WireTask) error {
 	})
 }
 
+// dropInflightLocked removes id's inflight entry and releases its payload
+// reference. Called with e.mu held at every site that deletes from inflight,
+// so the retain taken at registration is paired exactly once.
+func (e *Executor) dropInflightLocked(id int64) {
+	if m, ok := e.inflight[id]; ok {
+		delete(e.inflight, id)
+		m.Payload().Release()
+	}
+}
+
 func (e *Executor) complete(r serialize.ResultMsg) {
 	e.mu.Lock()
 	fut, ok := e.pending[r.ID]
 	delete(e.pending, r.ID)
-	delete(e.inflight, r.ID)
+	e.dropInflightLocked(r.ID)
 	e.mu.Unlock()
 	if !ok {
 		return
@@ -244,7 +263,7 @@ func (e *Executor) fail(id int64, err error) {
 	e.mu.Lock()
 	fut, ok := e.pending[id]
 	delete(e.pending, id)
-	delete(e.inflight, id)
+	e.dropInflightLocked(id)
 	e.mu.Unlock()
 	if !ok {
 		return
@@ -283,8 +302,18 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 		}
 		return futs
 	}
+	// Two payload references per task: one for the inflight registry (the
+	// NACK retransmission source, released when the entry leaves the map)
+	// and one pinning the bytes across the framing below — a Cancel racing
+	// this batch can drop the inflight reference before Wire() runs, and
+	// the send leg must never frame a recycled buffer.
+	held := make([]*serialize.Payload, len(msgs))
 	for i, m := range msgs {
 		e.pending[m.ID] = futs[i]
+		if p := m.Payload(); p != nil {
+			held[i] = p.Retain()
+			p.Retain()
+		}
 		e.inflight[m.ID] = m
 	}
 	e.mu.Unlock()
@@ -304,14 +333,15 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 		}
 		wires = append(wires, w)
 	}
-	if len(wires) == 0 {
-		return futs
-	}
-	err := e.sendTasks(wires)
-	if err != nil {
-		for _, w := range wires {
-			e.fail(w.ID, fmt.Errorf("htex: submit batch: %w", err))
+	if len(wires) > 0 {
+		if err := e.sendTasks(wires); err != nil {
+			for _, w := range wires {
+				e.fail(w.ID, fmt.Errorf("htex: submit batch: %w", err))
+			}
 		}
+	}
+	for _, p := range held {
+		p.Release()
 	}
 	return futs
 }
@@ -327,7 +357,7 @@ func (e *Executor) Cancel(wireID int64) bool {
 	fut, ok := e.pending[wireID]
 	if ok {
 		delete(e.pending, wireID)
-		delete(e.inflight, wireID)
+		e.dropInflightLocked(wireID)
 	}
 	dealer := e.dealer
 	e.mu.Unlock()
@@ -515,6 +545,9 @@ func (e *Executor) Shutdown() error {
 	e.blocks = nil
 	pending := e.pending
 	e.pending = make(map[int64]*future.Future)
+	for _, m := range e.inflight {
+		m.Payload().Release()
+	}
 	e.inflight = make(map[int64]serialize.TaskMsg)
 	e.mu.Unlock()
 

@@ -227,16 +227,25 @@ func (m *Manager) worker(workerID string) {
 			// First and only decode of the argument payload, on the
 			// goroutine that executes it — the decode is the worker's
 			// private deep copy, so no further isolation copy is needed.
-			t, err := w.Task()
+			// The wire frame's bytes go straight to the decoder
+			// (DecodeArgsBytes); no intermediate Payload wrapper, no copy
+			// of the buffer, and the stack-built TaskMsg carries only the
+			// decoded values into the kernel.
+			args, kwargs, err := serialize.DecodeArgsBytes(w.P)
 			if err != nil {
 				select {
-				case m.results <- serialize.ResultMsg{ID: w.ID, WorkerID: workerID, Err: err.Error()}:
+				case m.results <- serialize.ResultMsg{ID: w.ID, WorkerID: workerID,
+					Err: fmt.Sprintf("decode task %d: %v", w.ID, err)}:
 				case <-m.done:
 					return
 				}
 				continue
 			}
-			res := executor.RunKernel(m.reg, t, workerID)
+			res := executor.RunKernel(m.reg, serialize.TaskMsg{
+				ID: w.ID, App: w.App, Priority: w.Priority,
+				Tenant: w.Tenant, Weight: w.Weight,
+				Args: args, Kwargs: kwargs,
+			}, workerID)
 			m.mu.Lock()
 			m.executed++
 			m.mu.Unlock()
@@ -265,7 +274,12 @@ func (m *Manager) resultLoop() {
 				return m.dealer.Send(mq.Message{[]byte(frameResults), fr})
 			})
 		})
-		batch = nil
+		// The gob encode above copied the batch into the encoder's frame
+		// buffer synchronously (and the stream encoder reuses that buffer
+		// across frames — see serialize.StreamEncoder), so the slice can be
+		// reused in place: result batching allocates once per manager, not
+		// once per flush.
+		batch = batch[:0]
 	}
 	for {
 		select {

@@ -1,0 +1,184 @@
+package fair
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// mpscBatchCap matches the DRR queue's pooled batch capacity.
+const mpscBatchCap = 256
+
+// mpscShards is the shard count of an MPSC queue: a power of two matching
+// the task graph's shard count, so a graph shard maps to a dispatch lane
+// 1:1. Dense wire ids spread uniformly across shards by masking.
+const mpscShards = 32
+
+// MPSC is a sharded multi-producer single-consumer queue: the routing stage
+// of the dispatch pipeline. Submitting goroutines push into the shard named
+// by their item's key (graph-shard of the wire id), touching only that
+// shard's mutex, so parallel submitters no longer contend on one queue head;
+// the single router goroutine sweeps the shards round-robin.
+//
+// Compared to Queue (the DRR fair queue), MPSC deliberately does NOT
+// schedule between tenants: routing is a fast, short hop, and waiting — the
+// place where fairness matters — happens at the per-executor lanes, which
+// remain DRR Queues. MPSC keeps per-tenant occupancy observable (PerTenant)
+// so admission backlog accounting is unchanged.
+//
+// The boundedness contract matches the routing Queue it replaces: Push never
+// blocks and never fails (it must be callable from future callbacks, which
+// may not stall the completing goroutine); total occupancy is bounded
+// externally by the DFK's admission controller.
+type MPSC[T any] struct {
+	// tenantOf extracts the fairness tenant from an item, for PerTenant.
+	tenantOf func(T) string
+
+	size   atomic.Int64
+	closed atomic.Bool
+
+	// notify holds at most one wake-up token for the consumer; producers
+	// send non-blocking after publishing, so a sleeping consumer always
+	// finds either the token or a non-zero size.
+	notify   chan struct{}
+	closedCh chan struct{}
+
+	// cursor is consumer-owned: the next shard the sweep starts from, so
+	// no shard is starved when the consumer takes less than everything.
+	cursor int
+
+	batchPool sync.Pool
+
+	shards [mpscShards]mpscShard[T]
+}
+
+// mpscShard is one producer-side lane. The pad keeps hot shard headers on
+// separate cache lines.
+type mpscShard[T any] struct {
+	mu    sync.Mutex
+	items []T
+	_     [40]byte
+}
+
+// NewMPSC returns an empty queue. tenantOf maps an item to its fairness
+// tenant (used only for occupancy reporting).
+func NewMPSC[T any](tenantOf func(T) string) *MPSC[T] {
+	m := &MPSC[T]{
+		tenantOf: tenantOf,
+		notify:   make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+	}
+	m.batchPool.New = func() any { return make([]T, 0, mpscBatchCap) }
+	return m
+}
+
+// Push enqueues item on the shard selected by key. It never blocks: the
+// shard lock is held only for an append. Pushes after Close are dropped
+// (the pipeline is shutting down; admission has already stopped admitting).
+func (m *MPSC[T]) Push(key int64, item T) {
+	if m.closed.Load() {
+		return
+	}
+	s := &m.shards[uint64(key)&(mpscShards-1)]
+	s.mu.Lock()
+	s.items = append(s.items, item)
+	// Counted inside the critical section so the consumer's size view never
+	// lags items it can already observe under the shard lock.
+	m.size.Add(1)
+	s.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Take returns a batch of up to max items, blocking while the queue is open
+// and empty. It returns ok=false only when the queue is closed and fully
+// drained. Single consumer only. Return exhausted batches with PutBatch.
+func (m *MPSC[T]) Take(max int) ([]T, bool) {
+	if max <= 0 {
+		max = mpscBatchCap
+	}
+	for {
+		if m.size.Load() > 0 {
+			if batch := m.sweep(max); len(batch) > 0 {
+				return batch, true
+			}
+		}
+		if m.closed.Load() && m.size.Load() == 0 {
+			return nil, false
+		}
+		select {
+		case <-m.notify:
+		case <-m.closedCh:
+			// Re-check: drain whatever remains, then report closed.
+			if m.size.Load() == 0 {
+				return nil, false
+			}
+		}
+	}
+}
+
+// sweep collects up to max items starting at the consumer cursor.
+func (m *MPSC[T]) sweep(max int) []T {
+	batch := m.batchPool.Get().([]T)
+	var zero T
+	for i := 0; i < mpscShards && len(batch) < max; i++ {
+		s := &m.shards[(m.cursor+i)&(mpscShards-1)]
+		s.mu.Lock()
+		take := len(s.items)
+		if room := max - len(batch); take > room {
+			take = room
+		}
+		if take > 0 {
+			batch = append(batch, s.items[:take]...)
+			n := copy(s.items, s.items[take:])
+			for j := n; j < len(s.items); j++ {
+				s.items[j] = zero
+			}
+			s.items = s.items[:n]
+			m.size.Add(int64(-take))
+		}
+		s.mu.Unlock()
+	}
+	if len(batch) > 0 {
+		m.cursor = (m.cursor + 1) & (mpscShards - 1)
+	}
+	return batch
+}
+
+// PutBatch returns a batch obtained from Take to the pool.
+func (m *MPSC[T]) PutBatch(batch []T) {
+	if cap(batch) == 0 {
+		return
+	}
+	var zero T
+	for i := range batch {
+		batch[i] = zero
+	}
+	m.batchPool.Put(batch[:0])
+}
+
+// Len returns the current number of queued items.
+func (m *MPSC[T]) Len() int { return int(m.size.Load()) }
+
+// PerTenant returns current queue occupancy per tenant.
+func (m *MPSC[T]) PerTenant() map[string]int {
+	out := make(map[string]int)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for _, it := range s.items {
+			out[m.tenantOf(it)]++
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Close marks the queue closed. The consumer drains remaining items and
+// then Take reports ok=false; subsequent pushes are dropped.
+func (m *MPSC[T]) Close() {
+	if m.closed.CompareAndSwap(false, true) {
+		close(m.closedCh)
+	}
+}

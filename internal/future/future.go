@@ -7,6 +7,13 @@
 // future (or immediately, on the caller's goroutine, if the future is already
 // done). The DataFlowKernel encodes task-graph edges as these callbacks,
 // which is what makes dependency resolution event driven with O(n+e) cost.
+//
+// The struct is tuned for the million-task hot path: the done channel is
+// allocated lazily (only futures somebody actually selects or blocks on pay
+// for it), the first callback occupies an inline slot (a task with one
+// dependent never grows a slice), and the DoneHook interface lets pipeline
+// stages embed their completion handling in a struct they already allocate
+// instead of capturing a closure per task.
 package future
 
 import (
@@ -14,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,15 +58,45 @@ func (s State) String() string {
 	}
 }
 
+// DoneHook is the allocation-free alternative to AddDoneCallback: a value
+// that already exists (a dispatch-pipeline attempt record, an executor relay)
+// implements FutureDone and registers itself once with SetDoneHook, so
+// completion notification costs no closure. The hook fires on the completing
+// goroutine, before any AddDoneCallback callbacks, under the same must-not-
+// block contract.
+type DoneHook interface {
+	FutureDone(*Future)
+}
+
+// closedChan is the shared pre-closed channel handed out by DoneChan on
+// futures that completed before anyone asked for a channel.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
 // Future is a single-assignment container for the eventual result of an
-// asynchronous App invocation. The zero value is not usable; construct with
-// New, Completed, or FromError.
+// asynchronous App invocation. The zero value is a pending future with
+// TaskID 0; construct with New, NewForTask, Completed, or FromError when a
+// task binding (or an immediate result) is needed.
 type Future struct {
-	mu        sync.Mutex
-	done      chan struct{}
-	state     State
-	value     any
-	err       error
+	mu sync.Mutex
+	// state is written under mu but read lock-free (Done, State): the
+	// atomic store in complete is a release paired with the acquire load,
+	// so an observer of a terminal state also observes value/err.
+	state atomic.Int32
+	// done is created lazily, by the first DoneChan caller (or blocking
+	// waiter) that finds the future still pending. Futures consumed purely
+	// through callbacks/hooks — the dispatch pipeline's common case — never
+	// allocate it.
+	done  chan struct{}
+	value any
+	err   error
+	// hook is the single embedded-completion slot (SetDoneHook); cb0 the
+	// inline first callback; callbacks the overflow for fan-out edges.
+	hook      DoneHook
+	cb0       func(*Future)
 	callbacks []func(*Future)
 
 	// TaskID is the identifier of the task that will complete this future,
@@ -69,12 +107,12 @@ type Future struct {
 
 // New returns a pending future not yet bound to a task.
 func New() *Future {
-	return &Future{done: make(chan struct{}), TaskID: -1}
+	return &Future{TaskID: -1}
 }
 
 // NewForTask returns a pending future bound to the given task id.
 func NewForTask(taskID int64) *Future {
-	return &Future{done: make(chan struct{}), TaskID: taskID}
+	return &Future{TaskID: taskID}
 }
 
 // Completed returns a future already resolved with v.
@@ -115,49 +153,70 @@ func (f *Future) Cancel() bool {
 
 func (f *Future) complete(s State, v any, err error) error {
 	f.mu.Lock()
-	if f.state != Pending {
+	if State(f.state.Load()) != Pending {
 		f.mu.Unlock()
 		return ErrAlreadySet
 	}
-	f.state = s
 	f.value = v
 	f.err = err
+	f.state.Store(int32(s)) // release: pairs with lock-free Done/State loads
+	if f.done != nil {
+		close(f.done)
+	}
+	hook := f.hook
+	cb0 := f.cb0
 	cbs := f.callbacks
-	f.callbacks = nil
-	close(f.done)
+	f.hook, f.cb0, f.callbacks = nil, nil, nil
 	f.mu.Unlock()
+	if hook != nil {
+		hook.FutureDone(f)
+	}
+	if cb0 != nil {
+		cb0(f)
+	}
 	for _, cb := range cbs {
 		cb(f)
 	}
 	return nil
 }
 
-// Done reports, without blocking, whether the future has completed. This is
-// the analogue of Parsl's future.done().
+// Done reports, without blocking (and without locking), whether the future
+// has completed. This is the analogue of Parsl's future.done().
 func (f *Future) Done() bool {
-	select {
-	case <-f.done:
-		return true
-	default:
-		return false
-	}
+	return State(f.state.Load()) != Pending
 }
 
 // DoneChan returns a channel closed when the future completes, so futures can
-// participate in select statements.
-func (f *Future) DoneChan() <-chan struct{} { return f.done }
+// participate in select statements. The channel is created on first demand;
+// an already-done future returns a shared pre-closed channel.
+func (f *Future) DoneChan() <-chan struct{} {
+	f.mu.Lock()
+	if State(f.state.Load()) != Pending {
+		f.mu.Unlock()
+		return closedChan
+	}
+	if f.done == nil {
+		f.done = make(chan struct{})
+	}
+	ch := f.done
+	f.mu.Unlock()
+	return ch
+}
 
 // State returns the current lifecycle state.
 func (f *Future) State() State {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.state
+	return State(f.state.Load())
 }
 
 // Result blocks until the future completes and returns its value or error.
 // This is the analogue of Parsl's future.result().
 func (f *Future) Result() (any, error) {
-	<-f.done
+	if !f.Done() {
+		<-f.DoneChan()
+	}
+	// The acquire load in Done/DoneChan ordered value/err; take the lock
+	// anyway to keep the race detector's view simple and the cost is one
+	// uncontended lock on a settled future.
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.value, f.err
@@ -167,7 +226,7 @@ func (f *Future) Result() (any, error) {
 // future is left untouched and the context error is returned.
 func (f *Future) ResultCtx(ctx context.Context) (any, error) {
 	select {
-	case <-f.done:
+	case <-f.DoneChan():
 		return f.Result()
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -202,8 +261,12 @@ func (f *Future) Value() any {
 // edge triggering and a blocking callback stalls the completing goroutine.
 func (f *Future) AddDoneCallback(cb func(*Future)) {
 	f.mu.Lock()
-	if f.state == Pending {
-		f.callbacks = append(f.callbacks, cb)
+	if State(f.state.Load()) == Pending {
+		if f.cb0 == nil {
+			f.cb0 = cb
+		} else {
+			f.callbacks = append(f.callbacks, cb)
+		}
 		f.mu.Unlock()
 		return
 	}
@@ -211,11 +274,26 @@ func (f *Future) AddDoneCallback(cb func(*Future)) {
 	cb(f)
 }
 
+// SetDoneHook registers h to be notified on completion, firing before any
+// AddDoneCallback callbacks. One hook per future (last registration wins);
+// if the future is already done, h fires synchronously before SetDoneHook
+// returns. Same must-not-block contract as callbacks.
+func (f *Future) SetDoneHook(h DoneHook) {
+	f.mu.Lock()
+	if State(f.state.Load()) == Pending {
+		f.hook = h
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	h.FutureDone(f)
+}
+
 // String implements fmt.Stringer for debugging and monitoring output.
 func (f *Future) String() string {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	switch f.state {
+	switch State(f.state.Load()) {
 	case Pending:
 		return fmt.Sprintf("Future{task=%d pending}", f.TaskID)
 	case Resolved:

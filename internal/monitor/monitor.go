@@ -29,6 +29,10 @@ const (
 	// (quota exceeded under the shed policy) or "admitted" (a submission
 	// that had to wait under the block policy; Duration is the wait).
 	KindTenant EventKind = "tenant"
+	// KindGraph records task-graph reclamation: emitted (rate-limited) when
+	// a graph shard prunes terminal records, with Detail describing the
+	// shard's cumulative pruned count and the graph's live-node count.
+	KindGraph EventKind = "graph"
 )
 
 // Event is one monitoring record.

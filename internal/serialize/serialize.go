@@ -61,6 +61,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Fn is the executable form of an app: positional args plus keyword args, one
@@ -317,25 +318,74 @@ const payloadVersion byte = 1
 // user types through an embedded gob fallback. The bytes are immutable
 // after construction and shared freely across the memo hash, defensive
 // deep copies, the wire, and retries.
+//
+// Payloads are reference counted so their byte buffers can be pooled: the
+// task record owns one reference from EncodeArgs until retirement, and
+// every consumer that may outlive the record (a dispatch-lane submission,
+// an executor's retransmit buffer) takes its own with Retain and drops it
+// with Release. When the last reference drops, the buffer returns to a pool
+// for the next EncodeArgs. A forgotten Release degrades to garbage
+// collection, never corruption.
 type Payload struct {
+	refs   atomic.Int32
 	data   []byte
 	sum    uint64
 	hashed bool
+
+	// inline backs data for small argument lists, so a Payload fresh from the
+	// pool encodes without a heap buffer. Encodes that outgrow it spill to a
+	// heap buffer, which the pool then keeps for later occupants.
+	inline [128]byte
 }
 
-// EncodeArgs serializes resolved arguments exactly once into a Payload.
-// The backing slice is allocated fresh because the Payload keeps it for the
-// task's whole lifetime (hash, wire, deep copies, retries) — the allocation
-// is the one serialization cost the task ever pays. The encoding is
-// canonical — maps encode with sorted keys — so identical arguments always
-// produce identical bytes, and the memoization hash can be a plain digest
-// of them.
+// payloadPool recycles Payload structs and (via their data capacity) the
+// encode buffers of the million-task hot path.
+var payloadPool = sync.Pool{New: func() any { return new(Payload) }}
+
+// Retain takes an additional reference and returns p for chaining.
+func (p *Payload) Retain() *Payload {
+	p.refs.Add(1)
+	return p
+}
+
+// Release drops a reference; the last one resets the Payload and returns its
+// buffer to the pool. Safe on nil. Releasing more times than retained is an
+// engine bug and panics (the buffer would already belong to someone else).
+func (p *Payload) Release() {
+	if p == nil {
+		return
+	}
+	switch n := p.refs.Add(-1); {
+	case n > 0:
+		return
+	case n < 0:
+		panic("serialize: Payload over-released")
+	}
+	p.data = p.data[:0]
+	p.sum = 0
+	p.hashed = false
+	payloadPool.Put(p)
+}
+
+// EncodeArgs serializes resolved arguments exactly once into a Payload
+// holding one reference. The buffer comes from the payload pool when a
+// recycled one is available, because the Payload keeps it for the task's
+// whole lifetime (hash, wire, deep copies, retries) — that buffer is the one
+// serialization cost the task ever pays. The encoding is canonical — maps
+// encode with sorted keys — so identical arguments always produce identical
+// bytes, and the memoization hash can be a plain digest of them.
 func EncodeArgs(args []any, kwargs map[string]any) (*Payload, error) {
-	w := valueWriter{b: make([]byte, 0, 128)}
+	p := payloadPool.Get().(*Payload)
+	if cap(p.data) == 0 {
+		p.data = p.inline[:0]
+	}
+	w := valueWriter{b: p.data[:0]}
 	w.byte1(payloadVersion)
 	w.uvarint(uint64(len(args)))
 	for i, a := range args {
 		if err := w.encodeValue(a); err != nil {
+			p.data = w.b[:0]
+			payloadPool.Put(p)
 			return nil, fmt.Errorf("serialize: encode arg %d: %w", i, err)
 		}
 	}
@@ -349,17 +399,27 @@ func EncodeArgs(args []any, kwargs map[string]any) (*Payload, error) {
 		for _, k := range keys {
 			w.str(k)
 			if err := w.encodeValue(kwargs[k]); err != nil {
+				p.data = w.b[:0]
+				payloadPool.Put(p)
 				return nil, fmt.Errorf("serialize: encode kwarg %q: %w", k, err)
 			}
 		}
 	}
-	return &Payload{data: w.b, sum: fnv64a(w.b), hashed: true}, nil
+	p.data = w.b
+	p.sum = fnv64a(w.b)
+	p.hashed = true
+	p.refs.Store(1)
+	return p, nil
 }
 
 // payloadFromBytes wraps already-encoded payload bytes arriving off the
-// wire. The hash is computed on demand: worker-side consumers never ask
-// for it.
-func payloadFromBytes(b []byte) *Payload { return &Payload{data: b} }
+// wire, holding one reference. The hash is computed on demand: worker-side
+// consumers never ask for it.
+func payloadFromBytes(b []byte) *Payload {
+	p := &Payload{data: b}
+	p.refs.Store(1)
+	return p
+}
 
 // Bytes exposes the encoded payload. Callers must treat it as read-only.
 func (p *Payload) Bytes() []byte { return p.data }
@@ -385,7 +445,16 @@ func (p *Payload) ArgsHash() string {
 // containers, so repeated decodes (retries, replays) stay isolated from
 // one another and from the submitting program.
 func (p *Payload) DecodeArgs() ([]any, map[string]any, error) {
-	r := valueReader{b: p.data}
+	return DecodeArgsBytes(p.data)
+}
+
+// DecodeArgsBytes decodes arguments straight from an encoded payload's
+// bytes without constructing a Payload — the zero-copy manager leg: a
+// worker hands the wire frame's P bytes directly to the decoder, and only
+// the decoded values (fresh containers by construction) survive the call.
+// The input is read, never retained.
+func DecodeArgsBytes(b []byte) ([]any, map[string]any, error) {
+	r := valueReader{b: b}
 	ver, err := r.byte1()
 	if err != nil {
 		return nil, nil, fmt.Errorf("serialize: decode args: %w", err)

@@ -33,6 +33,40 @@ type graphShard struct {
 	tasks      map[int64]*Record
 	deps       map[int64][]int64
 	dependents map[int64][]int64
+
+	// Cumulative counts of records pruned from this shard, by terminal
+	// state, so state tallies (CountByState, Summary) stay correct after
+	// the records themselves have been recycled.
+	prunedDone     int64
+	prunedFailed   int64
+	prunedMemoized int64
+
+	// free is a bounded freelist of edge-list slices recovered from pruned
+	// nodes; AddEdge pops it before allocating. Slices recycle within their
+	// shard, so no cross-shard lock traffic.
+	free [][]int64
+}
+
+// maxFreeSlices bounds each shard's edge-slice freelist; beyond this the
+// slices go back to the garbage collector.
+const maxFreeSlices = 128
+
+// getFreeLocked pops a recycled edge slice (len 0) or returns nil.
+func (s *graphShard) getFreeLocked() []int64 {
+	if n := len(s.free); n > 0 {
+		sl := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return sl
+	}
+	return nil
+}
+
+// putFreeLocked returns an edge slice to the freelist if there is room.
+func (s *graphShard) putFreeLocked(sl []int64) {
+	if cap(sl) > 0 && len(s.free) < maxFreeSlices {
+		s.free = append(s.free, sl[:0])
+	}
 }
 
 // NewGraph returns an empty task graph.
@@ -98,10 +132,83 @@ func (g *Graph) AddEdge(from, to int64) error {
 	if _, ok := st.tasks[to]; !ok {
 		return fmt.Errorf("task graph: edge to unknown task %d", to)
 	}
-	st.deps[to] = append(st.deps[to], from)
-	sf.dependents[from] = append(sf.dependents[from], to)
+	dl, ok := st.deps[to]
+	if !ok {
+		dl = st.getFreeLocked()
+	}
+	st.deps[to] = append(dl, from)
+	rl, ok := sf.dependents[from]
+	if !ok {
+		rl = sf.getFreeLocked()
+	}
+	sf.dependents[from] = append(rl, to)
 	return nil
 }
+
+// Retire prunes a terminal record from its shard — removing the node and its
+// edge lists, folding its state into the shard's pruned tallies — and then
+// marks the record itself retired so it can be recycled once the last
+// in-flight hold drops (see Record.Enter/Exit). After Retire, Get(id)
+// returns nil; the task's result lives on in its AppFuture, which dependents
+// and the submitting program hold directly. Returns the shard's cumulative
+// pruned count, so callers can rate-limit reclamation telemetry.
+func (g *Graph) Retire(r *Record) int64 {
+	st := r.State()
+	s := g.shard(r.ID)
+	s.mu.Lock()
+	if _, ok := s.tasks[r.ID]; ok {
+		delete(s.tasks, r.ID)
+		if d, ok := s.deps[r.ID]; ok {
+			delete(s.deps, r.ID)
+			s.putFreeLocked(d)
+		}
+		if d, ok := s.dependents[r.ID]; ok {
+			delete(s.dependents, r.ID)
+			s.putFreeLocked(d)
+		}
+		switch st {
+		case Done:
+			s.prunedDone++
+		case Failed:
+			s.prunedFailed++
+		case Memoized:
+			s.prunedMemoized++
+		}
+	}
+	pruned := s.prunedDone + s.prunedFailed + s.prunedMemoized
+	s.mu.Unlock()
+	r.Retire()
+	return pruned
+}
+
+// LiveNodes returns the number of records currently resident in the graph
+// shards — the live frontier plus any terminal records not yet pruned.
+func (g *Graph) LiveNodes() int { return g.Len() }
+
+// RecycledNodes returns the cumulative number of records pruned from the
+// graph since creation. LiveNodes()+RecycledNodes() equals the total number
+// of tasks ever added (when record retention is off).
+func (g *Graph) RecycledNodes() int64 {
+	var n int64
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.RLock()
+		n += s.prunedDone + s.prunedFailed + s.prunedMemoized
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardPruned returns the cumulative pruned count for one shard (monitoring).
+func (g *Graph) ShardPruned(shard int) int64 {
+	s := &g.shards[shard&(NumShards-1)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.prunedDone + s.prunedFailed + s.prunedMemoized
+}
+
+// Shard returns the shard index for a task id.
+func Shard(id int64) int { return int(uint64(id) & (NumShards - 1)) }
 
 // Get returns the record for id, or nil.
 func (g *Graph) Get(id int64) *Record {
@@ -191,8 +298,10 @@ func (g *Graph) Tasks() []*Record {
 	return out
 }
 
-// CountByState tallies tasks per state; used by the elasticity strategy to
-// measure workload pressure and by monitoring summaries.
+// CountByState tallies tasks per state — both resident records and records
+// already pruned by Retire (folded in from the shard tallies) — so summaries
+// over a reclaiming graph still account for every task. Used by the
+// elasticity strategy to measure workload pressure and by monitoring.
 func (g *Graph) CountByState() map[State]int {
 	counts := make(map[State]int)
 	for i := range g.shards {
@@ -201,7 +310,15 @@ func (g *Graph) CountByState() map[State]int {
 		for _, r := range s.tasks {
 			counts[r.State()]++
 		}
+		counts[Done] += int(s.prunedDone)
+		counts[Failed] += int(s.prunedFailed)
+		counts[Memoized] += int(s.prunedMemoized)
 		s.mu.RUnlock()
+	}
+	for st, n := range counts {
+		if n == 0 {
+			delete(counts, st)
+		}
 	}
 	return counts
 }

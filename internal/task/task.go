@@ -123,7 +123,33 @@ type Record struct {
 	startTime  time.Time
 	endTime    time.Time
 
+	// transitions points into transBuf until the task records more than
+	// len(transBuf) state changes (retry-heavy tasks), then spills to a heap
+	// slice which recycling keeps for the next occupant. The common
+	// pending→launched→done life never allocates.
 	transitions []Transition
+	transBuf    [4]Transition
+
+	// Recycling bookkeeping (all under mu). gen is the generation stamp:
+	// asynchronous consumers (dependency callbacks, context watchers, the
+	// dispatch pipeline) capture it at registration and revalidate with
+	// Enter before touching the record, so a pooled record reused for a new
+	// task is never corrupted by a straggler holding a stale pointer. holds
+	// counts consumers currently inside an Enter/Exit window; retired marks
+	// that the graph has pruned the record — the last Exit (or Retire itself
+	// when nobody is inside) resets the record and returns it to the pool.
+	gen     uint32
+	holds   int32
+	retired bool
+
+	// admitted records that this task holds an admission-controller slot;
+	// the DFK's retire path consumes it (TakeAdmitted) to release the slot
+	// exactly once without a per-task closure.
+	admitted bool
+
+	// cancelStop detaches the context watcher (context.AfterFunc's stop);
+	// stored here so retirement can stop it without allocating a callback.
+	cancelStop func() bool
 }
 
 // Transition records one state change for monitoring.
@@ -133,17 +159,162 @@ type Transition struct {
 	At   time.Time
 }
 
+// recordPool recycles terminal Records (and, via resetLocked, their
+// transition slices). The AppFuture is deliberately NOT pooled: it is the
+// user-visible handle, may outlive the record arbitrarily, and keeps the
+// task's result reachable after the record has been reused.
+var recordPool = sync.Pool{New: func() any { return new(Record) }}
+
 // NewRecord creates a task record in the Unsched state with its AppFuture.
+// Records come from a pool; initialization happens under the record's mutex
+// so a straggler probing a stale handle (Enter on an old generation) never
+// races the reuse.
 func NewRecord(id int64, appName string, args []any, kwargs map[string]any) *Record {
-	return &Record{
-		ID:         id,
-		AppName:    appName,
-		Args:       args,
-		Kwargs:     kwargs,
-		Future:     future.NewForTask(id),
-		state:      Unsched,
-		SubmitTime: time.Now(),
+	r := recordPool.Get().(*Record)
+	r.mu.Lock()
+	r.ID = id
+	r.AppName = appName
+	r.Args = args
+	r.Kwargs = kwargs
+	r.Future = future.NewForTask(id)
+	r.state = Unsched
+	r.SubmitTime = time.Now()
+	r.mu.Unlock()
+	return r
+}
+
+// Gen returns the record's current generation stamp. Asynchronous consumers
+// capture it while the record is known-live and pass it back to Enter.
+func (r *Record) Gen() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// Enter validates a generation stamp and, on success, takes a hold that
+// keeps the record from being recycled until the matching Exit. It returns
+// false when the record has moved on to a new generation — the caller's
+// handle is stale and the record must not be touched. A record that is
+// retired but not yet recycled still admits holds: its fields remain valid
+// until the last hold drops.
+func (r *Record) Enter(gen uint32) bool {
+	r.mu.Lock()
+	if r.gen != gen {
+		r.mu.Unlock()
+		return false
 	}
+	r.holds++
+	r.mu.Unlock()
+	return true
+}
+
+// Exit drops a hold taken by Enter, recycling the record if it was retired
+// and this was the last hold. Exit without a matching Enter is an engine bug
+// (a missed generation check) and panics.
+func (r *Record) Exit() {
+	r.mu.Lock()
+	if r.holds <= 0 {
+		id := r.ID
+		r.mu.Unlock()
+		panic(fmt.Sprintf("task %d: Exit without matching Enter (use-after-recycle guard)", id))
+	}
+	r.holds--
+	if r.retired && r.holds == 0 {
+		r.recycleLocked()
+		return
+	}
+	r.mu.Unlock()
+}
+
+// Retire marks the record as pruned from the graph. If no consumer holds it,
+// the record is reset and returned to the pool immediately; otherwise the
+// last Exit recycles it. Called exactly once per task, by Graph.Retire.
+func (r *Record) Retire() {
+	r.mu.Lock()
+	if r.retired {
+		id := r.ID
+		r.mu.Unlock()
+		panic(fmt.Sprintf("task %d: double retire", id))
+	}
+	r.retired = true
+	if r.holds == 0 {
+		r.recycleLocked()
+		return
+	}
+	r.mu.Unlock()
+}
+
+// recycleLocked resets the record for reuse and returns it to the pool.
+// Called with r.mu held; unlocks it. The generation bump is what invalidates
+// every outstanding handle: a later Enter with the old stamp fails.
+func (r *Record) recycleLocked() {
+	r.gen++
+	r.ID = 0
+	r.AppName = ""
+	r.FuncHash = ""
+	r.Args = nil
+	r.Kwargs = nil
+	r.Future = nil
+	r.Hints = nil
+	r.state = Unsched
+	r.attempts = 0
+	r.maxRetries = 0
+	r.executor = ""
+	r.memoKey = ""
+	r.pendingDeps = 0
+	r.priority = 0
+	r.timeout = 0
+	r.deadline = time.Time{}
+	r.memoKeyOver = ""
+	r.tenant = ""
+	r.weight = 0
+	r.attemptFut = nil
+	r.attemptWire = 0
+	r.payload = nil
+	r.SubmitTime = time.Time{}
+	r.launchTime = time.Time{}
+	r.startTime = time.Time{}
+	r.endTime = time.Time{}
+	r.transitions = r.transitions[:0]
+	r.retired = false
+	r.admitted = false
+	r.cancelStop = nil
+	r.mu.Unlock()
+	recordPool.Put(r)
+}
+
+// SetAdmitted marks that the task holds an admission-controller slot.
+func (r *Record) SetAdmitted() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.admitted = true
+}
+
+// TakeAdmitted consumes the admission mark, reporting whether a slot was
+// held. At most one caller observes true.
+func (r *Record) TakeAdmitted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	was := r.admitted
+	r.admitted = false
+	return was
+}
+
+// SetCancelStop stores the context watcher's detach function.
+func (r *Record) SetCancelStop(stop func() bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cancelStop = stop
+}
+
+// TakeCancelStop consumes the watcher detach function (nil if none or
+// already taken).
+func (r *Record) TakeCancelStop() func() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stop := r.cancelStop
+	r.cancelStop = nil
+	return stop
 }
 
 // State returns the current state.
@@ -175,6 +346,9 @@ func (r *Record) SetState(s State) error {
 		return fmt.Errorf("task %d: illegal transition %v -> %v", r.ID, r.state, s)
 	}
 	now := time.Now()
+	if r.transitions == nil {
+		r.transitions = r.transBuf[:0]
+	}
 	r.transitions = append(r.transitions, Transition{From: r.state, To: s, At: now})
 	switch s {
 	case Launched:

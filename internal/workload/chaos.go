@@ -13,10 +13,10 @@ import (
 	"repro/internal/executor/threadpool"
 	"repro/internal/future"
 	"repro/internal/memo"
+	"repro/internal/monitor"
 	"repro/internal/provider"
 	"repro/internal/serialize"
 	"repro/internal/simnet"
-	"repro/internal/task"
 )
 
 // ChaosConfig shapes one chaos-plane run: a reference multi-executor
@@ -175,6 +175,11 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 			HeartbeatThreshold: 300 * time.Millisecond,
 		},
 	})
+	// Chaos runs with record pooling ON (the default): terminal records are
+	// pruned and recycled while faults fire, so the run doubles as the
+	// use-after-recycle stress (generation-guard panics would fail the run).
+	// Per-task invariants therefore read the monitoring stream, not records.
+	store := monitor.NewStore()
 	d, err := dfk.New(dfk.Config{
 		Registry:    reg,
 		Executors:   []executor.Executor{pool, hx},
@@ -183,6 +188,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		Checkpoint:  cfg.Checkpoint,
 		TaskTimeout: cfg.TaskTimeout,
 		Seed:        cfg.Seed,
+		Monitor:     store,
 	})
 	if err != nil {
 		return ChaosResult{}, err
@@ -344,42 +350,61 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		violate("htex client still tracks %d tasks after drain — ghost attempts leaked", n)
 	}
 
-	// Record-level invariants: exactly one terminal transition (a result is
-	// never delivered twice), attempts within budget.
-	for _, rec := range d.Graph().Tasks() {
-		st := rec.State()
-		if !st.Terminal() {
-			violate("task %d non-terminal state %v after drain", rec.ID, st)
-			continue
+	// Task-level invariants, reconstructed from the monitoring stream —
+	// terminal records have been pruned and recycled, so the records
+	// themselves are gone by design: exactly one terminal transition per
+	// task (a result is never delivered twice), launches within the retry
+	// budget.
+	launches := make(map[int64]int)
+	terminals := make(map[int64]int)
+	finals := make(map[int64]string)
+	for _, e := range store.Events(monitor.KindTaskState) {
+		switch e.To {
+		case "launched":
+			launches[e.TaskID]++
+		case "done", "failed", "memoized":
+			terminals[e.TaskID]++
 		}
-		terminals := 0
-		for _, tr := range rec.Transitions() {
-			if tr.To.Terminal() {
-				terminals++
-			}
-		}
-		if terminals != 1 {
-			violate("task %d reached a terminal state %d times", rec.ID, terminals)
-		}
-		// Attempts counts concluded-and-failed attempts; a task may consume
-		// at most Retries retries plus the final budget-exhausting failure.
-		if a := rec.Attempts(); a > cfg.Retries+1 {
-			violate("task %d concluded %d failed attempts, budget %d+1", rec.ID, a, cfg.Retries)
-		} else if a > 0 {
-			res.Retried++
-			if a+1 > res.MaxAttempt {
-				res.MaxAttempt = a + 1
-			}
-		}
-		switch st {
-		case task.Done:
-			res.Done++
-		case task.Memoized:
-			res.Memoized++
+		finals[e.TaskID] = e.To
+	}
+	for id, st := range finals {
+		if n := terminals[id]; n != 1 {
+			violate("task %d reached a terminal state %d times (final %q)", id, n, st)
 		}
 	}
+	for id, n := range launches {
+		// Each launch is one attempt: at most Retries retries plus the
+		// first attempt.
+		if n > cfg.Retries+1 {
+			violate("task %d launched %d times, budget %d+1", id, n, cfg.Retries)
+		}
+		if n > 1 {
+			res.Retried++
+			if n > res.MaxAttempt {
+				res.MaxAttempt = n
+			}
+		}
+	}
+	sum := d.Summary()
+	res.Done = sum["done"]
+	res.Memoized = sum["memoized"]
 	if d.Outstanding() != 0 {
 		violate("graph outstanding = %d after drain", d.Outstanding())
+	}
+
+	// Reclamation invariants: with pooling on, the drained graph is empty —
+	// steady-state residency is the live frontier, so once every future has
+	// settled (WaitAll orders us after the final retire) every record must
+	// have been pruned and recycled, and the monitor must have seen pruning.
+	d.WaitAll()
+	if n := d.Graph().LiveNodes(); n != 0 {
+		violate("graph holds %d live records after drain (reclamation leak)", n)
+	}
+	if n := d.Graph().RecycledNodes(); n != int64(res.Submitted) {
+		violate("recycled %d records, want %d (one per submission)", n, res.Submitted)
+	}
+	if len(store.Events(monitor.KindGraph)) == 0 {
+		violate("no graph-reclamation event emitted")
 	}
 
 	for i := range execs {
@@ -393,31 +418,42 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		violate("shutdown: %v", err)
 	}
 
-	// Checkpoint consistency: every Done task's memo key must be present in
-	// the persisted file with the delivered value (JSON round-trips ints as
-	// float64, so compare numerically).
+	// Checkpoint consistency: every distinct argument that completed must be
+	// present in the persisted file under its recomputed memo key, with the
+	// delivered value (JSON round-trips ints as float64, so compare
+	// numerically). Keys are recomputed from scratch — app name, body hash,
+	// re-encoded args — because the records that carried them are recycled.
 	if cfg.Checkpoint != "" {
 		m := memo.New()
 		if err := m.LoadCheckpoint(cfg.Checkpoint); err != nil {
 			violate("checkpoint reload: %v", err)
 		} else {
-			for _, rec := range d.Graph().Tasks() {
-				if rec.State() != task.Done {
+			entry, _ := reg.Lookup("chaos-f")
+			seen := make(map[int]bool)
+			for k, f := range futs {
+				i := idx[k]
+				if seen[i] {
 					continue
 				}
-				key := rec.MemoKey()
-				if key == "" {
-					violate("done task %d has no memo key under Memoize", rec.ID)
+				seen[i] = true
+				v, ferr := f.Result()
+				if ferr != nil {
+					continue // lost to an exhausted retry budget; not checkpointed
+				}
+				p, perr := serialize.EncodeArgs([]any{i}, nil)
+				if perr != nil {
+					violate("re-encode args %d: %v", i, perr)
 					continue
 				}
-				v, ok := m.Lookup(key)
+				key := memo.KeyFromPayload("chaos-f", entry.BodyHash(), p)
+				p.Release()
+				got, ok := m.Lookup(key)
 				if !ok {
-					violate("done task %d missing from checkpoint", rec.ID)
+					violate("completed task arg %d missing from checkpoint", i)
 					continue
 				}
-				want, _ := rec.Future.Result()
-				if toF64(v) != toF64(want) {
-					violate("task %d checkpoint value %v != delivered %v", rec.ID, v, want)
+				if toF64(got) != toF64(v) {
+					violate("task arg %d checkpoint value %v != delivered %v", i, got, v)
 				}
 			}
 		}

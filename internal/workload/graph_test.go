@@ -1,0 +1,43 @@
+package workload
+
+import "testing"
+
+// TestRunGraphBoundsFrontierAndRecycles drains a scaled-down DAG and checks
+// the scenario's core claims: every node completes and recycles, and the
+// live frontier never exceeds the windowed bound (W×L plus dispatch slack).
+func TestRunGraphBoundsFrontierAndRecycles(t *testing.T) {
+	const nodes, chains, window = 20_000, 8, 32
+	res, err := RunGraph(GraphConfig{Nodes: nodes, Chains: chains, Window: window, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecycledNodes != nodes {
+		t.Fatalf("RecycledNodes = %d, want %d (every record must recycle)", res.RecycledNodes, nodes)
+	}
+	if res.Edges != nodes-chains {
+		t.Fatalf("Edges = %d, want %d", res.Edges, nodes-chains)
+	}
+	// The frontier bound: W chains × L window, doubled for dispatch-pipeline
+	// slack (tasks between retire and the sampler's next tick).
+	if bound := int64(2 * chains * window); res.LiveNodesMax > bound {
+		t.Fatalf("LiveNodesMax = %d exceeds frontier bound %d", res.LiveNodesMax, bound)
+	}
+	if res.TasksPerSec <= 0 || res.MakespanMs <= 0 {
+		t.Fatalf("degenerate throughput: %+v", res)
+	}
+}
+
+// TestRunGraphTinyConfig exercises the remainder distribution (nodes not a
+// multiple of chains) and chains > nodes clamping.
+func TestRunGraphTinyConfig(t *testing.T) {
+	res, err := RunGraph(GraphConfig{Nodes: 7, Chains: 16, Window: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecycledNodes != 7 {
+		t.Fatalf("RecycledNodes = %d, want 7", res.RecycledNodes)
+	}
+	if res.Chains != 7 {
+		t.Fatalf("Chains = %d, want clamped to 7", res.Chains)
+	}
+}

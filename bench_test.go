@@ -397,6 +397,45 @@ func BenchmarkDFKSubmissionParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkWALSubmission measures what the durable dataflow log costs on the
+// submit hot path: the same workload as BenchmarkDFKSubmission, once with the
+// WAL off (must be byte-identical to not having the subsystem at all) and once
+// with it on (group commit amortizes the fsync; CI bounds the ratio).
+func BenchmarkWALSubmission(b *testing.B) {
+	run := func(b *testing.B, walOn bool) {
+		reg := serialize.NewRegistry()
+		cfg := parsl.Config{
+			Registry:  reg,
+			Executors: []executor.Executor{threadpool.New("tp", 4, reg)},
+		}
+		if walOn {
+			cfg.WAL = true
+			cfg.WALDir = b.TempDir()
+		}
+		d, err := parsl.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Shutdown()
+		noop, err := d.PythonApp("bench-noop", func([]any, map[string]any) (any, error) { return nil, nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		futs := make([]*parsl.Future, b.N)
+		for i := 0; i < b.N; i++ {
+			futs[i] = noop.Call(i)
+		}
+		for _, f := range futs {
+			if _, err := f.Result(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("wal-off", func(b *testing.B) { run(b, false) })
+	b.Run("wal-on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkAblationDFKScheduler compares the DFK's executor-selection
 // policies on an asymmetric deployment (one 8-worker pool, one 1-worker
 // pool, 512 one-millisecond tasks per round): the paper's random policy

@@ -11,6 +11,7 @@
 //	parsl-bench noisy        multi-tenant fairness + bounded admission under a burst
 //	parsl-bench chaos        fault-injection scenarios: recovery invariants under a seeded schedule
 //	parsl-bench graph        million-task DAG drain: makespan, peak RSS, record recycling
+//	parsl-bench wal          durable-log crash matrix: exactly-once recovery, recovery time
 //	parsl-bench all          everything above
 //
 // Latency, throughput-at-laptop-scale, and elasticity run on the real
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|graph|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|graph|wal|all>\n")
 		flag.PrintDefaults()
 	}
 	tasks := flag.Int("tasks", 1000, "tasks for the latency experiment")
@@ -41,6 +42,7 @@ func main() {
 	graphJSON := flag.String("graph-json", "", "graph: write the result JSON to this path")
 	graphRSSBudget := flag.Float64("graph-rss-budget", 0, "graph: fail if peak RSS exceeds base + this many bytes per task (0 = report only)")
 	graphRSSBase := flag.Int("graph-rss-base-mb", 256, "graph: fixed RSS allowance (MiB) excluded from the per-task budget")
+	walTasks := flag.Int("wal-tasks", 8, "wal: tasks per crash boundary")
 	flag.Parse()
 
 	cmd := "all"
@@ -86,6 +88,10 @@ func main() {
 		run("million-task DAG drain", func() error {
 			return runGraph(*graphNodes, *graphJSON, *graphRSSBudget, *graphRSSBase)
 		})
+	case "wal":
+		run("durable-log crash matrix", func() error {
+			return runWAL(*chaosSeed, *walTasks)
+		})
 	case "all":
 		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
 		run("Fig. 4 (top): strong scaling", func() error { return runStrong(*full) })
@@ -100,6 +106,9 @@ func main() {
 		})
 		run("million-task DAG drain", func() error {
 			return runGraph(*graphNodes, *graphJSON, *graphRSSBudget, *graphRSSBase)
+		})
+		run("durable-log crash matrix", func() error {
+			return runWAL(*chaosSeed, *walTasks)
 		})
 	default:
 		flag.Usage()

@@ -64,6 +64,15 @@ const (
 	PointSubmitFail Point = "dfk.submit"
 	// PointLaneDelay delays one DFK lane drain cycle.
 	PointLaneDelay Point = "dfk.lane"
+	// PointWALAppend fires once per durable-log record append, before the
+	// record is buffered. ActKill freezes the log at exactly that record
+	// boundary (records 0..hit-1 durable, hit and later lost) — combined
+	// with Rule.After it pins a simulated process crash to any boundary.
+	// ActFail fails the single append; ActDelay stalls it.
+	PointWALAppend Point = "wal.append"
+	// PointWALFsync fires before each durable-log group-commit fsync;
+	// ActKill freezes the log there, ActDelay stalls the committer.
+	PointWALFsync Point = "wal.fsync"
 )
 
 // Action is what a firing fault point does.
@@ -122,6 +131,11 @@ type Rule struct {
 	// contains it (e.g. "pool/" for threadpool workers, a manager id for a
 	// targeted kill). Unmatched hits do not advance this rule's schedule.
 	Match string
+	// After makes the rule ineligible until its matched-hit index reaches it:
+	// hits 0..After-1 advance the counter but never roll. With Prob 1 and
+	// Max 1 the rule fires exactly at matched hit After — how the crash
+	// matrix pins a kill to one specific WAL record boundary.
+	After int64
 }
 
 // Plan is an ordered rule set; order matters only among rules armed at the
@@ -284,6 +298,9 @@ func (inj *Injector) decide(p Point, detail string) (Action, time.Duration, int6
 			continue
 		}
 		n := r.hits.Add(1) - 1
+		if n < r.After {
+			continue
+		}
 		if winner != nil {
 			continue
 		}
@@ -433,6 +450,27 @@ func Sleep(p Point, detail string) {
 	if act, d, _ := inj.decide(p, detail); act == ActDelay || act == ActStall {
 		time.Sleep(d)
 	}
+}
+
+// Crash is the durable-log fault point: one decision per record boundary.
+// kill=true tells the caller to freeze the log as if the process died at
+// this exact boundary; a non-nil error fails the single operation; ActDelay
+// and ActStall sleep before proceeding.
+func Crash(p Point, detail string) (kill bool, err error) {
+	inj := active.Load()
+	if inj == nil {
+		return false, nil
+	}
+	act, d, hit := inj.decide(p, detail)
+	switch act {
+	case ActKill:
+		return true, nil
+	case ActFail:
+		return false, fmt.Errorf("%w at %s hit %d (%s)", ErrInjected, p, hit, detail)
+	case ActDelay, ActStall:
+		time.Sleep(d)
+	}
+	return false, nil
 }
 
 // Kill is the abrupt-death fault point: true means the caller should die now.

@@ -350,3 +350,49 @@ func TestEventOrderCanonical(t *testing.T) {
 		}
 	}
 }
+
+// TestAfterPinsExactHit: After + Prob 1 + Max 1 fires at exactly the After-th
+// matched hit — earlier hits advance the counter but never roll. This is the
+// contract the WAL crash matrix leans on to stop the log at one chosen record
+// boundary.
+func TestAfterPinsExactHit(t *testing.T) {
+	inj := New(11, Plan{{Point: PointSubmitFail, Act: ActFail, Prob: 1.0, Max: 1, After: 3}})
+	restore := Enable(inj)
+	defer restore()
+	for i := 0; i < 10; i++ {
+		err := Fail(PointSubmitFail, "lane")
+		if i == 3 && err == nil {
+			t.Fatalf("hit %d should have fired", i)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("hit %d fired, want only hit 3: %v", i, err)
+		}
+	}
+	if inj.Fires(PointSubmitFail) != 1 || inj.Hits(PointSubmitFail) != 10 {
+		t.Fatalf("fires=%d hits=%d", inj.Fires(PointSubmitFail), inj.Hits(PointSubmitFail))
+	}
+}
+
+// TestCrashHelperActions: Crash maps ActKill to (true, nil) and ActFail to
+// (false, ErrInjected), consuming exactly one schedule decision per call.
+func TestCrashHelperActions(t *testing.T) {
+	inj := New(13, Plan{
+		{Point: PointWALAppend, Act: ActKill, Prob: 1.0, Max: 1, After: 1},
+		{Point: PointWALFsync, Act: ActFail, Prob: 1.0, Max: 1},
+	})
+	restore := Enable(inj)
+	defer restore()
+	if kill, err := Crash(PointWALAppend, "submit"); kill || err != nil {
+		t.Fatalf("hit 0 gated by After: kill=%v err=%v", kill, err)
+	}
+	if kill, err := Crash(PointWALAppend, "submit"); !kill || err != nil {
+		t.Fatalf("hit 1 should kill: kill=%v err=%v", kill, err)
+	}
+	if kill, err := Crash(PointWALAppend, "submit"); kill || err != nil {
+		t.Fatalf("Max=1 exhausted, hit 2 must be clean: kill=%v err=%v", kill, err)
+	}
+	kill, err := Crash(PointWALFsync, "sync")
+	if kill || !errors.Is(err, ErrInjected) {
+		t.Fatalf("ActFail through Crash: kill=%v err=%v", kill, err)
+	}
+}

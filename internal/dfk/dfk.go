@@ -27,6 +27,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serialize"
 	"repro/internal/task"
+	"repro/internal/wal"
 )
 
 // Config configures a DataFlowKernel, the programmatic analogue of Parsl's
@@ -81,6 +82,23 @@ type Config struct {
 	// quota or its context is canceled; OverloadShed fails fast with
 	// ErrOverloaded.
 	OverloadPolicy string
+	// WAL enables the durable dataflow log: every task's state transitions
+	// (submit with its encode-once payload, launch, retry, terminal) are
+	// appended to a crash-safe write-ahead log under WALDir, and a restarted
+	// process can call Recover to resolve terminal tasks from durable state
+	// and re-admit in-flight ones exactly once. Off by default: with WAL
+	// unset, no log exists and the dispatch path is byte-identical to the
+	// pre-WAL behavior.
+	WAL bool
+	// WALDir is the log's segment directory; required when WAL is set.
+	WALDir string
+	// WALSegmentBytes caps a log segment before rotation (0 = 1 MiB).
+	WALSegmentBytes int64
+	// WALSyncInterval is the group-commit fsync cadence (0 = 2ms).
+	WALSyncInterval time.Duration
+	// WALCompactEvery folds terminal history into a snapshot after this many
+	// terminal records (0 = 4096; negative disables auto-compaction).
+	WALCompactEvery int
 	// RetainRecords keeps terminal task records resident in the graph
 	// instead of pruning and recycling them, restoring the pre-reclamation
 	// behavior where Graph().Get/Tasks can inspect concluded tasks post
@@ -134,6 +152,7 @@ type DFK struct {
 	registry  *serialize.Registry
 	graph     *task.Graph
 	memoizer  *memo.Memoizer
+	wal       *wal.Log // nil unless Config.WAL
 	mon       monitor.Sink
 	executors map[string]executor.Executor
 	execList  []executor.Executor // config order, for the scheduler
@@ -229,7 +248,28 @@ func New(cfg Config) (*DFK, error) {
 			_ = ex.Shutdown()
 		}
 		_ = d.memoizer.Close()
+		if d.wal != nil {
+			_ = d.wal.Close()
+		}
 		return nil, err
+	}
+	if cfg.WAL {
+		if cfg.WALDir == "" {
+			return abort(errors.New("dfk: Config.WAL requires WALDir"))
+		}
+		// OnCrash freezes the memoizer at the same injected record boundary
+		// the log freezes at, so a simulated crash leaves both durable
+		// layers consistent (see the contract in internal/memo).
+		w, err := wal.Open(cfg.WALDir, wal.Options{
+			SegmentBytes: cfg.WALSegmentBytes,
+			SyncInterval: cfg.WALSyncInterval,
+			CompactEvery: cfg.WALCompactEvery,
+			OnCrash:      d.memoizer.Freeze,
+		})
+		if err != nil {
+			return abort(fmt.Errorf("dfk: open wal: %w", err))
+		}
+		d.wal = w
 	}
 	for _, ex := range cfg.Executors {
 		if _, dup := d.executors[ex.Label()]; dup {
@@ -261,6 +301,9 @@ func (d *DFK) Graph() *task.Graph { return d.graph }
 
 // Memoizer exposes memo statistics for tests and benchmarks.
 func (d *DFK) Memoizer() *memo.Memoizer { return d.memoizer }
+
+// WAL exposes the durable dataflow log; nil unless Config.WAL is set.
+func (d *DFK) WAL() *wal.Log { return d.wal }
 
 // Executor returns the executor registered under label.
 func (d *DFK) Executor(label string) (executor.Executor, bool) {
@@ -668,11 +711,28 @@ func (d *DFK) launch(rec *task.Record, a *App) {
 	// The record owns the EncodeArgs reference (released at retirement);
 	// the attempt takes its own, released when the attempt settles.
 	rec.SetPayload(payload)
+	// Durably record the submission — payload, memo key, tenant, priority,
+	// and retry budget, everything recovery needs to re-admit the task
+	// through this same boundary. A memo hit above never reaches the log:
+	// it launches nothing, so there is nothing to recover. The hot-path cost
+	// with WAL unset is one nil check.
+	var walKey int64
+	if d.wal != nil {
+		k, err := d.wal.Submit(a.name, memoKey, rec.Tenant(), rec.Priority(),
+			rec.TenantWeight(), rec.MaxRetries(), payload.Bytes())
+		if err != nil {
+			d.emitWAL(rec.ID, "submit", err)
+		} else {
+			walKey = k
+			rec.SetWALKey(k)
+		}
+	}
 	d.enqueueAttempt(&pendingLaunch{
 		d: d, rec: rec, gen: rec.Gen(), app: a, args: args, kwargs: kwargs,
 		payload: payload.Retain(),
 		wireID:  rec.ID, priority: rec.Priority(),
 		tenant: rec.Tenant(), weight: rec.TenantWeight(),
+		walKey: walKey, walAttempt: 1,
 	})
 }
 
@@ -725,6 +785,11 @@ func (d *DFK) completeTask(rec *task.Record, a *App, v any) {
 		return
 	}
 	d.emitState(rec, from, "done")
+	// The memo Store above ran first, so by the time this terminal record is
+	// durable the checkpoint entry it points at is too (the checkpoint/WAL
+	// consistency contract in internal/memo). The digest is the memo key;
+	// recovery resolves the value through the checkpoint, never from the log.
+	d.logTerminal(rec, wal.OutcomeDone, rec.MemoKey())
 	_ = rec.Future.SetResult(v)
 	d.retire(rec)
 }
@@ -742,8 +807,39 @@ func (d *DFK) failTask(rec *task.Record, err error) {
 		return
 	}
 	d.emitState(rec, from, "failed")
+	d.logTerminal(rec, wal.OutcomeFailed, "")
 	_ = rec.Future.SetError(fmt.Errorf("dfk: task %d (%s): %w", rec.ID, rec.AppName, err))
 	d.retire(rec)
+}
+
+// logTerminal appends the task's terminal record to the durable log. Must run
+// before retire — retirement may recycle the record and clear its WAL key. A
+// task that never logged a submission (WAL off, memo hit, pre-payload
+// failure) has key 0 and logs nothing.
+func (d *DFK) logTerminal(rec *task.Record, outcome wal.Outcome, digest string) {
+	key := rec.WALKey()
+	if key == 0 {
+		return
+	}
+	if err := d.wal.Terminal(key, outcome, digest); err != nil {
+		d.emitWAL(rec.ID, "terminal", err)
+	}
+}
+
+// emitWAL records a durable-log append error. Post-crash appends (the log
+// froze at an injected boundary) are expected, not noteworthy — the frozen
+// log rejects everything by design, so they are skipped rather than flooding
+// the monitor.
+func (d *DFK) emitWAL(taskID int64, op string, err error) {
+	if errors.Is(err, wal.ErrCrashed) {
+		return
+	}
+	d.mon.Emit(monitor.Event{
+		Kind:   monitor.KindWAL,
+		At:     time.Now(),
+		TaskID: taskID,
+		Detail: op + ": " + err.Error(),
+	})
 }
 
 // retire concludes a task's bookkeeping after its future settled: detach the
@@ -932,6 +1028,11 @@ func (d *DFK) Shutdown() error {
 	}
 	if err := d.memoizer.Close(); err != nil && first == nil {
 		first = err
+	}
+	if d.wal != nil {
+		if err := d.wal.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	if err := d.mon.Close(); err != nil && first == nil {
 		first = err

@@ -71,6 +71,14 @@ type pendingLaunch struct {
 	// reason: every fair queue the attempt crosses keys on them.
 	tenant string
 	weight int
+	// walKey is the task's durable-log key (0 when the WAL is off) and
+	// walAttempt this attempt's 1-based launch number across process
+	// lifetimes — a resumed task starts past its pre-crash launches. The
+	// lane runner logs the Launch record for attempt 1; retries and resumes
+	// log Retry records at creation, so the log's launch count never trails
+	// the attempts the retry budget has charged.
+	walKey     int64
+	walAttempt int
 }
 
 // FutureDone makes the pendingLaunch the DoneHook of its own attempt future:
@@ -224,6 +232,7 @@ func (d *DFK) laneRunner(l *lane) {
 	// the per-task Submit fallback passes TaskMsg by value.
 	var msgs []serialize.TaskMsg
 	var live []*pendingLaunch
+	var launchKeys []int64
 	for {
 		batch, ok := l.queue.Take(d.batchMax)
 		if !ok {
@@ -235,6 +244,7 @@ func (d *DFK) laneRunner(l *lane) {
 		chaos.Sleep(chaos.PointLaneDelay, l.ex.Label())
 		msgs = msgs[:0]
 		live = live[:0]
+		launchKeys = launchKeys[:0]
 		for _, pl := range batch {
 			if pl.attempt.Done() {
 				// The attempt timed out while queued; its retry (if any)
@@ -266,6 +276,14 @@ func (d *DFK) laneRunner(l *lane) {
 				_ = pl.attempt.SetError(err) // stop the timer, see dispatcher
 				continue
 			}
+			// First launch crossing the executor boundary: charge the durable
+			// attempt budget (batched below, one log acquisition per drain).
+			// Later attempts were already charged by their Retry records, and
+			// a ghost resubmission of a dead attempt is skipped by the Done
+			// check above.
+			if pl.walKey != 0 && pl.walAttempt == 1 {
+				launchKeys = append(launchKeys, pl.walKey)
+			}
 			pl.rec.Exit()
 			m := serialize.TaskMsg{
 				ID: pl.wireID, App: pl.app.name, Args: pl.args, Kwargs: pl.kwargs,
@@ -280,6 +298,11 @@ func (d *DFK) laneRunner(l *lane) {
 			m.AttachPayload(pl.payload.Retain())
 			msgs = append(msgs, m)
 			live = append(live, pl)
+		}
+		if len(launchKeys) > 0 {
+			if err := d.wal.LaunchBatch(launchKeys); err != nil {
+				d.emitWAL(0, "launch", err)
+			}
 		}
 		if len(msgs) > 0 {
 			if bs, ok := l.ex.(executor.BatchSubmitter); ok {
@@ -400,6 +423,15 @@ func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
 				payload: pl.payload.Retain(),
 				wireID:  d.graph.NextID(), priority: pl.priority,
 				tenant: pl.tenant, weight: pl.weight,
+				walKey: pl.walKey, walAttempt: pl.walAttempt + 1,
+			}
+			// Log the retry before it can run: a crash after the new attempt
+			// launches but before its record lands must still replay with the
+			// budget charged.
+			if next.walKey != 0 {
+				if err := d.wal.Retry(next.walKey, next.walAttempt); err != nil {
+					d.emitWAL(pl.rec.ID, "retry", err)
+				}
 			}
 			d.enqueueAttempt(next)
 			return

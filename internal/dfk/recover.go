@@ -1,0 +1,206 @@
+package dfk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/future"
+	"repro/internal/monitor"
+	"repro/internal/serialize"
+	"repro/internal/task"
+	"repro/internal/wal"
+)
+
+// Recovery summarizes one crash-recovery pass: which tasks the durable log
+// proved terminal before the crash (resolved here from the checkpoint, never
+// re-executed), and which were live (re-admitted through the normal submit
+// boundary, exactly once each). Futures are keyed by the WAL task key — the
+// identity that survives the crash; task ids are per-process.
+type Recovery struct {
+	// Resolved holds tasks terminal at the crash, settled from durable
+	// state: done tasks resolve through the memo checkpoint, failed tasks
+	// fail again. Terminal history already folded into a compaction
+	// snapshot is counted, not resolved — its futures settled in a previous
+	// lifetime.
+	Resolved map[int64]*future.Future
+	// Resumed holds tasks live at the crash, re-admitted as new tasks: they
+	// run through dispatch, retries, memoization, and the monitor exactly
+	// like first submissions, with their remaining retry budget.
+	Resumed map[int64]*future.Future
+	// LiveAtCrash and TerminalAtCrash count the replayed frontier.
+	LiveAtCrash     int
+	TerminalAtCrash int
+	// MemoHits counts resumed tasks settled from the checkpoint without
+	// launching — the crash lost their terminal record but not their result.
+	MemoHits int
+	// Unrecoverable counts resumed tasks whose app is not registered in this
+	// process; they fail rather than silently vanish.
+	Unrecoverable int
+	// Elapsed is the wall-clock recovery time (replay happened at Open; this
+	// covers resolution, re-admission, and the post-recovery compaction).
+	Elapsed time.Duration
+}
+
+// Recover consumes the frontier replayed from the durable log when this DFK
+// opened it: construct the DFK with Config.WAL over the crashed process's
+// WALDir (and the same Checkpoint), re-register the apps, then call Recover
+// before submitting new work. Idempotent in effect — the replayed frontier is
+// consumed by the first call, and recovery itself is logged, so a crash
+// during recovery replays the same (or a smaller) frontier next time.
+func (d *DFK) Recover() (*Recovery, error) {
+	start := time.Now()
+	rcv := &Recovery{
+		Resolved: make(map[int64]*future.Future),
+		Resumed:  make(map[int64]*future.Future),
+	}
+	if d.wal == nil {
+		return nil, errors.New("dfk: Recover requires Config.WAL")
+	}
+	fr := d.wal.Recovered()
+	if fr == nil {
+		return rcv, nil
+	}
+	rcv.LiveAtCrash = len(fr.Live)
+	rcv.TerminalAtCrash = len(fr.Terminals)
+	for key, t := range fr.Terminals {
+		fut := future.New()
+		switch {
+		case t.Outcome == wal.OutcomeFailed:
+			_ = fut.SetError(fmt.Errorf("dfk: task (wal key %d) failed before the crash", key))
+		case t.Digest != "":
+			if v, hit := d.memoizer.Lookup(t.Digest); hit {
+				_ = fut.SetResult(v)
+			} else {
+				// The write-ordering contract (memo Store before WAL
+				// terminal) makes this unreachable under the process-crash
+				// model; surface it loudly rather than re-executing a task
+				// the log proved already ran.
+				_ = fut.SetError(fmt.Errorf(
+					"dfk: task (wal key %d) concluded before the crash but its result is not in the checkpoint (key %q)", key, t.Digest))
+			}
+		default:
+			// Done without memoization: the value was never durable anywhere.
+			// Exactly-once forbids re-running it, so the future reports the
+			// gap instead.
+			_ = fut.SetError(fmt.Errorf(
+				"dfk: task (wal key %d) concluded before the crash without a durable result (not memoized)", key))
+		}
+		rcv.Resolved[key] = fut
+	}
+	// Re-admit live tasks in WAL-key order — submission order — so recovery
+	// is deterministic and dispatch sees the pre-crash arrival sequence.
+	keys := make([]int64, 0, len(fr.Live))
+	for k := range fr.Live {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		d.resume(k, fr.Live[k], rcv)
+	}
+	// Fold the recovered history into a snapshot: the next crash replays the
+	// live frontier, not the whole pre-crash record stream.
+	if err := d.wal.Compact(); err != nil {
+		d.emitWAL(0, "compact", err)
+	}
+	rcv.Elapsed = time.Since(start)
+	d.mon.Emit(monitor.Event{
+		Kind: monitor.KindWAL,
+		At:   time.Now(),
+		Detail: fmt.Sprintf(
+			"recovered %d records: %d live re-admitted (%d memo hits, %d unrecoverable), %d terminal resolved, %d folded",
+			fr.Records, rcv.LiveAtCrash, rcv.MemoHits, rcv.Unrecoverable, rcv.TerminalAtCrash, fr.Folded),
+		Duration: rcv.Elapsed,
+	})
+	return rcv, nil
+}
+
+// resume re-admits one live-at-crash task through the same machinery a fresh
+// submission uses: a new record and task id, the normal pending state, memo
+// consultation, and the dispatch pipeline. What differs is durable identity —
+// the record keeps the crashed task's WAL key, so its terminal record settles
+// the same logged task, and its attempt counter starts at the pre-crash
+// launch count, so the retry budget spans both lifetimes.
+func (d *DFK) resume(key int64, info *wal.TaskInfo, rcv *Recovery) {
+	d.mu.RLock()
+	if d.shutdown {
+		d.mu.RUnlock()
+		rcv.Resumed[key] = future.FromError(executor.ErrShutdown)
+		return
+	}
+	d.wg.Add(1)
+	d.mu.RUnlock()
+
+	args, kwargs, decErr := serialize.DecodeArgsBytes(info.Payload)
+	id := d.graph.NextID()
+	rec := task.NewRecord(id, info.App, args, kwargs)
+	rcv.Resumed[key] = rec.Future
+	rec.SetTenant(info.Tenant, info.Weight)
+	rec.SetMaxRetries(info.MaxRetries)
+	rec.SetPriority(info.Priority)
+	rec.SetWALKey(key)
+	d.graph.Add(rec)
+	d.emitState(rec, "", "pending")
+	if err := rec.SetState(task.Pending); err != nil {
+		d.failTask(rec, err)
+		return
+	}
+	if decErr != nil {
+		d.failTask(rec, fmt.Errorf("dfk: recover: decode logged payload: %w", decErr))
+		return
+	}
+	// The self-healing half of the checkpoint/WAL contract: the crash lost
+	// the terminal record but the memo Store that preceded it survived, so
+	// the lookup settles the task without re-execution — and this lifetime
+	// logs the terminal record the last one couldn't.
+	if info.MemoKey != "" {
+		rec.SetMemoKey(info.MemoKey)
+		if v, hit := d.memoizer.Lookup(info.MemoKey); hit {
+			from := rec.State().String()
+			if rec.SetState(task.Memoized) == nil {
+				rcv.MemoHits++
+				d.emitState(rec, from, "memoized")
+				d.logTerminal(rec, wal.OutcomeMemoized, info.MemoKey)
+				_ = rec.Future.SetResult(v)
+				d.retire(rec)
+			}
+			return
+		}
+	}
+	entry, ok := d.registry.Lookup(info.App)
+	if !ok {
+		rcv.Unrecoverable++
+		d.failTask(rec, fmt.Errorf("dfk: recover: app %q not registered in this process", info.App))
+		return
+	}
+	if info.Launches > info.MaxRetries {
+		d.failTask(rec, fmt.Errorf(
+			"dfk: recover: retry budget exhausted before the crash (%d launches, %d retries allowed)",
+			info.Launches, info.MaxRetries))
+		return
+	}
+	rec.SetAttempts(info.Launches)
+	// The frontier's payload slice aliases the log's live mirror; the record
+	// needs its own copy with its own refcount lifecycle.
+	payload := serialize.PayloadFromBytes(append([]byte(nil), info.Payload...))
+	rec.SetPayload(payload)
+	attempt := info.Launches + 1
+	if info.Launches > 0 {
+		// Charge the resumed attempt durably before it can run, exactly as
+		// an in-process retry would (the lane runner only logs Launch for
+		// attempt 1).
+		if err := d.wal.Retry(key, attempt); err != nil {
+			d.emitWAL(rec.ID, "retry", err)
+		}
+	}
+	a := &App{dfk: d, name: info.App, memoize: info.MemoKey != "", bodyHash: entry.BodyHash()}
+	d.enqueueAttempt(&pendingLaunch{
+		d: d, rec: rec, gen: rec.Gen(), app: a, args: args, kwargs: kwargs,
+		payload: payload.Retain(),
+		wireID:  id, priority: info.Priority,
+		tenant: info.Tenant, weight: info.Weight,
+		walKey: key, walAttempt: attempt,
+	})
+}

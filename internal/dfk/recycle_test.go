@@ -3,11 +3,13 @@ package dfk
 import (
 	"context"
 	"errors"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/future"
 	"repro/internal/monitor"
+	"repro/internal/wal"
 )
 
 // TestRecycleReclaimsTerminalRecords drains a batch and asserts the graph
@@ -156,5 +158,63 @@ func TestLateAttemptSettleAfterRecycleIsNoOp(t *testing.T) {
 	}
 	if rec := d.Graph().RecycledNodes(); rec != 1 {
 		t.Fatalf("RecycledNodes = %d, want 1", rec)
+	}
+}
+
+// TestLateSettleAfterWALTerminalIsNoOp is the durable twin of the test above:
+// once the timeout's failed terminal record is in the WAL, a late executor
+// success chasing the recycled record must not append anything — the log
+// already proved the task concluded, and a second terminal (or a resurrected
+// result) would break exactly-once replay after a crash.
+func TestLateSettleAfterWALTerminalIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	d := walDFK(t, dir, nil)
+	release := make(chan struct{})
+	slow, err := d.PythonApp("slow-wal-recycle", func([]any, map[string]any) (any, error) {
+		<-release
+		return "too late", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := slow.Submit(context.Background(), nil, WithTimeout(20*time.Millisecond))
+	if _, err := fut.Result(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error = %v, want ErrTimeout", err)
+	}
+	d.WaitAll() // task concluded and retired; worker still parked
+	if err := d.WAL().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fr1, err := wal.Replay(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr1.Live) != 0 || fr1.TerminalTotal() != 1 {
+		t.Fatalf("pre-release frontier: live=%d terminals=%d", len(fr1.Live), fr1.TerminalTotal())
+	}
+	for k, term := range fr1.Terminals {
+		if term.Outcome != wal.OutcomeFailed {
+			t.Fatalf("task %d outcome=%v; want failed (timeout)", k, term.Outcome)
+		}
+	}
+	// Unpark the worker: its success now chases a recycled record whose
+	// terminal is already durable.
+	close(release)
+	time.Sleep(50 * time.Millisecond)
+	if _, err := fut.Result(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("late executor success resurrected the task: %v", err)
+	}
+	if err := d.WAL().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := wal.Replay(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Records != fr1.Records {
+		t.Fatalf("late settle appended to the log: %d records, had %d", fr2.Records, fr1.Records)
+	}
+	if len(fr2.Live) != 0 || fr2.TerminalTotal() != 1 {
+		t.Fatalf("post-release frontier: live=%d terminals=%d", len(fr2.Live), fr2.TerminalTotal())
 	}
 }

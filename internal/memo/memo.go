@@ -5,10 +5,26 @@
 // Program-level fault tolerance (§3.7) falls out of the checkpoint file: a
 // re-executed program skips every app already called with the same
 // arguments.
+//
+// # Checkpoint/WAL consistency contract
+//
+// The DFK stores a task's memo entry BEFORE appending its terminal record to
+// the write-ahead log (internal/wal). Under the process-crash model both
+// writes reach the OS synchronously, so a WAL terminal record implies the
+// memo entry is at least as durable: recovery that finds a task terminal can
+// always resolve its value from the checkpoint. The reverse window — memo
+// entry written, terminal record lost — heals itself: the task replays as
+// live, re-admits through the normal submit boundary, and the memo lookup
+// hits, settling it without re-execution. A crash mid-write can still tear
+// the checkpoint's final line; NewWithCheckpoint detects torn or corrupt
+// lines (including an unterminated tail, which a later append would
+// otherwise merge with and lose) and rewrites the file crash-atomically —
+// temp file, fsync, rename — before reopening it for appends.
 package memo
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -65,6 +81,7 @@ type Memoizer struct {
 	cpPath string
 	cpFile *os.File
 	enc    *json.Encoder
+	frozen bool
 
 	hits, misses int64
 }
@@ -77,14 +94,28 @@ func New() *Memoizer {
 // NewWithCheckpoint returns a memoizer that appends every stored result to
 // the JSONL checkpoint file at path, creating it if needed, and preloads any
 // results already in it (the "re-execute a program without re-running
-// completed apps" workflow).
+// completed apps" workflow). A checkpoint torn by a crash mid-write — a
+// corrupt line, or a final line with no terminating newline — is healed
+// crash-atomically (rewritten to a temp file, fsynced, renamed over the
+// original) before the file is reopened for appends, so the torn tail can
+// never swallow the next entry appended after it.
 func NewWithCheckpoint(path string) (*Memoizer, error) {
 	m := New()
-	if err := m.LoadCheckpoint(path); err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, err
+	clean, err := m.loadCheckpoint(path)
+	exists := true
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		exists = false
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("memo: checkpoint dir: %w", err)
+	}
+	if exists && !clean {
+		if err := m.healCheckpoint(path); err != nil {
+			return nil, err
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -94,6 +125,90 @@ func NewWithCheckpoint(path string) (*Memoizer, error) {
 	m.cpFile = f
 	m.enc = json.NewEncoder(f)
 	return m, nil
+}
+
+// loadCheckpoint merges the file's entries into the table, reporting whether
+// the file was clean: clean=false means a corrupt line or an unterminated
+// final line — both the signature of a crash mid-write, both healable by
+// rewriting the surviving entries.
+func (m *Memoizer) loadCheckpoint(path string) (clean bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	clean = true
+	for len(data) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			// Unterminated tail: a crash interrupted the final append. Even
+			// if the fragment parses, the missing newline would merge it with
+			// the next appended entry, losing both — heal required.
+			line, data = data, nil
+			clean = false
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			clean = false
+			continue
+		}
+		m.mu.Lock()
+		m.table[e.Key] = e.Value
+		m.mu.Unlock()
+	}
+	return clean, nil
+}
+
+// healCheckpoint rewrites the checkpoint from the loaded table via temp
+// file + fsync + rename, the crash-atomic sequence: a crash at any point
+// leaves either the old (torn but loadable) file or the complete new one.
+func (m *Memoizer) healCheckpoint(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("memo: heal checkpoint: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	m.mu.RLock()
+	for k, v := range m.table {
+		if err := enc.Encode(entry{Key: k, Value: v}); err != nil {
+			m.mu.RUnlock()
+			_ = f.Close()
+			return fmt.Errorf("memo: heal checkpoint: %w", err)
+		}
+	}
+	m.mu.RUnlock()
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("memo: heal checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memo: heal checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("memo: heal checkpoint rename: %w", err)
+	}
+	// Make the rename itself durable.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	return nil
+}
+
+// Freeze stops all further checkpoint writes, simulating a crashed process's
+// disk state: entries stored after Freeze stay in memory (the live process
+// continues) but never reach the file. The chaos plane's WAL crash injection
+// freezes the memoizer and the log at the same record boundary, so a
+// simulated crash leaves both durable layers consistent.
+func (m *Memoizer) Freeze() {
+	m.cpMu.Lock()
+	m.frozen = true
+	m.cpMu.Unlock()
 }
 
 // LoadCheckpoint merges entries from a JSONL checkpoint file into the table.
@@ -145,7 +260,7 @@ func (m *Memoizer) Store(key string, value any) error {
 
 	m.cpMu.Lock()
 	defer m.cpMu.Unlock()
-	if m.enc == nil {
+	if m.enc == nil || m.frozen {
 		return nil
 	}
 	if err := m.enc.Encode(entry{Key: key, Value: value}); err != nil {

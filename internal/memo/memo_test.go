@@ -195,3 +195,117 @@ func TestQuickCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCheckpointHealsTornTail is the crash-atomicity test for checkpoint
+// writes: a tail torn mid-append (no terminating newline) must be healed at
+// open — rewritten via temp file + fsync + rename — so the NEXT append cannot
+// merge with the fragment and lose both entries. Before healing existed, the
+// store after reopen produced a line like `{"key":"half{"key":"new",...}`,
+// silently destroying the new entry too.
+func TestCheckpointHealsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	m1, err := NewWithCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m1.Store("survivor", "v1")
+	_ = m1.Close()
+	// Tear the tail: an unterminated fragment, exactly what a crash mid-
+	// append leaves.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	_, _ = f.WriteString(`{"key":"torn","value":`)
+	_ = f.Close()
+
+	m2, err := NewWithCheckpoint(path)
+	if err != nil {
+		t.Fatalf("torn tail should heal, not fail: %v", err)
+	}
+	if _, ok := m2.Lookup("survivor"); !ok {
+		t.Fatal("intact entry lost during heal")
+	}
+	// The heal must leave no trace of the fragment on disk, so the next
+	// append lands on a clean line boundary.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(data); n == 0 || data[n-1] != '\n' {
+		t.Fatalf("healed file does not end in a newline: %q", data)
+	}
+	_ = m2.Store("after-heal", "v2")
+	_ = m2.Close()
+
+	m3, err := NewWithCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if _, ok := m3.Lookup("survivor"); !ok {
+		t.Fatal("survivor lost after post-heal append")
+	}
+	if v, ok := m3.Lookup("after-heal"); !ok || v != "v2" {
+		t.Fatalf("post-heal append lost or corrupted: %v %v", v, ok)
+	}
+	if m3.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m3.Len())
+	}
+}
+
+// TestCheckpointTornTailEvenIfParseable: a tail that happens to be valid JSON
+// but lacks its newline is still torn — an append would merge with it. The
+// heal must preserve its value AND restore the line discipline.
+func TestCheckpointTornTailEvenIfParseable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	if err := os.WriteFile(path, []byte(`{"key":"k1","value":1}`+"\n"+`{"key":"k2","value":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewWithCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want both entries loaded", m.Len())
+	}
+	_ = m.Store("k3", 3)
+	_ = m.Close()
+
+	m2, err := NewWithCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if _, ok := m2.Lookup(k); !ok {
+			t.Fatalf("entry %q lost: the unterminated tail swallowed an append", k)
+		}
+	}
+}
+
+// TestFreezeStopsCheckpointWrites: entries stored after Freeze stay in memory
+// but never reach the file — the simulated-crash disk contract the WAL crash
+// matrix depends on.
+func TestFreezeStopsCheckpointWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	m, err := NewWithCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Store("before", 1)
+	m.Freeze()
+	_ = m.Store("after", 2)
+	if _, ok := m.Lookup("after"); !ok {
+		t.Fatal("frozen store must still serve the live process from memory")
+	}
+	_ = m.Close()
+
+	m2 := New()
+	if err := m2.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m2.Lookup("before"); !ok {
+		t.Fatal("pre-freeze entry lost")
+	}
+	if _, ok := m2.Lookup("after"); ok {
+		t.Fatal("post-freeze entry leaked to disk")
+	}
+}

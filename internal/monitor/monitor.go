@@ -33,6 +33,10 @@ const (
 	// a graph shard prunes terminal records, with Detail describing the
 	// shard's cumulative pruned count and the graph's live-node count.
 	KindGraph EventKind = "graph"
+	// KindWAL records durable-log lifecycle: a replay summary when the DFK
+	// recovers a crashed log (Detail carries live/terminal/re-admitted
+	// counts), compaction, and append errors.
+	KindWAL EventKind = "wal"
 )
 
 // Event is one monitoring record.

@@ -421,6 +421,11 @@ func payloadFromBytes(b []byte) *Payload {
 	return p
 }
 
+// PayloadFromBytes wraps already-encoded payload bytes — e.g. replayed from
+// the durable dataflow log — holding one reference. The slice is retained;
+// callers replaying from a shared buffer must pass a copy.
+func PayloadFromBytes(b []byte) *Payload { return payloadFromBytes(b) }
+
 // Bytes exposes the encoded payload. Callers must treat it as read-only.
 func (p *Payload) Bytes() []byte { return p.data }
 

@@ -142,6 +142,11 @@ type Record struct {
 	holds   int32
 	retired bool
 
+	// walKey is the task's durable key in the write-ahead log (0 = not
+	// logged). Recovery dedups by it: a replayed task keeps its pre-crash
+	// key, so its post-crash transitions append to the same durable history.
+	walKey int64
+
 	// admitted records that this task holds an admission-controller slot;
 	// the DFK's retire path consumes it (TakeAdmitted) to release the slot
 	// exactly once without a per-task closure.
@@ -276,6 +281,7 @@ func (r *Record) recycleLocked() {
 	r.startTime = time.Time{}
 	r.endTime = time.Time{}
 	r.transitions = r.transitions[:0]
+	r.walKey = 0
 	r.retired = false
 	r.admitted = false
 	r.cancelStop = nil
@@ -384,6 +390,30 @@ func (r *Record) IncAttempts() int {
 	defer r.mu.Unlock()
 	r.attempts++
 	return r.attempts
+}
+
+// SetAttempts seeds the attempt counter — recovery uses it so launches
+// consumed before a crash keep counting against the budget: a task replayed
+// with n logged launches resumes as if n attempts already failed, keeping
+// total launches across process lifetimes within retries+1.
+func (r *Record) SetAttempts(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.attempts = n
+}
+
+// SetWALKey records the task's durable write-ahead-log key.
+func (r *Record) SetWALKey(k int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.walKey = k
+}
+
+// WALKey returns the durable log key (0 = task not logged).
+func (r *Record) WALKey() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.walKey
 }
 
 // SetMaxRetries configures the retry budget for this task.

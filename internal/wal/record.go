@@ -1,0 +1,327 @@
+// Record framing and replay for the durable dataflow log.
+//
+// Every record is framed as
+//
+//	[4B big-endian body length][4B big-endian CRC-32C of body][body]
+//
+// and the body is one type byte followed by the record's fields in a
+// hand-rolled varint encoding (no reflection, no per-record allocations on
+// the append path). CRC-32C (Castagnoli) matches the wire-frame checksum in
+// internal/serialize: hardware-accelerated, and any single flipped byte in a
+// record fails verification instead of replaying into a wrong frontier.
+//
+// Torn-tail policy: a truncated or checksum-corrupt record in the LAST
+// segment ends replay cleanly — it is the partial final write of a crashed
+// process, counted in Frontier.Torn and discarded, never an error. The same
+// damage in an earlier segment is real corruption (everything after it is
+// unreachable, because framing is lost) and replay fails loudly.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record types.
+const (
+	recSubmit   byte = 1 // task admitted to dispatch: identity + payload bytes
+	recLaunch   byte = 2 // first executor submission of a task
+	recRetry    byte = 3 // a further attempt consumed launch budget
+	recTerminal byte = 4 // task concluded: outcome + result digest
+	recSnapshot byte = 5 // compaction: full frontier, folds terminal history
+)
+
+// Outcome is how a task concluded.
+type Outcome byte
+
+// Outcomes recorded by terminal records.
+const (
+	OutcomeDone     Outcome = 1
+	OutcomeFailed   Outcome = 2
+	OutcomeMemoized Outcome = 3
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDone:
+		return "done"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeMemoized:
+		return "memoized"
+	}
+	return fmt.Sprintf("Outcome(%d)", byte(o))
+}
+
+// TaskInfo is everything a submit record persists about a task — enough to
+// re-admit it through the normal dispatch pipeline after a crash.
+type TaskInfo struct {
+	Key        int64  // durable task key, assigned by the log
+	App        string // registered app name
+	MemoKey    string // memoization key ("" when memoization is off)
+	Tenant     string // fair-queuing tenant id
+	Priority   int
+	Weight     int
+	MaxRetries int
+	Launches   int    // replay-computed: launch + retry records seen
+	Payload    []byte // encode-once serialized arguments
+}
+
+// Terminal is one concluded task as replay sees it.
+type Terminal struct {
+	Outcome Outcome
+	Digest  string // result digest: the memo key locating the durable value
+	// Info is the task's submit info when its submit record is still in the
+	// log; nil once compaction folded the task's history away.
+	Info *TaskInfo
+}
+
+// Frontier is the replayed state of a log: what a restarted DFK recovers to.
+type Frontier struct {
+	NextKey int64 // next unassigned durable task key
+	// Live holds tasks with a submit record and no terminal record — the
+	// in-flight and pending set at the crash.
+	Live map[int64]*TaskInfo
+	// Terminals holds tasks that concluded, for terminal records still in
+	// the log (not yet folded by compaction).
+	Terminals map[int64]Terminal
+	// Folded counts terminal tasks compacted out of the log; their results
+	// live in the memo checkpoint, not here.
+	Folded int64
+	// Records counts records replayed (snapshots included).
+	Records int64
+	// Torn counts partial trailing records discarded from the last segment.
+	Torn int
+}
+
+// TerminalTotal is the number of tasks known concluded: replayable terminal
+// records plus history folded into snapshots.
+func (f *Frontier) TerminalTotal() int64 { return int64(len(f.Terminals)) + f.Folded }
+
+// crcTable is CRC-32C (Castagnoli), matching internal/serialize's framing.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderLen is the per-record overhead: 4B length + 4B CRC.
+const frameHeaderLen = 8
+
+// appendFrame frames body onto dst.
+func appendFrame(dst, body []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// maxRecordBytes bounds a single record body; a length field beyond it is
+// framing damage, not a record (guards replay against absurd allocations).
+const maxRecordBytes = 64 << 20
+
+// walkFrames iterates the well-formed frames of one segment, calling apply
+// for each body. It returns the byte offset just past the last good frame
+// and whether the segment ended with a torn record (truncated or
+// checksum-corrupt tail).
+func walkFrames(data []byte, apply func(body []byte) error) (good int64, torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		if off+frameHeaderLen > len(data) {
+			return int64(off), true, nil
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		if n > maxRecordBytes || off+frameHeaderLen+n > len(data) {
+			return int64(off), true, nil
+		}
+		body := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(data[off+4:off+8]) {
+			return int64(off), true, nil
+		}
+		if err := apply(body); err != nil {
+			return int64(off), false, err
+		}
+		off += frameHeaderLen + n
+	}
+	return int64(off), false, nil
+}
+
+// Body encoders. appendString/appendBytes are length-prefixed; ints use
+// uvarint (zigzag varint where the value can be negative).
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// appendSubmitBody encodes a submit record body WITHOUT the leading type
+// byte — the same shape is embedded per live task inside snapshot records.
+func appendSubmitBody(b []byte, info *TaskInfo) []byte {
+	b = binary.AppendUvarint(b, uint64(info.Key))
+	b = binary.AppendVarint(b, int64(info.Priority))
+	b = binary.AppendUvarint(b, uint64(info.Weight))
+	b = binary.AppendUvarint(b, uint64(info.MaxRetries))
+	b = appendString(b, info.App)
+	b = appendString(b, info.MemoKey)
+	b = appendString(b, info.Tenant)
+	return appendBytes(b, info.Payload)
+}
+
+// bodyReader decodes record bodies; the first decode error sticks.
+type bodyReader struct {
+	b   []byte
+	err error
+}
+
+func (r *bodyReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wal: truncated %s field", what)
+	}
+}
+
+func (r *bodyReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *bodyReader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *bodyReader) str(what string) string {
+	return string(r.bytes(what))
+}
+
+// bytes returns a view into the body; callers that retain it must copy.
+func (r *bodyReader) bytes(what string) []byte {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.fail(what)
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+// readSubmitBody decodes one submit body (sans type byte), copying the
+// payload so the TaskInfo outlives the segment buffer.
+func readSubmitBody(r *bodyReader) *TaskInfo {
+	info := &TaskInfo{}
+	info.Key = int64(r.uvarint("key"))
+	info.Priority = int(r.varint("priority"))
+	info.Weight = int(r.uvarint("weight"))
+	info.MaxRetries = int(r.uvarint("maxRetries"))
+	info.App = r.str("app")
+	info.MemoKey = r.str("memoKey")
+	info.Tenant = r.str("tenant")
+	info.Payload = append([]byte(nil), r.bytes("payload")...)
+	return info
+}
+
+// apply folds one record body into the frontier.
+func (f *Frontier) apply(body []byte) error {
+	if len(body) == 0 {
+		return fmt.Errorf("wal: empty record body")
+	}
+	r := &bodyReader{b: body[1:]}
+	switch body[0] {
+	case recSubmit:
+		info := readSubmitBody(r)
+		if r.err != nil {
+			return r.err
+		}
+		f.Live[info.Key] = info
+		if info.Key >= f.NextKey {
+			f.NextKey = info.Key + 1
+		}
+	case recLaunch, recRetry:
+		key := int64(r.uvarint("key"))
+		r.uvarint("attempt")
+		if r.err != nil {
+			return r.err
+		}
+		if info := f.Live[key]; info != nil {
+			info.Launches++
+		}
+	case recTerminal:
+		key := int64(r.uvarint("key"))
+		outcome := Outcome(r.uvarint("outcome"))
+		digest := r.str("digest")
+		if r.err != nil {
+			return r.err
+		}
+		info := f.Live[key]
+		delete(f.Live, key)
+		f.Terminals[key] = Terminal{Outcome: outcome, Digest: digest, Info: info}
+	case recSnapshot:
+		// A snapshot supersedes everything replayed before it: compaction
+		// wrote the full frontier, and any older segments that survived a
+		// crash mid-compaction describe exactly the folded history.
+		nextKey := int64(r.uvarint("nextKey"))
+		folded := int64(r.uvarint("folded"))
+		nLive := r.uvarint("nLive")
+		live := make(map[int64]*TaskInfo, nLive)
+		for i := uint64(0); i < nLive; i++ {
+			launches := int(r.uvarint("launches"))
+			entry := &bodyReader{b: r.bytes("entry")}
+			info := readSubmitBody(entry)
+			if r.err != nil || entry.err != nil {
+				if r.err == nil {
+					r.err = entry.err
+				}
+				return r.err
+			}
+			info.Launches = launches
+			live[info.Key] = info
+		}
+		if r.err != nil {
+			return r.err
+		}
+		f.NextKey = nextKey
+		f.Folded = folded
+		f.Live = live
+		f.Terminals = make(map[int64]Terminal)
+	default:
+		return fmt.Errorf("wal: unknown record type %d", body[0])
+	}
+	if r.err != nil {
+		return r.err
+	}
+	f.Records++
+	return nil
+}
+
+func newFrontier() *Frontier {
+	return &Frontier{
+		NextKey:   1, // key 0 is reserved as "no WAL key"
+		Live:      make(map[int64]*TaskInfo),
+		Terminals: make(map[int64]Terminal),
+	}
+}

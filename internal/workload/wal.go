@@ -1,0 +1,313 @@
+package workload
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/dfk"
+	"repro/internal/executor"
+	"repro/internal/executor/threadpool"
+	"repro/internal/monitor"
+	"repro/internal/serialize"
+	"repro/internal/wal"
+)
+
+// WALCrashConfig shapes one two-lifetime crash-recovery run: a first DFK
+// lifetime writes the durable dataflow log and is "killed" at an exact WAL
+// record boundary (the chaos plane freezes the log and the memo checkpoint at
+// that boundary, leaving the disk byte-for-byte what a real process death
+// would), then a second lifetime recovers from the frozen state and the
+// exactly-once invariants are checked across both.
+type WALCrashConfig struct {
+	// Tasks is the number of tasks the first lifetime submits (default 8).
+	Tasks int
+	// Retries is the per-task retry budget, enforced ACROSS lifetimes
+	// (default 1).
+	Retries int
+	// Boundary is the 0-based WAL record boundary to crash at: records
+	// 0..Boundary-1 are durable, the Boundary-th append and everything after
+	// it are lost. Negative runs both lifetimes without a crash.
+	Boundary int64
+	// Dir is the working directory holding wal/ and checkpoint.jsonl; it must
+	// be empty before the run.
+	Dir string
+	// Seed feeds the DFK's executor selection and the chaos schedule.
+	Seed int64
+}
+
+func (c *WALCrashConfig) normalize() {
+	if c.Tasks <= 0 {
+		c.Tasks = 8
+	}
+	if c.Retries <= 0 {
+		c.Retries = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// WALCrashResult reports one crash-recovery run. Violations empty means every
+// exactly-once guarantee held at this boundary.
+type WALCrashResult struct {
+	// Records is the count of durable WAL records at the crash.
+	Records int64
+	// LiveAtCrash / TerminalAtCrash describe the replayed frontier.
+	LiveAtCrash     int
+	TerminalAtCrash int
+	// ReExecuted counts tasks whose app body ran again in the second
+	// lifetime; the invariant bounds it by LiveAtCrash.
+	ReExecuted int
+	// MemoHits counts resumed tasks settled from the surviving checkpoint
+	// without re-execution.
+	MemoHits int
+	// RecoveryTime is lifetime 2's Recover() wall clock.
+	RecoveryTime time.Duration
+	Violations   []string
+}
+
+// walValue is the reference app's deterministic function of the task index.
+func walValue(i int) int { return i*2 + 1 }
+
+// walTaskIndex decodes the task index back out of a logged payload.
+func walTaskIndex(payload []byte) (int, error) {
+	args, _, err := serialize.DecodeArgsBytes(payload)
+	if err != nil {
+		return -1, err
+	}
+	if len(args) != 1 {
+		return -1, fmt.Errorf("decoded %d args, want 1", len(args))
+	}
+	i, ok := args[0].(int)
+	if !ok {
+		return -1, fmt.Errorf("decoded arg %T, want int", args[0])
+	}
+	return i, nil
+}
+
+// RunWALCrash executes the two-lifetime scenario and checks, at the given
+// record boundary: no task is lost (every submitted task eventually resolves
+// with the right value in some lifetime), no pre-crash-terminal task is
+// re-executed, recovery re-executes at most the in-flight set, each resumed
+// task reaches a terminal state exactly once, and the launch budget spans both
+// lifetimes.
+func RunWALCrash(cfg WALCrashConfig) (WALCrashResult, error) {
+	cfg.normalize()
+	var res WALCrashResult
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	walDir := filepath.Join(cfg.Dir, "wal")
+	cpPath := filepath.Join(cfg.Dir, "checkpoint.jsonl")
+
+	// Lifetime 1: run the workload with the log freezing at the boundary.
+	// The process itself runs on (futures settle in memory), but the disk
+	// stops dead at record Boundary — exactly a kill at that point.
+	execs1 := make([]atomic.Int64, cfg.Tasks)
+	{
+		reg := serialize.NewRegistry()
+		d, err := dfk.New(dfk.Config{
+			Registry:        reg,
+			Executors:       []executor.Executor{threadpool.New("tp", 4, reg)},
+			Retries:         cfg.Retries,
+			Memoize:         true,
+			Checkpoint:      cpPath,
+			Seed:            cfg.Seed,
+			WAL:             true,
+			WALDir:          walDir,
+			WALCompactEvery: -1, // keep the raw record stream inspectable
+		})
+		if err != nil {
+			return res, err
+		}
+		app, err := d.PythonApp("wal-crashf", func(args []any, _ map[string]any) (any, error) {
+			i := args[0].(int)
+			execs1[i].Add(1)
+			return walValue(i), nil
+		})
+		if err != nil {
+			_ = d.Shutdown()
+			return res, err
+		}
+		if cfg.Boundary >= 0 {
+			restore := chaos.Enable(chaos.New(cfg.Seed, chaos.Plan{{
+				Point: chaos.PointWALAppend, Act: chaos.ActKill,
+				Prob: 1, Max: 1, After: cfg.Boundary,
+			}}))
+			defer restore()
+		}
+		for i := 0; i < cfg.Tasks; i++ {
+			app.Call(i)
+		}
+		d.WaitAll()
+		if err := d.Shutdown(); err != nil {
+			return res, fmt.Errorf("lifetime 1 shutdown: %w", err)
+		}
+		chaos.Disable()
+	}
+
+	// Autopsy of the frozen disk: which tasks does the durable log say were
+	// live, and which terminal, at the crash?
+	fr, err := wal.Replay(walDir)
+	if err != nil {
+		return res, fmt.Errorf("replay frozen log: %w", err)
+	}
+	res.Records = fr.Records
+	res.LiveAtCrash = len(fr.Live)
+	res.TerminalAtCrash = int(fr.TerminalTotal())
+	keyToIdx := make(map[int64]int, cfg.Tasks)
+	preTerminal := make(map[int]bool)
+	for key, info := range fr.Live {
+		i, err := walTaskIndex(info.Payload)
+		if err != nil {
+			violate("live task %d: %v", key, err)
+			continue
+		}
+		keyToIdx[key] = i
+	}
+	for key, term := range fr.Terminals {
+		if term.Info == nil {
+			violate("terminal task %d lost its submit info without compaction", key)
+			continue
+		}
+		i, err := walTaskIndex(term.Info.Payload)
+		if err != nil {
+			violate("terminal task %d: %v", key, err)
+			continue
+		}
+		keyToIdx[key] = i
+		preTerminal[i] = true
+	}
+
+	// Lifetime 2: a fresh process over the same durable state.
+	execs2 := make([]atomic.Int64, cfg.Tasks)
+	reg2 := serialize.NewRegistry()
+	store2 := monitor.NewStore()
+	d2, err := dfk.New(dfk.Config{
+		Registry:        reg2,
+		Executors:       []executor.Executor{threadpool.New("tp", 4, reg2)},
+		Retries:         cfg.Retries,
+		Memoize:         true,
+		Checkpoint:      cpPath,
+		Seed:            cfg.Seed + 1,
+		Monitor:         store2,
+		WAL:             true,
+		WALDir:          walDir,
+		WALCompactEvery: -1,
+	})
+	if err != nil {
+		return res, fmt.Errorf("lifetime 2 start: %w", err)
+	}
+	if _, err := d2.PythonApp("wal-crashf", func(args []any, _ map[string]any) (any, error) {
+		i := args[0].(int)
+		execs2[i].Add(1)
+		return walValue(i), nil
+	}); err != nil {
+		_ = d2.Shutdown()
+		return res, err
+	}
+	rcv, err := d2.Recover()
+	if err != nil {
+		_ = d2.Shutdown()
+		return res, fmt.Errorf("recover: %w", err)
+	}
+	res.RecoveryTime = rcv.Elapsed
+	res.MemoHits = rcv.MemoHits
+	if rcv.LiveAtCrash != res.LiveAtCrash || rcv.TerminalAtCrash+int(fr.Folded) != res.TerminalAtCrash {
+		violate("recovery saw live=%d terminal=%d; replay saw %d, %d",
+			rcv.LiveAtCrash, rcv.TerminalAtCrash, res.LiveAtCrash, res.TerminalAtCrash)
+	}
+
+	// Invariant: no task lost — every live-at-crash task resolves with the
+	// right value in lifetime 2 (exactly-once delivery across lifetimes).
+	resumedIDs := make(map[int64]int, len(rcv.Resumed))
+	for key, fut := range rcv.Resumed {
+		i, known := keyToIdx[key]
+		if !known {
+			violate("resumed task %d has no payload mapping", key)
+			continue
+		}
+		v, ferr := fut.Result()
+		if ferr != nil {
+			violate("task %d (wal key %d) lost across the crash: %v", i, key, ferr)
+			continue
+		}
+		if got, ok := v.(int); !ok || got != walValue(i) {
+			// The checkpoint round-trips ints through JSON; accept the
+			// float64 shape of the same value.
+			if f, okf := v.(float64); !okf || f != float64(walValue(i)) {
+				violate("task %d resolved to %v, want %d", i, v, walValue(i))
+			}
+		}
+		resumedIDs[fut.TaskID] = i
+	}
+	d2.WaitAll()
+
+	// Invariant: zero re-execution of pre-crash-terminal tasks, and recovery
+	// re-executes no more tasks than were in flight at the crash.
+	for i := 0; i < cfg.Tasks; i++ {
+		n := int(execs2[i].Load())
+		if n > 0 {
+			res.ReExecuted++
+		}
+		if preTerminal[i] && n > 0 {
+			violate("task %d was terminal before the crash but re-executed %d times", i, n)
+		}
+	}
+	if res.ReExecuted > res.LiveAtCrash {
+		violate("recovery re-executed %d tasks; only %d were in flight at the crash",
+			res.ReExecuted, res.LiveAtCrash)
+	}
+
+	// Invariant: each resumed task reaches a terminal state exactly once in
+	// lifetime 2, and its launches across BOTH lifetimes fit the budget.
+	launches := make(map[int64]int)
+	terminals := make(map[int64]int)
+	for _, e := range store2.Events(monitor.KindTaskState) {
+		switch e.To {
+		case "launched":
+			launches[e.TaskID]++
+		case "done", "failed", "memoized":
+			terminals[e.TaskID]++
+		}
+	}
+	for id, i := range resumedIDs {
+		if n := terminals[id]; n != 1 {
+			violate("resumed task %d reached a terminal state %d times", i, n)
+		}
+	}
+	for key, fut := range rcv.Resumed {
+		pre := 0
+		if info := fr.Live[key]; info != nil {
+			pre = info.Launches
+		}
+		if total := pre + launches[fut.TaskID]; total > cfg.Retries+1 {
+			violate("task %d launched %d times across lifetimes (pre-crash %d), budget %d+1",
+				keyToIdx[key], total, pre, cfg.Retries)
+		}
+	}
+
+	if err := d2.Shutdown(); err != nil {
+		violate("lifetime 2 shutdown: %v", err)
+	}
+
+	// The durable state after lifetime 2 accounts for every LOGGED task
+	// exactly once: nothing live, one terminal per task whose submit record
+	// was durable at the crash. A task whose submit append was itself killed
+	// never entered the log's exactly-once domain — a real crash loses it
+	// before the submitter could have been acknowledged.
+	final, err := wal.Replay(walDir)
+	if err != nil {
+		return res, fmt.Errorf("final replay: %w", err)
+	}
+	if len(final.Live) != 0 {
+		violate("final log still holds %d live tasks", len(final.Live))
+	}
+	if got, want := final.TerminalTotal(), int64(len(keyToIdx)); got != want {
+		violate("final log holds %d terminals, want %d (one per logged task)", got, want)
+	}
+	return res, nil
+}

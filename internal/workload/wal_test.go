@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestWALCrashMatrix generalizes TestChaosCheckpointResume from "crash after
+// a clean first program" to "crash at EVERY WAL record boundary": a baseline
+// run establishes the full record count R, then the two-lifetime scenario is
+// replayed R+1 times with the process hard-stopped at record boundary k for
+// every k in [0, R]. At no boundary may a task be lost, double-delivered,
+// re-executed after its terminal record was durable, or launched past its
+// cross-lifetime retry budget.
+func TestWALCrashMatrix(t *testing.T) {
+	const tasks = 6
+	cfg := WALCrashConfig{Tasks: tasks, Retries: 1, Seed: 7}
+
+	// Baseline: no crash. The record stream must be exactly submit + launch +
+	// terminal per task — this pins R for the matrix AND catches accidental
+	// extra records on the dispatch path.
+	cfg.Boundary = -1
+	cfg.Dir = t.TempDir()
+	base, err := RunWALCrash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range base.Violations {
+		t.Errorf("baseline: %s", v)
+	}
+	if base.Records != 3*tasks {
+		t.Fatalf("baseline wrote %d records; want %d (3 per task)", base.Records, 3*tasks)
+	}
+	if base.LiveAtCrash != 0 || base.TerminalAtCrash != tasks {
+		t.Fatalf("baseline frontier: live=%d terminal=%d", base.LiveAtCrash, base.TerminalAtCrash)
+	}
+	if base.ReExecuted != 0 {
+		t.Fatalf("baseline re-executed %d tasks after a clean shutdown", base.ReExecuted)
+	}
+
+	for k := int64(0); k <= base.Records; k++ {
+		k := k
+		t.Run(fmt.Sprintf("boundary-%02d", k), func(t *testing.T) {
+			cfg := cfg
+			cfg.Boundary = k
+			cfg.Dir = t.TempDir()
+			res, err := RunWALCrash(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("boundary %d: %s", k, v)
+			}
+			if t.Failed() {
+				t.Logf("boundary %d state: records=%d live=%d terminal=%d reexec=%d memohits=%d",
+					k, res.Records, res.LiveAtCrash, res.TerminalAtCrash, res.ReExecuted, res.MemoHits)
+			}
+			if res.Records != k {
+				t.Errorf("crash at boundary %d left %d durable records", k, res.Records)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@
 //	parsl-bench chaos        fault-injection scenarios: recovery invariants under a seeded schedule
 //	parsl-bench graph        million-task DAG drain: makespan, peak RSS, record recycling
 //	parsl-bench wal          durable-log crash matrix: exactly-once recovery, recovery time
+//	parsl-bench health       self-healing: kill-storm recovery, breaker failover, poison quarantine
 //	parsl-bench all          everything above
 //
 // Latency, throughput-at-laptop-scale, and elasticity run on the real
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|graph|wal|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|graph|wal|health|all>\n")
 		flag.PrintDefaults()
 	}
 	tasks := flag.Int("tasks", 1000, "tasks for the latency experiment")
@@ -43,6 +44,8 @@ func main() {
 	graphRSSBudget := flag.Float64("graph-rss-budget", 0, "graph: fail if peak RSS exceeds base + this many bytes per task (0 = report only)")
 	graphRSSBase := flag.Int("graph-rss-base-mb", 256, "graph: fixed RSS allowance (MiB) excluded from the per-task budget")
 	walTasks := flag.Int("wal-tasks", 8, "wal: tasks per crash boundary")
+	healthTasks := flag.Int("health-tasks", 160, "health: bulk tasks per seed")
+	healthJSON := flag.String("health-json", "", "health: write the result JSON to this path")
 	flag.Parse()
 
 	cmd := "all"
@@ -92,6 +95,10 @@ func main() {
 		run("durable-log crash matrix", func() error {
 			return runWAL(*chaosSeed, *walTasks)
 		})
+	case "health":
+		run("self-healing: kill-storm + poison quarantine", func() error {
+			return runHealth(chaosSeeds(), *healthTasks, *healthJSON)
+		})
 	case "all":
 		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
 		run("Fig. 4 (top): strong scaling", func() error { return runStrong(*full) })
@@ -109,6 +116,9 @@ func main() {
 		})
 		run("durable-log crash matrix", func() error {
 			return runWAL(*chaosSeed, *walTasks)
+		})
+		run("self-healing: kill-storm + poison quarantine", func() error {
+			return runHealth(chaosSeeds(), *healthTasks, *healthJSON)
 		})
 	default:
 		flag.Usage()

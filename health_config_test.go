@@ -1,0 +1,94 @@
+package parsl_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/executor/htex"
+)
+
+// TestHTEXHeartbeatKnobsPlumbed: the heartbeat knobs on HTEXOptions reach the
+// running interchange and manager — they are not decorative. The two-argument
+// NewLocalHTEX facade could never set them; NewLocalHTEXOpts must.
+func TestHTEXHeartbeatKnobsPlumbed(t *testing.T) {
+	d, err := parsl.NewLocalHTEXOpts(parsl.HTEXOptions{
+		Nodes:                  1,
+		WorkersPerNode:         2,
+		HeartbeatPeriod:        40 * time.Millisecond,
+		HeartbeatThreshold:     400 * time.Millisecond,
+		ManagerHeartbeatPeriod: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.Shutdown() }()
+	ex, ok := d.Executor("htex")
+	if !ok {
+		t.Fatal("no htex executor")
+	}
+	hx, ok := ex.(*htex.Executor)
+	if !ok {
+		t.Fatalf("executor is %T, not *htex.Executor", ex)
+	}
+	cfg := hx.Interchange().Config()
+	if cfg.HeartbeatPeriod != 40*time.Millisecond {
+		t.Fatalf("interchange HeartbeatPeriod = %v, want 40ms", cfg.HeartbeatPeriod)
+	}
+	if cfg.HeartbeatThreshold != 400*time.Millisecond {
+		t.Fatalf("interchange HeartbeatThreshold = %v, want 400ms", cfg.HeartbeatThreshold)
+	}
+	// The stack must actually run with these settings.
+	app, err := d.PythonApp("hb", func(args []any, _ map[string]any) (any, error) {
+		return args[0].(int) * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := app.Call(21).Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+// TestHTEXHeartbeatValidation: incoherent heartbeat combinations fail at
+// construction with a diagnostic, not at 3am with silent task loss.
+func TestHTEXHeartbeatValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts parsl.HTEXOptions
+		want string
+	}{
+		{
+			"threshold-below-period",
+			parsl.HTEXOptions{HeartbeatPeriod: 100 * time.Millisecond, HeartbeatThreshold: 50 * time.Millisecond},
+			"must exceed",
+		},
+		{
+			"manager-pings-too-slowly",
+			parsl.HTEXOptions{HeartbeatThreshold: 200 * time.Millisecond, ManagerHeartbeatPeriod: 300 * time.Millisecond},
+			"must be below",
+		},
+		{
+			"negative-threshold",
+			parsl.HTEXOptions{HeartbeatThreshold: -time.Second},
+			"negative",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := parsl.NewLocalHTEXOpts(tc.opts)
+			if err == nil {
+				_ = d.Shutdown()
+				t.Fatalf("config %+v accepted", tc.opts)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -92,12 +92,18 @@ const (
 	ActPanic           // exec point: panic inside the kernel sandbox
 	ActStall           // exec point: sleep Rule.Delay before the app body
 	ActFail            // submit point: fail the attempt with ErrInjected
+	// ActFailClass fails the attempt with a *ClassError carrying Rule.Class,
+	// so a rule can inject a specific failure class (as named by
+	// internal/health) at dfk.submit or exec.run and drive the
+	// classification paths seed-reproducibly.
+	ActFailClass
 )
 
 var actionNames = map[Action]string{
 	ActNone: "none", ActDrop: "drop", ActDelay: "delay", ActDup: "dup",
 	ActCorrupt: "corrupt", ActTruncate: "truncate", ActKill: "kill",
 	ActPanic: "panic", ActStall: "stall", ActFail: "fail",
+	ActFailClass: "fail-class",
 }
 
 // String implements fmt.Stringer.
@@ -111,6 +117,26 @@ func (a Action) String() string {
 // ErrInjected is the error ActFail injects (wrapped with point context), so
 // tests can errors.Is for chaos-caused failures.
 var ErrInjected = fmt.Errorf("chaos: injected fault")
+
+// ClassError is the typed failure ActFailClass injects: a fault claiming a
+// specific failure class. The message embeds the class as "[class=<name>]"
+// so the claim survives being flattened to a string at a remote executor
+// boundary and can be re-parsed by the classifier; errors.Is(err,
+// ErrInjected) still holds for chaos-wide detection.
+type ClassError struct {
+	Class  string
+	Point  Point
+	Hit    int64
+	Detail string
+}
+
+// Error implements error.
+func (e *ClassError) Error() string {
+	return fmt.Sprintf("chaos: injected fault [class=%s] at %s hit %d (%s)", e.Class, e.Point, e.Hit, e.Detail)
+}
+
+// Unwrap marks the fault as chaos-injected.
+func (e *ClassError) Unwrap() error { return ErrInjected }
 
 // Rule arms one action at one point. A point may carry several rules (e.g. a
 // wire leg with independent drop, dup, and corrupt probabilities); on each
@@ -127,6 +153,10 @@ type Rule struct {
 	// Max bounds total fires for this rule (0 = unlimited). Kill rules
 	// should set it so a scenario cannot decapitate every manager.
 	Max int
+	// Class names the failure class an ActFailClass rule injects (the
+	// internal/health class names: "transient-wire", "executor-lost",
+	// "task-fault", "timeout", "overload"). Ignored by other actions.
+	Class string
 	// Match, when non-empty, restricts the rule to hits whose detail string
 	// contains it (e.g. "pool/" for threadpool workers, a manager id for a
 	// targeted kill). Unmatched hits do not advance this rule's schedule.
@@ -285,10 +315,10 @@ func (inj *Injector) roll(p Point, rule uint64, hit int64) float64 {
 // until the first firing rule — so each rule's decision sequence is a pure
 // function of its own matched-hit count, independent of what its siblings
 // did. The first rule (in plan order) whose roll fires wins the hit.
-func (inj *Injector) decide(p Point, detail string) (Action, time.Duration, int64) {
+func (inj *Injector) decide(p Point, detail string) (Action, time.Duration, int64, string) {
 	ap := inj.points[p]
 	if ap == nil {
-		return ActNone, 0, -1
+		return ActNone, 0, -1, ""
 	}
 	ap.hits.Add(1)
 	var winner *armedRule
@@ -313,13 +343,13 @@ func (inj *Injector) decide(p Point, detail string) (Action, time.Duration, int6
 		winner, winHit = r, n
 	}
 	if winner == nil {
-		return ActNone, 0, -1
+		return ActNone, 0, -1, ""
 	}
 	inj.record(Event{
 		Point: p, Rule: int(winner.idx), Hit: winHit,
 		Act: winner.Act, Delay: winner.Delay, Detail: detail,
 	})
-	return winner.Act, winner.Delay, winHit
+	return winner.Act, winner.Delay, winHit, winner.Class
 }
 
 // reserveFire claims one fire slot, never overshooting Max under concurrency.
@@ -378,7 +408,7 @@ func Frame(p Point, frame []byte, send func(frame []byte) error) error {
 	if inj == nil {
 		return send(frame)
 	}
-	act, d, hit := inj.decide(p, "")
+	act, d, hit, _ := inj.decide(p, "")
 	switch act {
 	case ActDrop:
 		return nil
@@ -411,32 +441,43 @@ func Frame(p Point, frame []byte, send func(frame []byte) error) error {
 
 // Exec is the execution-kernel fault point. ActPanic panics (the kernel's
 // recover sandbox converts it to a task failure, exactly as a panicking app
-// body would be); ActStall sleeps.
-func Exec(p Point, detail string) {
+// body would be); ActStall sleeps; ActFail and ActFailClass return an error
+// the kernel reports as the task's failure — the class marker inside a
+// ClassError survives the flattening to a remote result string.
+func Exec(p Point, detail string) error {
 	inj := active.Load()
 	if inj == nil {
-		return
+		return nil
 	}
-	act, d, hit := inj.decide(p, detail)
+	act, d, hit, class := inj.decide(p, detail)
 	switch act {
 	case ActPanic:
 		panic(fmt.Sprintf("chaos: injected panic at %s hit %d (%s)", p, hit, detail))
 	case ActStall, ActDelay:
 		time.Sleep(d)
+	case ActFail:
+		return fmt.Errorf("%w at %s hit %d (%s)", ErrInjected, p, hit, detail)
+	case ActFailClass:
+		return &ClassError{Class: class, Point: p, Hit: hit, Detail: detail}
 	}
+	return nil
 }
 
 // Fail is the attempt-failure fault point: it returns an error wrapping
 // ErrInjected when the schedule says this attempt should fail before
-// reaching its executor, nil otherwise.
+// reaching its executor, nil otherwise. ActFailClass fails with a typed
+// *ClassError claiming the rule's failure class.
 func Fail(p Point, detail string) error {
 	inj := active.Load()
 	if inj == nil {
 		return nil
 	}
-	act, _, hit := inj.decide(p, detail)
-	if act == ActFail {
+	act, _, hit, class := inj.decide(p, detail)
+	switch act {
+	case ActFail:
 		return fmt.Errorf("%w at %s hit %d (%s)", ErrInjected, p, hit, detail)
+	case ActFailClass:
+		return &ClassError{Class: class, Point: p, Hit: hit, Detail: detail}
 	}
 	return nil
 }
@@ -447,7 +488,7 @@ func Sleep(p Point, detail string) {
 	if inj == nil {
 		return
 	}
-	if act, d, _ := inj.decide(p, detail); act == ActDelay || act == ActStall {
+	if act, d, _, _ := inj.decide(p, detail); act == ActDelay || act == ActStall {
 		time.Sleep(d)
 	}
 }
@@ -461,7 +502,7 @@ func Crash(p Point, detail string) (kill bool, err error) {
 	if inj == nil {
 		return false, nil
 	}
-	act, d, hit := inj.decide(p, detail)
+	act, d, hit, _ := inj.decide(p, detail)
 	switch act {
 	case ActKill:
 		return true, nil
@@ -479,6 +520,6 @@ func Kill(p Point, detail string) bool {
 	if inj == nil {
 		return false
 	}
-	act, _, _ := inj.decide(p, detail)
+	act, _, _, _ := inj.decide(p, detail)
 	return act == ActKill
 }

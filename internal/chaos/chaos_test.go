@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -268,6 +269,44 @@ func TestFailWrapsErrInjected(t *testing.T) {
 	defer restore()
 	if err := Fail(PointSubmitFail, "lane"); !errors.Is(err, ErrInjected) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFailClassReturnsTypedError(t *testing.T) {
+	inj := New(17, Plan{{Point: PointSubmitFail, Act: ActFailClass, Class: "executor-lost", Prob: 1.0}})
+	restore := Enable(inj)
+	defer restore()
+	err := Fail(PointSubmitFail, "lane")
+	var ce *ClassError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ClassError", err)
+	}
+	if ce.Class != "executor-lost" {
+		t.Fatalf("class = %q", ce.Class)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("ClassError does not unwrap to ErrInjected")
+	}
+	if !strings.Contains(ce.Error(), "[class=executor-lost]") {
+		t.Fatalf("message %q missing the class marker", ce.Error())
+	}
+}
+
+func TestExecFailClassReturnsTypedError(t *testing.T) {
+	inj := New(19, Plan{{Point: PointExecRun, Act: ActFailClass, Class: "transient-wire", Prob: 1.0}})
+	restore := Enable(inj)
+	defer restore()
+	err := Exec(PointExecRun, "w0")
+	var ce *ClassError
+	if !errors.As(err, &ce) || ce.Class != "transient-wire" {
+		t.Fatalf("err = %v", err)
+	}
+	// Plain ActFail through Exec also surfaces as an error now.
+	inj2 := New(19, Plan{{Point: PointExecRun, Act: ActFail, Prob: 1.0}})
+	restore2 := Enable(inj2)
+	defer restore2()
+	if err := Exec(PointExecRun, "w0"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ActFail through Exec = %v", err)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/executor"
 	"repro/internal/fair"
 	"repro/internal/future"
+	"repro/internal/health"
 	"repro/internal/memo"
 	"repro/internal/monitor"
 	"repro/internal/sched"
@@ -99,6 +100,14 @@ type Config struct {
 	// WALCompactEvery folds terminal history into a snapshot after this many
 	// terminal records (0 = 4096; negative disables auto-compaction).
 	WALCompactEvery int
+	// Health enables the self-healing retry plane (internal/health): typed
+	// failure classification with per-class retry policies, deterministic
+	// jittered backoff between attempts, per-executor circuit breakers, and
+	// poison-task quarantine. Nil (the default) disables the plane entirely —
+	// retries re-enter dispatch inline and the hot path is byte-identical to
+	// the pre-health behavior. The zero &health.Options{} enables it with
+	// defaults.
+	Health *health.Options
 	// RetainRecords keeps terminal task records resident in the graph
 	// instead of pruning and recycling them, restoring the pre-reclamation
 	// behavior where Graph().Get/Tasks can inspect concluded tasks post
@@ -162,6 +171,8 @@ type DFK struct {
 	queue         *fair.MPSC[*pendingLaunch]
 	lanes         map[string]*lane
 	batchMax      int
+	// hp is the self-healing retry plane; nil unless Config.Health is set.
+	hp *healthPlane
 	// adm bounds live tasks per tenant at the submission boundary; nil when
 	// no quota is configured (the default, behavior-identical path).
 	adm        *fair.Admission
@@ -288,6 +299,9 @@ func New(cfg Config) (*DFK, error) {
 		d.laneWG.Add(1)
 		go d.laneRunner(l)
 	}
+	if cfg.Health != nil {
+		d.hp = newHealthPlane(d, cfg.Health)
+	}
 	d.dispatchWG.Add(1)
 	go d.dispatcher()
 	return d, nil
@@ -325,6 +339,9 @@ func (d *DFK) Loads() []sched.Load {
 		l := d.lanes[ex.Label()]
 		out[i].MaxQueuedPriority = l.maxQueuedPriority()
 		out[i].TenantBacklog = l.queue.PerTenant()
+		if d.hp != nil {
+			out[i].Health = d.hp.state(ex.Label())
+		}
 	}
 	return out
 }
@@ -917,9 +934,16 @@ func (d *DFK) newRouter() *router {
 // pick applies hints to narrow the eligible set and delegates the choice
 // to the configured scheduler (the paper's "picked at random" policy is
 // the default). Priority-aware schedulers additionally see the task's
-// dispatch priority. The returned executor is always one of the DFK's real
-// executors, never a snapshot view.
-func (r *router) pick(hints []string, priority int) (executor.Executor, error) {
+// dispatch priority. With the health plane on, candidates whose circuit
+// breakers reject work are filtered out first: an all-open set yields
+// ErrNoHealthyExecutor (which the dispatcher converts into an overload
+// park, not a task failure) unless the task is pinned and PinnedFailFast
+// demands an immediate permanent failure; a retry with stick affinity
+// prefers the executor its last attempt failed on while the breaker admits
+// it. The returned executor is always one of the DFK's real executors,
+// never a snapshot view.
+func (r *router) pick(pl *pendingLaunch) (executor.Executor, error) {
+	hints := pl.rec.Hints
 	candidates := r.base
 	if len(hints) > 0 {
 		candidates = make([]executor.Executor, 0, len(hints))
@@ -933,11 +957,29 @@ func (r *router) pick(hints []string, priority int) (executor.Executor, error) {
 				candidates = append(candidates, r.d.executors[h])
 			}
 		}
+	} else if pl.stick != "" && r.d.hp != nil && r.d.hp.routable(pl.stick) {
+		if r.frozen != nil {
+			candidates = []executor.Executor{r.frozen[pl.stick]}
+		} else {
+			candidates = []executor.Executor{r.d.executors[pl.stick]}
+		}
+	}
+	if r.d.hp != nil {
+		filtered, ok := r.d.hp.filterRoutable(candidates)
+		if !ok {
+			if len(hints) > 0 && r.d.hp.pinnedFailFast {
+				// Deliberately does not wrap ErrNoHealthyExecutor: this is a
+				// permanent failure, not a parkable overload.
+				return nil, fmt.Errorf("dfk: pinned executor %q circuit open (fail-fast)", hints[0])
+			}
+			return nil, health.ErrNoHealthyExecutor
+		}
+		candidates = filtered
 	}
 	var ex executor.Executor
 	var err error
 	if pp, ok := r.d.schedr.(sched.PriorityPicker); ok {
-		ex, err = pp.PickPriority(candidates, priority)
+		ex, err = pp.PickPriority(candidates, pl.priority)
 	} else {
 		ex, err = r.d.schedr.Pick(candidates)
 	}
@@ -953,6 +995,9 @@ func (r *router) pick(hints []string, priority int) (executor.Executor, error) {
 	}
 	if r.frozen != nil {
 		r.frozen[real.Label()].Bump()
+	}
+	if r.d.hp != nil {
+		r.d.hp.acquire(real.Label())
 	}
 	return real, nil
 }
@@ -1014,6 +1059,11 @@ func (d *DFK) Shutdown() error {
 	// it then lets the dispatcher drain and exit, after which the lanes can
 	// no longer receive work and are drained the same way.
 	d.wg.Wait()
+	if d.hp != nil {
+		// No task is terminal while parked for backoff, so the delay heap is
+		// empty once wg drains; stopping the plane here cannot strand work.
+		d.hp.close()
+	}
 	d.queue.Close()
 	d.dispatchWG.Wait()
 	for _, l := range d.lanes {

@@ -1,6 +1,7 @@
 package dfk
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/executor"
 	"repro/internal/fair"
 	"repro/internal/future"
+	"repro/internal/health"
 	"repro/internal/serialize"
 	"repro/internal/task"
 )
@@ -79,6 +81,16 @@ type pendingLaunch struct {
 	// the attempts the retry budget has charged.
 	walKey     int64
 	walAttempt int
+	// Health-plane state, threaded attempt to attempt (zero-valued and
+	// untouched when Config.Health is nil — value fields only, so the
+	// disabled plane adds no allocation to the hot path). kills is the
+	// distinct managers this task's attempts have killed (poison quarantine
+	// counts them); free counts uncharged retries consumed per failure
+	// class; stick is the retry-affinity executor for non-failover classes
+	// ("" = none).
+	kills []string
+	free  [health.NumClasses]uint8
+	stick string
 }
 
 // FutureDone makes the pendingLaunch the DoneHook of its own attempt future:
@@ -202,8 +214,17 @@ func (d *DFK) dispatcher() {
 				// entry sat in the routing queue; nothing left to route.
 				continue
 			}
-			ex, err := route.pick(pl.rec.Hints, pl.priority)
+			ex, err := route.pick(pl)
 			if err != nil {
+				if errors.Is(err, health.ErrNoHealthyExecutor) {
+					// Every admissible breaker is open: park, don't fail. The
+					// attempt concludes with the overload error; attemptDone
+					// classifies it and re-enters dispatch after backoff with
+					// a fresh timeout clock.
+					pl.rec.Exit()
+					_ = pl.attempt.SetError(err)
+					continue
+				}
 				// Fail the task first, then complete the attempt: the done
 				// hook stops the timeout timer, and attemptDone's terminal
 				// guard keeps it from re-processing the failure.
@@ -380,6 +401,11 @@ func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
 	}
 	v, err := af.Result()
 	if err == nil {
+		if d.hp != nil {
+			if label := pl.rec.Executor(); label != "" {
+				d.hp.recordSuccess(label)
+			}
+		}
 		d.completeTask(pl.rec, pl.app, v)
 		return
 	}
@@ -393,6 +419,13 @@ func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
 		if c, ok := d.executors[label].(executor.Canceler); ok {
 			c.Cancel(pl.wireID)
 		}
+	}
+	if d.hp != nil {
+		// The health plane owns failure handling end to end: classification,
+		// breaker/quarantine bookkeeping, budget charging, and backoff-paced
+		// re-dispatch. The inline path below stays byte-identical when off.
+		d.hp.attemptFailed(pl, err)
+		return
 	}
 	if pl.rec.IncAttempts() <= pl.rec.MaxRetries() {
 		// A launched attempt moves to Retrying; an attempt that timed out

@@ -1,0 +1,390 @@
+package dfk
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/health"
+	"repro/internal/monitor"
+	"repro/internal/task"
+)
+
+// healthPlane is the DFK-side assembly of the self-healing retry plane
+// (internal/health): it classifies every failed attempt, paces retries
+// through a delay heap with per-class deterministic backoff, tracks one
+// circuit breaker per executor, and quarantines poison tasks. The plane is
+// nil unless Config.Health is set; every hot-path touchpoint is a single nil
+// check, so the disabled DFK is byte-identical to the pre-health one.
+type healthPlane struct {
+	d        *DFK
+	policies [health.NumClasses]health.Policy
+	breakers map[string]*health.Breaker
+	seed     int64
+	// quarantineAfter is the distinct-manager kill count that quarantines a
+	// task; 0 disables quarantine.
+	quarantineAfter int
+	pinnedFailFast  bool
+
+	mu   sync.Mutex
+	heap delayHeap
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// backoffs counts scheduled backoffs for monitor rate-limiting.
+	backoffs atomic.Int64
+}
+
+func newHealthPlane(d *DFK, opts *health.Options) *healthPlane {
+	hp := &healthPlane{
+		d:               d,
+		policies:        opts.PolicyTable(),
+		breakers:        make(map[string]*health.Breaker, len(d.execList)),
+		seed:            opts.Seed,
+		quarantineAfter: opts.QuarantineAfter,
+		pinnedFailFast:  opts.PinnedFailFast,
+		wake:            make(chan struct{}, 1),
+		done:            make(chan struct{}),
+	}
+	if hp.seed == 0 {
+		hp.seed = d.cfg.Seed
+	}
+	switch {
+	case hp.quarantineAfter == 0:
+		hp.quarantineAfter = 3
+	case hp.quarantineAfter < 0:
+		hp.quarantineAfter = 0
+	}
+	for _, ex := range d.execList {
+		b := health.NewBreaker(opts.Breaker)
+		label := ex.Label()
+		b.SetTransitionHook(func(from, to health.BreakerState) {
+			hp.emitTransition(label, from, to)
+		})
+		hp.breakers[label] = b
+	}
+	hp.wg.Add(1)
+	go hp.runner()
+	return hp
+}
+
+// close stops the delay runner and releases any attempt still parked in the
+// heap. Shutdown calls it after wg.Wait(), so the heap is empty in practice
+// (a task awaiting backoff is non-terminal and holds the task waitgroup);
+// the drain is defensive.
+func (hp *healthPlane) close() {
+	close(hp.done)
+	hp.wg.Wait()
+	hp.mu.Lock()
+	for _, dl := range hp.heap {
+		dl.pl.payload.Release()
+	}
+	hp.heap = nil
+	hp.mu.Unlock()
+}
+
+// state reports one executor's breaker position for sched.Load.
+func (hp *healthPlane) state(label string) string {
+	b := hp.breakers[label]
+	if b == nil {
+		return ""
+	}
+	return b.State().String()
+}
+
+// routable reports whether an executor's breaker currently admits work.
+func (hp *healthPlane) routable(label string) bool {
+	b := hp.breakers[label]
+	return b != nil && b.Routable()
+}
+
+// filterRoutable narrows a candidate set to executors whose breakers admit
+// work. The all-healthy case — the steady state — returns the input slice
+// untouched, so routing allocates nothing until a breaker actually opens.
+// ok is false when no candidate is admissible.
+func (hp *healthPlane) filterRoutable(candidates []executor.Executor) (out []executor.Executor, ok bool) {
+	for i, c := range candidates {
+		if hp.routable(c.Label()) {
+			if out != nil {
+				out = append(out, c)
+			}
+			continue
+		}
+		if out == nil {
+			// First rejection: copy the admissible prefix.
+			out = make([]executor.Executor, i, len(candidates))
+			copy(out, candidates[:i])
+		}
+	}
+	if out == nil {
+		return candidates, true
+	}
+	return out, len(out) > 0
+}
+
+// acquire reserves a probe slot on the picked executor (no-op outside
+// half-open).
+func (hp *healthPlane) acquire(label string) {
+	if b := hp.breakers[label]; b != nil {
+		b.Acquire()
+	}
+}
+
+// recordSuccess feeds a completed attempt into its executor's breaker.
+func (hp *healthPlane) recordSuccess(label string) {
+	if b := hp.breakers[label]; b != nil {
+		b.Record(true)
+	}
+}
+
+// attemptFailed is the health-plane replacement for attemptDone's inline
+// retry path: classify the failure, update the executor's breaker, check the
+// poison-kill history, charge (or forgive) the retry budget per the class
+// policy, and schedule the next attempt after deterministic backoff. Runs
+// inside the caller's Enter/Exit window on pl.rec.
+func (hp *healthPlane) attemptFailed(pl *pendingLaunch, err error) {
+	d := hp.d
+	cls := health.Classify(err)
+	if errors.Is(err, ErrTimeout) {
+		// The timeout sentinel lives in this package; pre-classify before
+		// the taxonomy's chain walk (which cannot import it).
+		cls = health.ClassTimeout
+	}
+	label := pl.rec.Executor()
+	// Breaker bookkeeping: executor-fault classes count against the breaker;
+	// a task fault is a delivered verdict — evidence of executor health, not
+	// sickness. Overload never indicts anyone (no executor ran the attempt).
+	if label != "" {
+		if b := hp.breakers[label]; b != nil {
+			if cls.ExecutorFault() {
+				b.Record(false)
+			} else if cls == health.ClassTaskFault {
+				b.Record(true)
+			}
+		}
+	}
+	// Poison bookkeeping: a lost manager joins the attempt chain's distinct-
+	// kill history, and crossing the quarantine bar fails the task permanently
+	// with the full history — before any retry-budget consideration, because
+	// re-dispatching a decapitating task is never worth a budget check.
+	if cls == health.ClassExecutorLost {
+		key := ""
+		var le *executor.LostError
+		if errors.As(err, &le) {
+			key = le.Manager
+			if key == "" {
+				key = le.Detail
+			}
+		}
+		if key != "" && !containsStr(pl.kills, key) {
+			pl.kills = append(pl.kills, key)
+		}
+		if hp.quarantineAfter > 0 && len(pl.kills) >= hp.quarantineAfter {
+			qerr := &health.QuarantineError{TaskID: pl.rec.ID, Kills: pl.kills, Last: err}
+			hp.emitQuarantine(pl, qerr)
+			d.failTask(pl.rec, qerr)
+			return
+		}
+	}
+	pol := hp.policies[cls]
+	charge := pol.Charge
+	if !charge {
+		maxFree := pol.MaxFree
+		if maxFree > 255 {
+			maxFree = 255 // free counters are uint8; saturate, never wrap
+		}
+		if int(pl.free[cls]) < maxFree {
+			pl.free[cls]++
+		} else {
+			charge = true // free allowance exhausted; back to the budget
+		}
+	}
+	if charge && pl.rec.IncAttempts() > pl.rec.MaxRetries() {
+		d.failTask(pl.rec, err)
+		return
+	}
+	// Same state discipline as the inline path: a queued attempt is still
+	// Pending and simply re-enters; a launched one moves to Retrying.
+	st := pl.rec.State()
+	retryable := false
+	if st == task.Pending {
+		d.emitState(pl.rec, st.String(), "requeued")
+		retryable = true
+	} else if pl.rec.SetState(task.Retrying) == nil {
+		d.emitState(pl.rec, st.String(), "retrying")
+		retryable = true
+	}
+	if !retryable {
+		d.failTask(pl.rec, err)
+		return
+	}
+	next := &pendingLaunch{
+		d: d, rec: pl.rec, gen: pl.gen, app: pl.app,
+		args: pl.args, kwargs: pl.kwargs,
+		payload: pl.payload.Retain(),
+		wireID:  d.graph.NextID(), priority: pl.priority,
+		tenant: pl.tenant, weight: pl.weight,
+		walKey: pl.walKey, walAttempt: pl.walAttempt + 1,
+		kills: pl.kills, free: pl.free,
+	}
+	if !pol.Failover && label != "" {
+		// Retry affinity: a non-failover class prefers the executor it failed
+		// on, as long as its breaker keeps admitting (router honors stick).
+		next.stick = label
+	}
+	// Free retries log Retry records too: the durable launch count tracks
+	// every launch, so recovery's replay stays truthful even though the
+	// in-memory budget was not charged.
+	if next.walKey != 0 {
+		if werr := d.wal.Retry(next.walKey, next.walAttempt); werr != nil {
+			d.emitWAL(pl.rec.ID, "retry", werr)
+		}
+	}
+	delay := pol.Delay(hp.seed, pl.rec.ID, next.walAttempt)
+	hp.emitBackoff(pl, cls, next.walAttempt, delay)
+	if delay <= 0 {
+		// Zero-backoff classes (timeout) re-enter dispatch immediately; the
+		// attempt clock re-arms in enqueueAttempt either way.
+		d.enqueueAttempt(next)
+		return
+	}
+	hp.schedule(next, delay)
+}
+
+func containsStr(s []string, v string) bool {
+	for _, e := range s {
+		if e == v {
+			return true
+		}
+	}
+	return false
+}
+
+// delayedLaunch is one attempt parked until its backoff expires.
+type delayedLaunch struct {
+	at time.Time
+	pl *pendingLaunch
+}
+
+// delayHeap is a min-heap on release time.
+type delayHeap []delayedLaunch
+
+func (h delayHeap) Len() int           { return len(h) }
+func (h delayHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h delayHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)        { *h = append(*h, x.(delayedLaunch)) }
+func (h *delayHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// schedule parks an attempt until its backoff expires, then re-enters it
+// through the dispatch queue. The attempt's timeout clock starts at the
+// re-launch (enqueueAttempt arms it), not here — backoff time is never
+// charged against the attempt.
+func (hp *healthPlane) schedule(pl *pendingLaunch, delay time.Duration) {
+	hp.mu.Lock()
+	heap.Push(&hp.heap, delayedLaunch{at: time.Now().Add(delay), pl: pl})
+	hp.mu.Unlock()
+	select {
+	case hp.wake <- struct{}{}:
+	default:
+	}
+}
+
+// runner releases parked attempts as their backoffs expire.
+func (hp *healthPlane) runner() {
+	defer hp.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		var due []*pendingLaunch
+		wait := time.Hour
+		now := time.Now()
+		hp.mu.Lock()
+		for len(hp.heap) > 0 {
+			if d := hp.heap[0].at.Sub(now); d > 0 {
+				wait = d
+				break
+			}
+			due = append(due, heap.Pop(&hp.heap).(delayedLaunch).pl)
+		}
+		hp.mu.Unlock()
+		for _, pl := range due {
+			hp.release(pl)
+		}
+		// A stale expiry from a previous Reset costs one harmless extra loop
+		// iteration; no drain needed.
+		timer.Reset(wait)
+		select {
+		case <-hp.done:
+			return
+		case <-hp.wake:
+		case <-timer.C:
+		}
+	}
+}
+
+// release re-enters one parked attempt, revalidating the record first: the
+// task may have concluded while parked (cancellation, a racing terminal
+// path), or the record may have been recycled entirely.
+func (hp *healthPlane) release(pl *pendingLaunch) {
+	if !pl.rec.Enter(pl.gen) {
+		pl.payload.Release()
+		return
+	}
+	if pl.rec.State().Terminal() {
+		pl.rec.Exit()
+		pl.payload.Release()
+		return
+	}
+	hp.d.enqueueAttempt(pl)
+	pl.rec.Exit()
+}
+
+// emitTransition records a breaker state change. Transitions are rare by
+// construction (bounded by OpenFor cycles), so they are never rate-limited.
+func (hp *healthPlane) emitTransition(label string, from, to health.BreakerState) {
+	hp.d.mon.Emit(monitor.Event{
+		Kind:     monitor.KindHealth,
+		At:       time.Now(),
+		Executor: label,
+		From:     from.String(),
+		To:       to.String(),
+		Detail:   "breaker",
+	})
+}
+
+// emitBackoff records a scheduled backoff, rate-limited like graph events:
+// the first 16 per run and every 256th after, so small runs observe the
+// plane working and kill-storms don't pay a monitor event per retry.
+func (hp *healthPlane) emitBackoff(pl *pendingLaunch, cls health.Class, attempt int, delay time.Duration) {
+	n := hp.backoffs.Add(1)
+	if n > 16 && n%256 != 0 {
+		return
+	}
+	hp.d.mon.Emit(monitor.Event{
+		Kind:     monitor.KindHealth,
+		At:       time.Now(),
+		TaskID:   pl.rec.ID,
+		App:      pl.app.name,
+		Executor: pl.rec.Executor(),
+		Detail:   fmt.Sprintf("backoff class=%s attempt=%d", cls, attempt),
+		Duration: delay,
+	})
+}
+
+// emitQuarantine records a poison-task quarantine (never rate-limited; each
+// is a permanent task failure).
+func (hp *healthPlane) emitQuarantine(pl *pendingLaunch, qerr *health.QuarantineError) {
+	hp.d.mon.Emit(monitor.Event{
+		Kind:     monitor.KindHealth,
+		At:       time.Now(),
+		TaskID:   pl.rec.ID,
+		App:      pl.app.name,
+		Executor: pl.rec.Executor(),
+		Detail:   "quarantine: " + qerr.Error(),
+	})
+}

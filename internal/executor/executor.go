@@ -97,10 +97,17 @@ func (e *RemoteError) Error() string {
 type LostError struct {
 	TaskID int64
 	Detail string
+	// Manager identifies the lost manager when known ("" otherwise); the
+	// health plane's poison-task quarantine counts distinct managers a task's
+	// attempts have killed.
+	Manager string
 }
 
 // Error implements error.
 func (e *LostError) Error() string {
+	if e.Manager != "" {
+		return fmt.Sprintf("task %d lost: %s (manager %s)", e.TaskID, e.Detail, e.Manager)
+	}
 	return fmt.Sprintf("task %d lost: %s", e.TaskID, e.Detail)
 }
 
@@ -121,9 +128,14 @@ func RunKernel(reg *serialize.Registry, msg serialize.TaskMsg, workerID string) 
 		}
 	}()
 	// Execution fault point, inside the recover sandbox: an injected panic
-	// takes exactly the path a panicking app body would, and an injected
-	// stall models a slow task on this worker. No-op unless chaos is armed.
-	chaos.Exec(chaos.PointExecRun, workerID)
+	// takes exactly the path a panicking app body would, an injected stall
+	// models a slow task on this worker, and an injected failure (plain or
+	// class-typed) becomes the task's reported error. No-op unless chaos is
+	// armed.
+	if err := chaos.Exec(chaos.PointExecRun, workerID); err != nil {
+		res.Err = err.Error()
+		return res
+	}
 	v, err := entry.Fn(msg.Args, msg.Kwargs)
 	if err != nil {
 		res.Err = err.Error()

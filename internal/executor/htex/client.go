@@ -102,6 +102,26 @@ func (e *Executor) Start() error {
 	e.started = true
 	e.mu.Unlock()
 
+	if err := e.cfg.Manager.Validate(); err != nil {
+		return err
+	}
+	if err := e.cfg.Interchange.Validate(); err != nil {
+		return err
+	}
+	// Cross-check the two heartbeat clocks after normalization: a manager
+	// that pings slower than the interchange's loss threshold would be
+	// declared dead while perfectly healthy. Only meaningful for the default
+	// payload — a custom PayloadFactory (EXEX pools) has its own clock.
+	if e.cfg.PayloadFactory == nil {
+		mgrCfg, ixCfg := e.cfg.Manager, e.cfg.Interchange
+		mgrCfg.normalize()
+		ixCfg.normalize()
+		if mgrCfg.HeartbeatPeriod >= ixCfg.HeartbeatThreshold {
+			return fmt.Errorf("htex: manager HeartbeatPeriod %v must be below interchange HeartbeatThreshold %v",
+				mgrCfg.HeartbeatPeriod, ixCfg.HeartbeatThreshold)
+		}
+	}
+
 	addr := e.cfg.Addr
 	if addr == "" {
 		addr = ":0"
@@ -168,8 +188,12 @@ func (e *Executor) recvLoop() {
 			if len(msg) > 2 {
 				detail = string(msg[2])
 			}
+			mgr := ""
+			if len(msg) > 3 {
+				mgr = string(msg[3])
+			}
 			for _, id := range ids {
-				e.fail(id, &executor.LostError{TaskID: id, Detail: detail})
+				e.fail(id, &executor.LostError{TaskID: id, Detail: detail, Manager: mgr})
 			}
 		case frameCmdRep:
 			select {

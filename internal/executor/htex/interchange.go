@@ -43,6 +43,26 @@ type InterchangeConfig struct {
 	Selection Selection
 }
 
+// Validate rejects configurations that cannot work: negative durations and a
+// threshold at or below the check period (a manager would be declared lost
+// between two liveness checks). Zero values are fine — normalize fills them.
+func (c InterchangeConfig) Validate() error {
+	if c.BatchSize < 0 {
+		return fmt.Errorf("htex: interchange BatchSize %d is negative", c.BatchSize)
+	}
+	if c.HeartbeatPeriod < 0 {
+		return fmt.Errorf("htex: interchange HeartbeatPeriod %v is negative", c.HeartbeatPeriod)
+	}
+	if c.HeartbeatThreshold < 0 {
+		return fmt.Errorf("htex: interchange HeartbeatThreshold %v is negative", c.HeartbeatThreshold)
+	}
+	if c.HeartbeatPeriod > 0 && c.HeartbeatThreshold > 0 && c.HeartbeatThreshold <= c.HeartbeatPeriod {
+		return fmt.Errorf("htex: interchange HeartbeatThreshold %v must exceed HeartbeatPeriod %v",
+			c.HeartbeatThreshold, c.HeartbeatPeriod)
+	}
+	return nil
+}
+
 func (c *InterchangeConfig) normalize() {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 16
@@ -114,6 +134,9 @@ type Interchange struct {
 
 // StartInterchange launches an interchange listening at addr on tr.
 func StartInterchange(tr simnet.Transport, addr string, cfg InterchangeConfig) (*Interchange, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.normalize()
 	r, err := mq.NewRouter(tr, addr)
 	if err != nil {
@@ -139,6 +162,10 @@ func StartInterchange(tr simnet.Transport, addr string, cfg InterchangeConfig) (
 
 // Addr returns the interchange's bound address.
 func (ix *Interchange) Addr() string { return ix.router.Addr() }
+
+// Config reports the normalized configuration the interchange runs with —
+// the values tests assert heartbeat plumbing against.
+func (ix *Interchange) Config() InterchangeConfig { return ix.cfg }
 
 func (ix *Interchange) mainLoop() {
 	defer ix.wg.Done()
@@ -575,7 +602,10 @@ func (ix *Interchange) managerLost(id, reason string) {
 	ix.router.Disconnect(id)
 	if client != "" && len(lostIDs) > 0 {
 		if payload, err := encodeIDs(lostIDs); err == nil {
-			_ = ix.router.SendTo(client, mq.Message{[]byte(frameLost), payload, []byte(reason)})
+			// Fourth part: the lost manager's identity, so the client-side
+			// LostError names which manager died — the health plane's poison
+			// quarantine counts distinct managers a task has killed.
+			_ = ix.router.SendTo(client, mq.Message{[]byte(frameLost), payload, []byte(reason), []byte(id)})
 		}
 	}
 }

@@ -34,6 +34,27 @@ type ManagerConfig struct {
 	HeartbeatPeriod time.Duration
 }
 
+// Validate rejects impossible manager configurations (negative knobs). Zero
+// values are fine — normalize fills them.
+func (c ManagerConfig) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("htex: manager Workers %d is negative", c.Workers)
+	}
+	if c.Prefetch < 0 {
+		return fmt.Errorf("htex: manager Prefetch %d is negative", c.Prefetch)
+	}
+	if c.ResultFlush < 0 {
+		return fmt.Errorf("htex: manager ResultFlush %d is negative", c.ResultFlush)
+	}
+	if c.FlushInterval < 0 {
+		return fmt.Errorf("htex: manager FlushInterval %v is negative", c.FlushInterval)
+	}
+	if c.HeartbeatPeriod < 0 {
+		return fmt.Errorf("htex: manager HeartbeatPeriod %v is negative", c.HeartbeatPeriod)
+	}
+	return nil
+}
+
 func (c *ManagerConfig) normalize() {
 	if c.Workers <= 0 {
 		c.Workers = 1
@@ -88,6 +109,9 @@ type Manager struct {
 // StartManager connects a manager to the interchange at addr and begins
 // executing tasks from reg.
 func StartManager(tr simnet.Transport, addr, id string, reg *serialize.Registry, cfg ManagerConfig) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.normalize()
 	dealer, err := mq.DialDealer(tr, addr, id)
 	if err != nil {
@@ -216,8 +240,10 @@ func (m *Manager) worker(workerID string) {
 		case w := <-m.tasks:
 			// Chaos: abrupt manager death mid-batch — no BYE, no result. The
 			// interchange's disconnect/heartbeat policing reports the held
-			// tasks LOST, and the DFK retry path re-executes them (§3.7).
-			if chaos.Kill(chaos.PointMgrKill, m.id) {
+			// tasks LOST, and the DFK retry path re-executes them (§3.7). The
+			// detail carries the dequeued app name so poison-task scenarios
+			// can Match a specific task killing every manager it lands on.
+			if chaos.Kill(chaos.PointMgrKill, m.id+" app="+w.App) {
 				m.Stop()
 				return
 			}

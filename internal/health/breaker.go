@@ -1,0 +1,235 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states: closed admits everything, open admits nothing, half-open
+// admits a bounded number of probe tasks whose outcomes decide the verdict.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	if int(s) < len(breakerStateNames) {
+		return breakerStateNames[s]
+	}
+	return fmt.Sprintf("BreakerState(%d)", uint8(s))
+}
+
+// BreakerConfig tunes one per-executor circuit breaker.
+type BreakerConfig struct {
+	// Window is the rolling outcome window (default 16).
+	Window int
+	// FailureThreshold opens the breaker when the window's failure fraction
+	// reaches it (default 0.5).
+	FailureThreshold float64
+	// MinSamples is how many outcomes the window needs before the breaker
+	// may open (default 8) — a single early failure is not a verdict.
+	MinSamples int
+	// OpenFor is how long the breaker stays open before admitting probes
+	// (default 250ms).
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrently admitted probe tasks while
+	// half-open (default 2).
+	HalfOpenProbes int
+}
+
+func (c *BreakerConfig) normalize() {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.FailureThreshold <= 0 || c.FailureThreshold > 1 {
+		c.FailureThreshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 250 * time.Millisecond
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+}
+
+// Breaker is a rolling-failure-rate circuit breaker for one executor.
+// Routing consults Routable (non-mutating except for open→half-open expiry),
+// reserves a probe slot with Acquire on the executor it actually picked, and
+// reports each attempt outcome with Record. All methods are safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	// now is the clock, injectable so state-machine tests need no sleeping.
+	now func() time.Time
+	// onTransition observes state changes (monitor events); called outside
+	// the breaker lock, so late reorderings between two racing transitions
+	// are possible and harmless — the State accessor is authoritative.
+	onTransition func(from, to BreakerState)
+
+	mu       sync.Mutex
+	state    BreakerState
+	ring     []bool // true = failure; rolling window of recent outcomes
+	ringLen  int    // outcomes currently held (≤ cap)
+	ringPos  int    // next write position
+	fails    int    // failures currently in the window
+	openedAt time.Time
+	probes   int // probe slots currently reserved while half-open
+	// pending holds a transition awaiting out-of-lock hook delivery; each
+	// public method performs at most one transition per call.
+	pending pendingTransition
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.normalize()
+	return &Breaker{cfg: cfg, now: time.Now, ring: make([]bool, cfg.Window)}
+}
+
+// SetTransitionHook installs the state-change observer (before first use).
+func (b *Breaker) SetTransitionHook(fn func(from, to BreakerState)) { b.onTransition = fn }
+
+// SetClock injects a test clock (before first use).
+func (b *Breaker) SetClock(now func() time.Time) { b.now = now }
+
+// State reports the current position without evaluating open-window expiry.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Routable reports whether routing may consider this executor right now.
+// An expired open window transitions to half-open here — routing is the
+// natural evaluation point — and half-open admits only while probe slots
+// remain unreserved.
+func (b *Breaker) Routable() bool {
+	b.mu.Lock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.toHalfOpenLocked()
+	}
+	var ok bool
+	switch b.state {
+	case BreakerClosed:
+		ok = true
+	case BreakerHalfOpen:
+		ok = b.probes < b.cfg.HalfOpenProbes
+	}
+	hook, from, to := b.takeTransitionLocked()
+	b.mu.Unlock()
+	if hook != nil {
+		hook(from, to)
+	}
+	return ok
+}
+
+// Acquire reserves a probe slot after routing picked this executor. A no-op
+// outside half-open; the slot is released by the probe's Record.
+func (b *Breaker) Acquire() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen && b.probes < b.cfg.HalfOpenProbes {
+		b.probes++
+	}
+	b.mu.Unlock()
+}
+
+// Record reports one attempt outcome against this executor. Closed: the
+// outcome enters the rolling window, and the breaker opens when the window
+// holds MinSamples outcomes at FailureThreshold failure rate. Half-open: a
+// probe success closes the breaker (fresh window), a probe failure reopens
+// it for another OpenFor. Open: late results from before the trip carry no
+// new information and are dropped.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	switch b.state {
+	case BreakerClosed:
+		b.pushLocked(!ok)
+		if b.ringLen >= b.cfg.MinSamples &&
+			float64(b.fails) >= b.cfg.FailureThreshold*float64(b.ringLen) {
+			b.openLocked()
+		}
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if ok {
+			b.closeLocked()
+		} else {
+			b.openLocked()
+		}
+	case BreakerOpen:
+		// Stale outcome from before the trip; ignore.
+	}
+	hook, from, to := b.takeTransitionLocked()
+	b.mu.Unlock()
+	if hook != nil {
+		hook(from, to)
+	}
+}
+
+// pushLocked rolls one outcome into the window.
+func (b *Breaker) pushLocked(failed bool) {
+	if b.ringLen == len(b.ring) {
+		if b.ring[b.ringPos] {
+			b.fails--
+		}
+	} else {
+		b.ringLen++
+	}
+	b.ring[b.ringPos] = failed
+	if failed {
+		b.fails++
+	}
+	b.ringPos = (b.ringPos + 1) % len(b.ring)
+}
+
+// Pending transition captured for out-of-lock hook delivery.
+type pendingTransition struct {
+	fired    bool
+	from, to BreakerState
+}
+
+func (b *Breaker) takeTransitionLocked() (func(from, to BreakerState), BreakerState, BreakerState) {
+	if !b.pending.fired || b.onTransition == nil {
+		b.pending = pendingTransition{}
+		return nil, 0, 0
+	}
+	t := b.pending
+	b.pending = pendingTransition{}
+	return b.onTransition, t.from, t.to
+}
+
+func (b *Breaker) openLocked() {
+	b.pending = pendingTransition{fired: true, from: b.state, to: BreakerOpen}
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.probes = 0
+}
+
+func (b *Breaker) toHalfOpenLocked() {
+	b.pending = pendingTransition{fired: true, from: b.state, to: BreakerHalfOpen}
+	b.state = BreakerHalfOpen
+	b.probes = 0
+}
+
+func (b *Breaker) closeLocked() {
+	b.pending = pendingTransition{fired: true, from: b.state, to: BreakerClosed}
+	b.state = BreakerClosed
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.ringLen, b.ringPos, b.fails = 0, 0, 0
+}

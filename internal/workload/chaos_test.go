@@ -184,7 +184,9 @@ func TestChaosManagerKillRecovery(t *testing.T) {
 		Registry:   reg,
 		Provider:   provider.NewLocal(provider.Config{NodesPerBlock: 3}),
 		InitBlocks: 1,
-		Manager:    htex.ManagerConfig{Workers: 2, Prefetch: 2},
+		// Manager heartbeat must beat the interchange's loss threshold —
+		// the default 200ms period is rejected against a 150ms threshold.
+		Manager: htex.ManagerConfig{Workers: 2, Prefetch: 2, HeartbeatPeriod: 50 * time.Millisecond},
 		Interchange: htex.InterchangeConfig{
 			Seed:               1,
 			HeartbeatPeriod:    30 * time.Millisecond,

@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHealthScenarioSeeds drives the self-healing kill-storm scenario across
+// a small seed matrix: repeated manager kills plus one poison task. RunHealth
+// itself asserts the invariants (poison quarantined after exactly N kills,
+// bulk goodput recovers through breaker failover, zero tasks lost or
+// double-delivered); the test fails on any reported violation.
+func TestHealthScenarioSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-storm scenario in -short mode")
+	}
+	for _, seed := range []int64{11, 23} {
+		res, err := RunHealth(HealthConfig{Seed: seed, Tasks: 120, Watchdog: 60 * time.Second})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: violation: %s", seed, v)
+		}
+		t.Logf("seed %d: submitted=%d done=%d kills=%d poison=%v transitions=%v backoffs=%d retried=%d maxLaunches=%d elapsed=%v",
+			seed, res.Submitted, res.Done, res.Kills, res.PoisonKills, res.Transitions,
+			res.Backoffs, res.Retried, res.MaxLaunches, res.Elapsed)
+		if t.Failed() {
+			t.Fatalf("seed %d: reproduce with: go test ./internal/workload/ -run TestHealthScenarioSeeds (seed list in test body)", seed)
+		}
+	}
+}

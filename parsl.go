@@ -45,6 +45,7 @@ import (
 	"repro/internal/executor/llex"
 	"repro/internal/executor/threadpool"
 	"repro/internal/future"
+	"repro/internal/health"
 	"repro/internal/monitor"
 	"repro/internal/provider"
 	"repro/internal/sched"
@@ -81,6 +82,21 @@ type (
 	// DependencyError is set on a task's future when a dependency failed
 	// (including when the dependency's submission context was canceled).
 	DependencyError = dfk.DependencyError
+	// HealthOptions enables the self-healing retry plane via Config.Health:
+	// typed failure classification with per-class retry policies, backoff
+	// with deterministic jitter, per-executor circuit breakers, and
+	// poison-task quarantine. Nil disables the plane (the default); the zero
+	// value enables it with defaults.
+	HealthOptions = health.Options
+	// HealthPolicy is one failure class's retry policy (charge the budget or
+	// not, backoff curve, failover eligibility).
+	HealthPolicy = health.Policy
+	// BreakerConfig tunes the per-executor circuit breakers.
+	BreakerConfig = health.BreakerConfig
+	// QuarantineError is the permanent failure a poison task concludes with:
+	// its attempts killed QuarantineAfter distinct managers; Kills carries
+	// the history. Detect with errors.As.
+	QuarantineError = health.QuarantineError
 )
 
 // Re-exported constructors and options.
@@ -239,6 +255,42 @@ func NewLocalMultiTenant(policy string, tc TenantConfig, workersPerPool ...int) 
 // managers, workers) running on an in-memory network with a local provider —
 // the configuration the quickstart example and the latency benchmarks use.
 func NewLocalHTEX(nodes, workersPerNode int) (*DFK, error) {
+	return NewLocalHTEXOpts(HTEXOptions{Nodes: nodes, WorkersPerNode: workersPerNode})
+}
+
+// HTEXOptions parameterizes NewLocalHTEXOpts. The zero value for any field
+// keeps that knob's default; heartbeat knobs that cannot work together
+// (threshold at or below the check period, or a manager pinging slower than
+// the interchange's loss threshold) are rejected at DFK construction.
+type HTEXOptions struct {
+	// Nodes is managers per block (default 1).
+	Nodes int
+	// WorkersPerNode is worker goroutines per manager (default 1); prefetch
+	// matches it.
+	WorkersPerNode int
+	// HeartbeatPeriod is how often the interchange checks manager liveness
+	// (default 200ms).
+	HeartbeatPeriod time.Duration
+	// HeartbeatThreshold is manager silence after which the interchange
+	// declares it lost and reports its tasks LOST (default 5× the period).
+	HeartbeatThreshold time.Duration
+	// ManagerHeartbeatPeriod is how often each manager pings the interchange
+	// (default 200ms). Must stay below HeartbeatThreshold.
+	ManagerHeartbeatPeriod time.Duration
+}
+
+// NewLocalHTEXOpts is NewLocalHTEX with the deployment knobs exposed — in
+// particular the interchange heartbeat threshold and manager heartbeat
+// period, which the two-argument facade cannot reach.
+func NewLocalHTEXOpts(o HTEXOptions) (*DFK, error) {
+	nodes := o.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	workers := o.WorkersPerNode
+	if workers <= 0 {
+		workers = 1
+	}
 	reg := serialize.NewRegistry()
 	ex := htex.New(htex.Config{
 		Label:      "htex",
@@ -246,7 +298,14 @@ func NewLocalHTEX(nodes, workersPerNode int) (*DFK, error) {
 		Registry:   reg,
 		Provider:   provider.NewLocal(provider.Config{NodesPerBlock: nodes}),
 		InitBlocks: 1,
-		Manager:    htex.ManagerConfig{Workers: workersPerNode, Prefetch: workersPerNode},
+		Manager: htex.ManagerConfig{
+			Workers: workers, Prefetch: workers,
+			HeartbeatPeriod: o.ManagerHeartbeatPeriod,
+		},
+		Interchange: htex.InterchangeConfig{
+			HeartbeatPeriod:    o.HeartbeatPeriod,
+			HeartbeatThreshold: o.HeartbeatThreshold,
+		},
 	})
 	return dfk.New(dfk.Config{Registry: reg, Executors: []executor.Executor{ex}})
 }

@@ -1,0 +1,270 @@
+// Command benchtrend is the CI bench-trend gate: it walks an artifact
+// directory for BENCH_*.json files (the per-job benchmark artifacts), prints
+// one merged summary table of every metric they carry, and enforces the
+// checked-in policy (bench/trend.json) — required artifacts present, capped
+// metrics under their caps, floored metrics above their floors. A violation
+// exits non-zero with the offending rows marked FAIL, so a perf or
+// invariant regression fails the PR with a readable diff instead of
+// vanishing into one job's logs.
+//
+//	benchtrend -dir artifacts -policy bench/trend.json
+//
+// Three artifact shapes are understood:
+//
+//   - benchjson arrays ([{name, ns_per_op, metrics}]): each benchmark's
+//     ns/op and reported metrics become rows keyed
+//     "<artifact>:<Benchmark>:<unit>".
+//   - arrays of scenario rows (health, shard failover): numeric fields are
+//     aggregated by max across rows — "max over seeds" is the gating view
+//     for counters like Failed.
+//   - plain objects (graph, shard): top-level numeric fields become rows;
+//     nested arrays aggregate as above. An object carrying
+//     "bar_applied": false marks its file advisory — hardware-gated bars
+//     (the shard scaling ratio needs real cores) are reported but not
+//     enforced there.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// policy is the checked-in gate (bench/trend.json).
+type policy struct {
+	// Require lists artifact basenames (no extension) that must be present;
+	// a matrix suffix ("BENCH_dfk-go1.24/...") still satisfies its base name.
+	Require []string `json:"require"`
+	// Caps maps "<artifact>:<metric>" to a maximum (inclusive).
+	Caps map[string]float64 `json:"caps"`
+	// Mins maps "<artifact>:<metric>" to a minimum (inclusive).
+	Mins map[string]float64 `json:"mins"`
+}
+
+// row is one discovered metric.
+type row struct {
+	Artifact string // basename without .json, matrix suffix stripped
+	Metric   string // "BenchmarkDFKSubmission:allocs/op", "scale", "max:Failed"
+	Value    float64
+	Advisory bool // bar_applied=false in the source file
+	Path     string
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory walked recursively for BENCH_*.json files")
+	policyPath := flag.String("policy", "bench/trend.json", "policy file (caps, floors, required artifacts)")
+	flag.Parse()
+
+	pol, err := loadPolicy(*policyPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+	rows, err := collect(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+	report, failed := evaluate(rows, pol)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func loadPolicy(path string) (policy, error) {
+	var pol policy
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return pol, fmt.Errorf("policy %s: %w", path, err)
+	}
+	if err := json.Unmarshal(b, &pol); err != nil {
+		return pol, fmt.Errorf("policy %s: %w", path, err)
+	}
+	return pol, nil
+}
+
+// collect walks dir for BENCH_*.json and extracts every numeric metric.
+func collect(dir string) ([]row, error) {
+	var rows []row
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() || !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fileRows, err := extract(artifactName(path), b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for i := range fileRows {
+			fileRows[i].Path = path
+		}
+		rows = append(rows, fileRows...)
+		return nil
+	})
+	return rows, err
+}
+
+// artifactName normalizes a path to its artifact base name: the file's
+// basename without .json, falling back to the parent directory when the
+// download step nested the file ("BENCH_dfk-go1.24/BENCH_dfk.json"), and
+// with any "-suffix" matrix decoration stripped.
+func artifactName(path string) string {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	if i := strings.IndexByte(base, '-'); i > 0 {
+		base = base[:i]
+	}
+	return base
+}
+
+// extract parses one artifact into rows, dispatching on shape.
+func extract(artifact string, data []byte) ([]row, error) {
+	var any interface{}
+	if err := json.Unmarshal(data, &any); err != nil {
+		return nil, err
+	}
+	switch v := any.(type) {
+	case []interface{}:
+		return extractArray(artifact, "", v, false), nil
+	case map[string]interface{}:
+		return extractObject(artifact, v), nil
+	default:
+		return nil, nil
+	}
+}
+
+// extractArray handles both benchjson arrays (rows carry "name") and
+// scenario-row arrays (aggregated by max across rows).
+func extractArray(artifact, prefix string, arr []interface{}, advisory bool) []row {
+	var rows []row
+	agg := map[string]float64{}
+	for _, el := range arr {
+		obj, ok := el.(map[string]interface{})
+		if !ok {
+			continue
+		}
+		if name, ok := obj["name"].(string); ok {
+			// benchjson shape: one row per benchmark metric.
+			if ns, ok := obj["ns_per_op"].(float64); ok {
+				rows = append(rows, row{Artifact: artifact, Metric: join(prefix, name+":ns/op"), Value: ns, Advisory: advisory})
+			}
+			if ms, ok := obj["metrics"].(map[string]interface{}); ok {
+				for unit, mv := range ms {
+					if f, ok := mv.(float64); ok {
+						rows = append(rows, row{Artifact: artifact, Metric: join(prefix, name+":"+unit), Value: f, Advisory: advisory})
+					}
+				}
+			}
+			continue
+		}
+		for k, mv := range obj {
+			if f, ok := mv.(float64); ok {
+				if cur, seen := agg[k]; !seen || f > cur {
+					agg[k] = f
+				}
+			}
+		}
+	}
+	for k, v := range agg {
+		rows = append(rows, row{Artifact: artifact, Metric: join(prefix, "max:"+k), Value: v, Advisory: advisory})
+	}
+	return rows
+}
+
+func extractObject(artifact string, obj map[string]interface{}) []row {
+	barSkipped := false
+	if applied, ok := obj["bar_applied"].(bool); ok && !applied {
+		barSkipped = true
+	}
+	// Only the hardware-gated scaling metrics go advisory when the file says
+	// its bar was skipped; invariant counters (kills, completions) in the
+	// same file are deterministic and stay enforced.
+	advisory := func(key string) bool {
+		return barSkipped && (key == "scale" || key == "scaling")
+	}
+	var rows []row
+	for k, v := range obj {
+		switch f := v.(type) {
+		case float64:
+			rows = append(rows, row{Artifact: artifact, Metric: k, Value: f, Advisory: advisory(k)})
+		case []interface{}:
+			rows = append(rows, extractArray(artifact, k, f, advisory(k))...)
+		}
+	}
+	return rows
+}
+
+func join(prefix, s string) string {
+	if prefix == "" {
+		return s
+	}
+	return prefix + ":" + s
+}
+
+// evaluate renders the summary table and applies the policy. The returned
+// report always contains every discovered metric — the table IS the trend
+// record in the job log — with CAP/MIN annotations and a final verdict.
+func evaluate(rows []row, pol policy) (string, bool) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Artifact != rows[j].Artifact {
+			return rows[i].Artifact < rows[j].Artifact
+		}
+		return rows[i].Metric < rows[j].Metric
+	})
+
+	var b strings.Builder
+	failed := false
+	seen := map[string]bool{}
+	fmt.Fprintf(&b, "%-8s %-16s %-52s %14s  %s\n", "verdict", "artifact", "metric", "value", "bound")
+	for _, r := range rows {
+		seen[r.Artifact] = true
+		key := r.Artifact + ":" + r.Metric
+		verdict, bound := "", ""
+		if limit, ok := pol.Caps[key]; ok {
+			bound = fmt.Sprintf("<= %g", limit)
+			verdict = "ok"
+			if r.Value > limit {
+				verdict = "FAIL"
+			}
+		}
+		if floor, ok := pol.Mins[key]; ok {
+			bound = fmt.Sprintf(">= %g", floor)
+			verdict = "ok"
+			if r.Value < floor {
+				verdict = "FAIL"
+			}
+		}
+		if r.Advisory && verdict != "" {
+			bound += " (advisory: bar not applied on this hardware)"
+			verdict = "skip"
+		}
+		if verdict == "FAIL" {
+			failed = true
+		}
+		fmt.Fprintf(&b, "%-8s %-16s %-52s %14.4g  %s\n", verdict, r.Artifact, r.Metric, r.Value, bound)
+	}
+	for _, req := range pol.Require {
+		if !seen[req] {
+			failed = true
+			fmt.Fprintf(&b, "%-8s %-16s %-52s %14s  required artifact missing\n", "FAIL", req, "-", "-")
+		}
+	}
+	if failed {
+		fmt.Fprintf(&b, "\nbench trend: REGRESSION — at least one bound violated or artifact missing\n")
+	} else {
+		fmt.Fprintf(&b, "\nbench trend: ok — %d metrics across %d artifacts within bounds\n", len(rows), len(seen))
+	}
+	return b.String(), failed
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name, content string) {
+	t.Helper()
+	sub := filepath.Join(dir, strings.TrimSuffix(name, ".json"))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchtrendShapesAndGates(t *testing.T) {
+	dir := t.TempDir()
+	// benchjson array shape (matrix-suffixed directory).
+	writeArtifact(t, dir, "BENCH_dfk-go1.24.json",
+		`[{"name":"BenchmarkDFKSubmission","iterations":100,"ns_per_op":5000,"metrics":{"allocs/op":9}}]`)
+	// scenario-row array shape: Failed aggregates by max across seeds.
+	writeArtifact(t, dir, "BENCH_health.json",
+		`[{"seed":1,"Done":160,"Failed":0},{"seed":2,"Done":160,"Failed":2}]`)
+	// object shape with nested arrays and a hardware-gated bar.
+	writeArtifact(t, dir, "BENCH_shard.json",
+		`{"scale":0.9,"bar":1.8,"bar_applied":false,"cores":1,
+		  "failover":[{"seed":1,"Done":160,"Kills":1}],
+		  "scaling":[{"shards":1,"tasks_per_sec":8000}]}`)
+
+	rows, err := collect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]row{}
+	for _, r := range rows {
+		byKey[r.Artifact+":"+r.Metric] = r
+	}
+	if r := byKey["BENCH_dfk:BenchmarkDFKSubmission:allocs/op"]; r.Value != 9 {
+		t.Fatalf("dfk allocs row = %+v", r)
+	}
+	if r := byKey["BENCH_health:max:Failed"]; r.Value != 2 {
+		t.Fatalf("health max:Failed = %+v (want max across rows, 2)", r)
+	}
+	if r := byKey["BENCH_shard:scale"]; r.Value != 0.9 || !r.Advisory {
+		t.Fatalf("shard scale = %+v (want advisory on bar_applied=false)", r)
+	}
+	if r := byKey["BENCH_shard:failover:max:Done"]; r.Value != 160 {
+		t.Fatalf("shard failover max:Done = %+v", r)
+	}
+
+	pol := policy{
+		Require: []string{"BENCH_dfk", "BENCH_shard", "BENCH_graph"},
+		Caps:    map[string]float64{"BENCH_health:max:Failed": 0},
+		Mins:    map[string]float64{"BENCH_shard:scale": 1.8},
+	}
+	report, failed := evaluate(rows, pol)
+	if !failed {
+		t.Fatal("evaluate passed though Failed=2 breaks its cap and BENCH_graph is missing")
+	}
+	for _, want := range []string{
+		"FAIL", "max:Failed", "required artifact missing", "advisory",
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	// The advisory scale row must be skipped, not failed.
+	for _, line := range strings.Split(report, "\n") {
+		if strings.Contains(line, "scale") && strings.HasPrefix(line, "FAIL") {
+			t.Fatalf("advisory bar failed the run: %s", line)
+		}
+	}
+}
+
+func TestBenchtrendCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifact(t, dir, "BENCH_dfk.json",
+		`[{"name":"BenchmarkDFKSubmission","iterations":100,"ns_per_op":5000,"metrics":{"allocs/op":10}}]`)
+	rows, err := collect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := policy{
+		Require: []string{"BENCH_dfk"},
+		Caps:    map[string]float64{"BENCH_dfk:BenchmarkDFKSubmission:allocs/op": 10},
+	}
+	report, failed := evaluate(rows, pol)
+	if failed {
+		t.Fatalf("clean run failed:\n%s", report)
+	}
+	if !strings.Contains(report, "bench trend: ok") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestArtifactName(t *testing.T) {
+	for path, want := range map[string]string{
+		"artifacts/BENCH_dfk-go1.24/BENCH_dfk.json": "BENCH_dfk",
+		"BENCH_shard.json":                          "BENCH_shard",
+		"x/BENCH_serialize-go1.25.json":             "BENCH_serialize",
+	} {
+		if got := artifactName(path); got != want {
+			t.Errorf("artifactName(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

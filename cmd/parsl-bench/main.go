@@ -13,6 +13,7 @@
 //	parsl-bench graph        million-task DAG drain: makespan, peak RSS, record recycling
 //	parsl-bench wal          durable-log crash matrix: exactly-once recovery, recovery time
 //	parsl-bench health       self-healing: kill-storm recovery, breaker failover, poison quarantine
+//	parsl-bench shard        sharded control plane: kill-one-shard failover, throughput scaling
 //	parsl-bench all          everything above
 //
 // Latency, throughput-at-laptop-scale, and elasticity run on the real
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|graph|wal|health|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|graph|wal|health|shard|all>\n")
 		flag.PrintDefaults()
 	}
 	tasks := flag.Int("tasks", 1000, "tasks for the latency experiment")
@@ -46,6 +47,9 @@ func main() {
 	walTasks := flag.Int("wal-tasks", 8, "wal: tasks per crash boundary")
 	healthTasks := flag.Int("health-tasks", 160, "health: bulk tasks per seed")
 	healthJSON := flag.String("health-json", "", "health: write the result JSON to this path")
+	shardTasks := flag.Int("shard-tasks", 160, "shard: failover tasks per seed")
+	shardJSON := flag.String("shard-json", "", "shard: write the result JSON to this path")
+	shardBar := flag.Float64("shard-bar", 0, "shard: fail if 4-shard throughput scaling falls below this ratio (0 = report only; needs ≥4 cores)")
 	flag.Parse()
 
 	cmd := "all"
@@ -99,6 +103,10 @@ func main() {
 		run("self-healing: kill-storm + poison quarantine", func() error {
 			return runHealth(chaosSeeds(), *healthTasks, *healthJSON)
 		})
+	case "shard":
+		run("sharded control plane: failover + scaling", func() error {
+			return runShard(chaosSeeds(), *shardTasks, *shardJSON, *shardBar)
+		})
 	case "all":
 		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
 		run("Fig. 4 (top): strong scaling", func() error { return runStrong(*full) })
@@ -119,6 +127,9 @@ func main() {
 		})
 		run("self-healing: kill-storm + poison quarantine", func() error {
 			return runHealth(chaosSeeds(), *healthTasks, *healthJSON)
+		})
+		run("sharded control plane: failover + scaling", func() error {
+			return runShard(chaosSeeds(), *shardTasks, *shardJSON, *shardBar)
 		})
 	default:
 		flag.Usage()

@@ -20,7 +20,7 @@ func BenchmarkDisabledFrame(b *testing.B) {
 	send := func([]byte) error { return nil }
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = Frame(PointClientSend, frame, send)
+		_ = Frame(PointClientSend, "", frame, send)
 	}
 }
 

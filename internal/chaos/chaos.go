@@ -53,6 +53,12 @@ const (
 	PointMgrResults Point = "htex.mgr.results"
 	// PointMgrKill abruptly kills a manager (no BYE) as it dequeues a task.
 	PointMgrKill Point = "htex.mgr.kill"
+	// PointIxKill abruptly kills one interchange shard (router closed, no
+	// goodbye to anyone) as it processes a frame. The hit detail is the
+	// shard label ("htex[2]"), so Match pins the kill to one shard and the
+	// failover invariant — only that shard's outstanding set requeues — is
+	// seed-reproducible.
+	PointIxKill Point = "htex.ix.kill"
 	// PointExecRun fires inside the shared execution kernel, immediately
 	// before the app body: ActPanic raises a real panic (exercising the
 	// kernel's recovery sandbox), ActStall sleeps. The hit detail is the
@@ -402,13 +408,16 @@ func Active() *Injector { return active.Load() }
 // delay it (holding the caller, which on stream legs preserves frame order
 // because the stream encoder lock is held), duplicate it, flip one byte of
 // the body, or truncate it. Corrupt/truncated frames are sent as copies; the
-// caller's buffer is never mutated.
-func Frame(p Point, frame []byte, send func(frame []byte) error) error {
+// caller's buffer is never mutated. The detail string names the leg's
+// endpoint identity — the interchange-shard label ("htex[2]") or manager id —
+// so a Match-scoped rule addresses one shard's wire legs while the others
+// run clean.
+func Frame(p Point, detail string, frame []byte, send func(frame []byte) error) error {
 	inj := active.Load()
 	if inj == nil {
 		return send(frame)
 	}
-	act, d, hit, _ := inj.decide(p, "")
+	act, d, hit, _ := inj.decide(p, detail)
 	switch act {
 	case ActDrop:
 		return nil

@@ -16,8 +16,8 @@ func pump(inj *Injector, n int) {
 	defer restore()
 	frame := make([]byte, 64)
 	for i := 0; i < n; i++ {
-		_ = Frame(PointClientSend, frame, func([]byte) error { return nil })
-		_ = Frame(PointIxTasks, frame, func([]byte) error { return nil })
+		_ = Frame(PointClientSend, "", frame, func([]byte) error { return nil })
+		_ = Frame(PointIxTasks, "", frame, func([]byte) error { return nil })
 		func() {
 			defer func() { _ = recover() }()
 			Exec(PointExecRun, "pool/thread-0")
@@ -185,7 +185,7 @@ func TestFrameActions(t *testing.T) {
 	// Drop: send never called, nil error.
 	_, restore := mk(ActDrop)
 	calls := 0
-	if err := Frame(PointClientSend, frame, func([]byte) error { calls++; return nil }); err != nil || calls != 0 {
+	if err := Frame(PointClientSend, "", frame, func([]byte) error { calls++; return nil }); err != nil || calls != 0 {
 		t.Fatalf("drop: calls=%d err=%v", calls, err)
 	}
 	restore()
@@ -193,7 +193,7 @@ func TestFrameActions(t *testing.T) {
 	// Dup: send called twice with identical bytes.
 	_, restore = mk(ActDup)
 	calls = 0
-	_ = Frame(PointClientSend, frame, func(f []byte) error {
+	_ = Frame(PointClientSend, "", frame, func(f []byte) error {
 		calls++
 		if !reflect.DeepEqual(f, frame) {
 			t.Fatalf("dup mutated frame")
@@ -209,7 +209,7 @@ func TestFrameActions(t *testing.T) {
 	_, restore = mk(ActCorrupt)
 	orig := append([]byte(nil), frame...)
 	var got []byte
-	_ = Frame(PointClientSend, frame, func(f []byte) error {
+	_ = Frame(PointClientSend, "", frame, func(f []byte) error {
 		got = append([]byte(nil), f...)
 		return nil
 	})
@@ -232,7 +232,7 @@ func TestFrameActions(t *testing.T) {
 
 	// Truncate: half the frame.
 	_, restore = mk(ActTruncate)
-	_ = Frame(PointClientSend, frame, func(f []byte) error {
+	_ = Frame(PointClientSend, "", frame, func(f []byte) error {
 		got = append([]byte(nil), f...)
 		return nil
 	})
@@ -244,7 +244,7 @@ func TestFrameActions(t *testing.T) {
 	// Delay: frame passes through unchanged.
 	_, restore = mk(ActDelay)
 	calls = 0
-	_ = Frame(PointClientSend, frame, func(f []byte) error { calls++; return nil })
+	_ = Frame(PointClientSend, "", frame, func(f []byte) error { calls++; return nil })
 	restore()
 	if calls != 1 {
 		t.Fatalf("delay: calls=%d", calls)
@@ -319,7 +319,7 @@ func TestDisabledIsInert(t *testing.T) {
 		t.Fatal("disabled points fired")
 	}
 	calls := 0
-	if err := Frame(PointClientSend, []byte{1}, func([]byte) error { calls++; return nil }); err != nil || calls != 1 {
+	if err := Frame(PointClientSend, "", []byte{1}, func([]byte) error { calls++; return nil }); err != nil || calls != 1 {
 		t.Fatal("disabled Frame did not pass through")
 	}
 }
@@ -331,7 +331,7 @@ func TestDisabledZeroAlloc(t *testing.T) {
 	frame := []byte{1, 2, 3}
 	send := func([]byte) error { return nil }
 	if n := testing.AllocsPerRun(1000, func() {
-		_ = Frame(PointClientSend, frame, send)
+		_ = Frame(PointClientSend, "", frame, send)
 		Exec(PointExecRun, "w")
 		_ = Fail(PointSubmitFail, "l")
 		Sleep(PointLaneDelay, "l")

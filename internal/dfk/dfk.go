@@ -338,7 +338,19 @@ func (d *DFK) Loads() []sched.Load {
 	for i, ex := range d.execList {
 		l := d.lanes[ex.Label()]
 		out[i].MaxQueuedPriority = l.maxQueuedPriority()
-		out[i].TenantBacklog = l.queue.PerTenant()
+		// The lane backlog merges with (rather than replaces) whatever
+		// broker-side backlog LoadOf sampled from the executor itself — a
+		// sharded HTEX reports its queue depth by tenant merged across
+		// shards, and the full picture is lane + broker.
+		if lb := l.queue.PerTenant(); lb != nil {
+			if out[i].TenantBacklog == nil {
+				out[i].TenantBacklog = lb
+			} else {
+				for t, n := range lb {
+					out[i].TenantBacklog[t] += n
+				}
+			}
+		}
 		if d.hp != nil {
 			out[i].Health = d.hp.state(ex.Label())
 		}

@@ -257,7 +257,7 @@ func (p *Pool) managerResultLoop() {
 			return
 		}
 		_ = p.resEnc.Encode(batch, func(frame []byte) error {
-			return chaos.Frame(chaos.PointMgrResults, frame, func(fr []byte) error {
+			return chaos.Frame(chaos.PointMgrResults, p.id, frame, func(fr []byte) error {
 				return p.dealer.Send(mq.Message{[]byte("RESULTS"), fr})
 			})
 		})

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/executor"
 	"repro/internal/future"
+	"repro/internal/health"
 	"repro/internal/mq"
 	"repro/internal/provider"
 	"repro/internal/serialize"
@@ -23,50 +25,92 @@ type Config struct {
 	Label     string
 	Transport simnet.Transport
 	// Addr is where the interchange listens ("" lets simnet auto-assign;
-	// use "127.0.0.1:0" over TCP).
+	// use "127.0.0.1:0" over TCP). With Shards > 1 the address must be an
+	// auto-assign form — N routers cannot share one fixed port.
 	Addr        string
 	Registry    *serialize.Registry
 	Provider    provider.Provider
 	InitBlocks  int
 	Manager     ManagerConfig
 	Interchange InterchangeConfig
+	// Shards is how many interchange shards form this one logical executor
+	// (default 1 — the single-broker deployment, whose wire path is
+	// byte-identical to the pre-shard design). With N > 1 the client runs N
+	// independent interchanges, places managers and tasks onto them by
+	// consistent hash (tenant-affine; see ShardMap), fans each submitted
+	// batch across the owning shards, and reconciles results, LOST, and
+	// CANCEL traffic from all of them. Each shard preserves every
+	// single-broker invariant — per-shard queues, heartbeats, NACK resync —
+	// and a shard death requeues only that shard's outstanding set while the
+	// others keep draining.
+	Shards int
 	// PayloadFactory overrides what runs on each provisioned node. The
 	// default starts a Manager; EXEX injects an MPI worker pool whose rank
 	// 0 speaks the same manager protocol (§4.3.2's hierarchical model).
 	PayloadFactory func(interchangeAddr string, node provider.Node) (stop func(), err error)
 }
 
-// Executor is the HTEX client-side executor: it owns the interchange, tracks
-// submitted tasks, and scales blocks of managers through its provider.
-type Executor struct {
-	cfg Config
-	ix  *Interchange
-
+// shardLink is the client's handle to one interchange shard: the broker, the
+// dealer connection, the per-connection stream codec pair, the command-reply
+// channel, and the shard's circuit breaker. Everything here is per-shard
+// because the invariants are per-shard: a NACK resyncs one shard's stream,
+// a breaker trips on one shard's sends, a death fails one shard's inflight.
+type shardLink struct {
+	idx    int
+	label  string // "htex[0]" — the shard's chaos/breaker/LOST identity
+	ix     *Interchange
 	dealer *mq.Dealer
-	// taskEnc streams TASKB frames to the interchange; resDec consumes the
-	// interchange's RESULTS stream. One pair per client connection — gob
-	// type descriptors cross the wire once per session, not per batch.
+	// taskEnc streams TASKB frames to this shard; resDec consumes its
+	// RESULTS stream. One pair per shard connection — gob type descriptors
+	// cross each wire once per session, not per batch.
 	taskEnc *serialize.StreamEncoder
 	resDec  *serialize.StreamDecoder
+	// breaker tracks this shard's send outcomes so routing can stop
+	// offering work to a flaky-but-alive shard (half-open probes let it
+	// back in). Shard death is tracked separately by down — a dead shard
+	// never comes back.
+	breaker    *health.Breaker
+	cmdReplies chan mq.Message
+	down       atomic.Bool
+}
+
+// inflightTask is one submitted-but-unresolved task plus the shard it was
+// placed on — the shard is what lets a NACK retransmit or a shard death
+// touch exactly the affected subset of the inflight registry.
+type inflightTask struct {
+	msg   serialize.TaskMsg
+	shard int
+}
+
+// Executor is the HTEX client-side executor: it owns the interchange shards,
+// tracks submitted tasks, and scales blocks of managers through its provider.
+type Executor struct {
+	cfg Config
+
+	// ix aliases shard 0's interchange — the single-broker accessor that
+	// monitoring, workers, and tests address when sharding is off.
+	ix     *Interchange
+	shards []*shardLink
+	smap   *ShardMap
 
 	mu        sync.Mutex
 	pending   map[int64]*future.Future
-	inflight  map[int64]serialize.TaskMsg // for retransmit on manager loss
+	inflight  map[int64]inflightTask // for retransmit on manager/shard loss
 	blocks    []string
 	blockMgrs map[string][]string // block id -> manager identities
+	mgrShard  map[string]int      // manager identity -> shard index
 	mgrSeq    int64
 	started   bool
 	closed    bool
 
-	cmdMu      sync.Mutex
-	cmdReplies chan mq.Message
+	cmdMu sync.Mutex
 
 	outstanding atomic.Int64
 	wg          sync.WaitGroup
 }
 
-// New creates an HTEX executor. Start launches the interchange and the
-// initial blocks.
+// New creates an HTEX executor. Start launches the interchange shards and
+// the initial blocks.
 func New(cfg Config) *Executor {
 	if cfg.Label == "" {
 		cfg.Label = "htex"
@@ -74,25 +118,79 @@ func New(cfg Config) *Executor {
 	if cfg.Transport == nil {
 		cfg.Transport = simnet.NewNetwork(0)
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 	return &Executor{
-		cfg:        cfg,
-		taskEnc:    serialize.NewStreamEncoder(),
-		resDec:     serialize.NewStreamDecoder(),
-		pending:    make(map[int64]*future.Future),
-		inflight:   make(map[int64]serialize.TaskMsg),
-		blockMgrs:  make(map[string][]string),
-		cmdReplies: make(chan mq.Message, 16),
+		cfg:       cfg,
+		pending:   make(map[int64]*future.Future),
+		inflight:  make(map[int64]inflightTask),
+		blockMgrs: make(map[string][]string),
+		mgrShard:  make(map[string]int),
 	}
 }
 
 // Label implements executor.Executor.
 func (e *Executor) Label() string { return e.cfg.Label }
 
-// Interchange exposes the broker (tests and monitoring).
+// Interchange exposes shard 0's broker (tests and monitoring; the whole
+// broker when sharding is off). Shard addresses the others.
 func (e *Executor) Interchange() *Interchange { return e.ix }
 
-// Start implements executor.Executor: bring up the interchange, connect the
-// client dealer, and provision InitBlocks.
+// Shard exposes shard i's broker, nil when out of range.
+func (e *Executor) Shard(i int) *Interchange {
+	if i < 0 || i >= len(e.shards) {
+		return nil
+	}
+	return e.shards[i].ix
+}
+
+// ShardCount reports the configured shard count.
+func (e *Executor) ShardCount() int { return len(e.shards) }
+
+// ShardCounts reports (alive, total) shards — the merged-Load probe
+// internal/sched samples so policies can see a degraded control plane.
+func (e *Executor) ShardCounts() (alive, total int) {
+	if e.smap == nil {
+		return 0, 0
+	}
+	return e.smap.AliveCount(), e.smap.Total()
+}
+
+// ShardHealth aggregates the per-shard breakers into one executor-level
+// signal: "closed" when every alive shard routes cleanly, "degraded" when at
+// least one shard is dead or its breaker is open/half-open, "down" when no
+// shard is routable at all.
+func (e *Executor) ShardHealth() string {
+	if len(e.shards) == 0 {
+		return ""
+	}
+	routable, degraded := 0, false
+	for _, s := range e.shards {
+		if s.down.Load() {
+			degraded = true
+			continue
+		}
+		if st := s.breaker.State(); st != health.BreakerClosed {
+			degraded = true
+			if st == health.BreakerOpen {
+				continue
+			}
+		}
+		routable++
+	}
+	switch {
+	case routable == 0:
+		return "down"
+	case degraded:
+		return "degraded"
+	default:
+		return "closed"
+	}
+}
+
+// Start implements executor.Executor: bring up the interchange shards,
+// connect one client dealer per shard, and provision InitBlocks.
 func (e *Executor) Start() error {
 	e.mu.Lock()
 	if e.started {
@@ -122,24 +220,56 @@ func (e *Executor) Start() error {
 		}
 	}
 
+	n := e.cfg.Shards
 	addr := e.cfg.Addr
 	if addr == "" {
 		addr = ":0"
 	}
-	ix, err := StartInterchange(e.cfg.Transport, addr, e.cfg.Interchange)
-	if err != nil {
+	if n > 1 && !strings.HasSuffix(addr, ":0") {
+		return fmt.Errorf("htex: %d shards cannot share fixed address %q (use an auto-assign :0 form)", n, e.cfg.Addr)
+	}
+
+	e.smap = NewShardMap(n)
+	e.shards = make([]*shardLink, 0, n)
+	fail := func(err error) error {
+		for _, s := range e.shards {
+			_ = s.dealer.Close()
+			_ = s.ix.Close()
+		}
 		return err
 	}
-	e.ix = ix
-
-	dealer, err := mq.DialDealer(e.cfg.Transport, ix.Addr(), clientIdentity)
-	if err != nil {
-		_ = ix.Close()
-		return fmt.Errorf("htex: client dial: %w", err)
+	for i := 0; i < n; i++ {
+		ixCfg := e.cfg.Interchange
+		ixCfg.Label = fmt.Sprintf("%s[%d]", e.cfg.Label, i)
+		if ixCfg.Seed != 0 {
+			// Decorrelate the shards' manager-selection streams while keeping
+			// the whole deployment a pure function of the configured seed.
+			ixCfg.Seed += int64(i)
+		}
+		ix, err := StartInterchange(e.cfg.Transport, addr, ixCfg)
+		if err != nil {
+			return fail(err)
+		}
+		dealer, err := mq.DialDealer(e.cfg.Transport, ix.Addr(), clientIdentity)
+		if err != nil {
+			_ = ix.Close()
+			return fail(fmt.Errorf("htex: client dial %s: %w", ixCfg.Label, err))
+		}
+		s := &shardLink{
+			idx:        i,
+			label:      ixCfg.Label,
+			ix:         ix,
+			dealer:     dealer,
+			taskEnc:    serialize.NewStreamEncoder(),
+			resDec:     serialize.NewStreamDecoder(),
+			breaker:    health.NewBreaker(health.BreakerConfig{}),
+			cmdReplies: make(chan mq.Message, 16),
+		}
+		e.shards = append(e.shards, s)
+		e.wg.Add(1)
+		go e.recvLoop(s)
 	}
-	e.dealer = dealer
-	e.wg.Add(1)
-	go e.recvLoop()
+	e.ix = e.shards[0].ix
 
 	for i := 0; i < e.cfg.InitBlocks; i++ {
 		if err := e.ScaleOut(1); err != nil {
@@ -149,11 +279,22 @@ func (e *Executor) Start() error {
 	return nil
 }
 
-func (e *Executor) recvLoop() {
+// recvLoop reconciles one shard's traffic: results, LOST reports, command
+// replies, and NACKs all resolve against the shared pending/inflight
+// registries, so N shards look like one executor to everything above. A
+// receive error outside shutdown means the shard's router is gone — the
+// shard-death rebalance path.
+func (e *Executor) recvLoop(s *shardLink) {
 	defer e.wg.Done()
 	for {
-		msg, err := e.dealer.Recv()
+		msg, err := s.dealer.Recv()
 		if err != nil {
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if !closed {
+				e.shardDown(s)
+			}
 			return
 		}
 		if len(msg) == 0 {
@@ -165,12 +306,12 @@ func (e *Executor) recvLoop() {
 				continue
 			}
 			var results []serialize.ResultMsg
-			if err := e.resDec.DecodeFrame(msg[1], &results); err != nil {
-				// The interchange's RESULTS stream is undecodable mid-epoch;
-				// NACK so it resyncs on a fresh self-describing epoch. Tasks
-				// whose results rode the lost frame stay pending here and
-				// recover via the DFK's attempt timeout (see codec.go).
-				_ = e.dealer.Send(mq.Message{[]byte(frameNack), nackPayload(msg[1])})
+			if err := s.resDec.DecodeFrame(msg[1], &results); err != nil {
+				// This shard's RESULTS stream is undecodable mid-epoch; NACK
+				// so it resyncs on a fresh self-describing epoch. Tasks whose
+				// results rode the lost frame stay pending here and recover
+				// via the DFK's attempt timeout (see codec.go).
+				_ = s.dealer.Send(mq.Message{[]byte(frameNack), nackPayload(msg[1])})
 				continue
 			}
 			for _, r := range results {
@@ -197,41 +338,87 @@ func (e *Executor) recvLoop() {
 			}
 		case frameCmdRep:
 			select {
-			case e.cmdReplies <- msg:
+			case s.cmdReplies <- msg:
 			default:
 			}
 		case frameNack:
 			if len(msg) < 2 {
 				continue
 			}
-			e.handleNack(nackEpoch(msg[1]))
+			e.handleNack(s, nackEpoch(msg[1]))
 		}
 	}
 }
 
-// handleNack repairs the client's task stream after the interchange reported
-// it undecodable: reset the encoder (fresh self-describing epoch) and
-// retransmit every in-flight task. The client cannot know which tasks the
-// lost frame carried, so the retransmission is a superset; tasks that were
-// delivered run at most twice, and the pending map completes each future
-// exactly once whichever copy's result arrives first. Epoch mismatch means
-// the stream was already reset (duplicate NACKs for one epoch collapse to
-// one repair).
-func (e *Executor) handleNack(epoch uint32) {
-	if epoch == 0 || e.taskEnc.Epoch() != epoch {
+// shardDown is the rebalance-on-death path: mark the shard dead, remove it
+// from the placement ring (its hash arcs fall to ring successors, everyone
+// else's placement is untouched), and fail exactly the tasks that were
+// inflight on it. Those failures surface as LostError naming the shard, so
+// the DFK's retry plane re-executes only the dead shard's outstanding set —
+// the other shards' queues and inflight tasks never notice. Idempotent: the
+// receive loop and KillShard may both report the same death.
+func (e *Executor) shardDown(s *shardLink) {
+	if !s.down.CompareAndSwap(false, true) {
 		return
 	}
-	e.taskEnc.Reset()
+	e.smap.Remove(s.idx)
+	e.mu.Lock()
+	var lost []int64
+	for id, it := range e.inflight {
+		if it.shard == s.idx {
+			lost = append(lost, id)
+		}
+	}
+	e.mu.Unlock()
+	for _, id := range lost {
+		e.fail(id, &executor.LostError{TaskID: id, Detail: "interchange shard lost", Manager: s.label})
+	}
+}
+
+// KillShard abruptly closes shard i's interchange — no goodbye to the client
+// or its managers — and runs the death path synchronously. This is the
+// failover hook the shard chaos scenario drives; production deaths take the
+// same shardDown road via the receive loop's error. Returns false when i is
+// out of range or the shard is already down.
+func (e *Executor) KillShard(i int) bool {
+	if i < 0 || i >= len(e.shards) {
+		return false
+	}
+	s := e.shards[i]
+	if s.down.Load() {
+		return false
+	}
+	_ = s.ix.Close()
+	e.shardDown(s)
+	return true
+}
+
+// handleNack repairs one shard's task stream after that shard reported it
+// undecodable: reset the encoder (fresh self-describing epoch) and
+// retransmit every task inflight on that shard. The client cannot know which
+// tasks the lost frame carried, so the retransmission is a per-shard
+// superset; tasks that were delivered run at most twice, and the pending map
+// completes each future exactly once whichever copy's result arrives first.
+// Epoch mismatch means the stream was already reset (duplicate NACKs for one
+// epoch collapse to one repair).
+func (e *Executor) handleNack(s *shardLink, epoch uint32) {
+	if epoch == 0 || s.taskEnc.Epoch() != epoch {
+		return
+	}
+	s.taskEnc.Reset()
 	e.mu.Lock()
 	msgs := make([]serialize.TaskMsg, 0, len(e.inflight))
-	for _, m := range e.inflight {
+	for _, it := range e.inflight {
+		if it.shard != s.idx {
+			continue
+		}
 		// Retain each snapshot entry under the lock: the framing below runs
 		// unlocked, racing completions that drop the inflight reference, and
 		// a recycled payload buffer must not reach the wire.
-		if p := m.Payload(); p != nil {
+		if p := it.msg.Payload(); p != nil {
 			p.Retain()
 		}
-		msgs = append(msgs, m)
+		msgs = append(msgs, it.msg)
 	}
 	e.mu.Unlock()
 	if len(msgs) == 0 {
@@ -245,18 +432,32 @@ func (e *Executor) handleNack(epoch uint32) {
 			wires = append(wires, w)
 		}
 	}
-	_ = e.sendTasks(wires)
+	_ = e.sendTasks(s, wires)
 	for i := range msgs {
 		msgs[i].Payload().Release()
 	}
 }
 
-// sendTasks frames one task batch onto the (chaos-instrumented) client wire.
-func (e *Executor) sendTasks(wires []serialize.WireTask) error {
-	return e.taskEnc.EncodeFrame(wires, func(frame []byte) error {
-		return chaos.Frame(chaos.PointClientSend, frame, func(fr []byte) error {
-			return e.dealer.Send(mq.Message{[]byte(frameTaskSub), fr})
+// sendTasks frames one task batch onto one shard's (chaos-instrumented)
+// wire, recording the outcome against that shard's breaker.
+func (e *Executor) sendTasks(s *shardLink, wires []serialize.WireTask) error {
+	err := s.taskEnc.EncodeFrame(wires, func(frame []byte) error {
+		return chaos.Frame(chaos.PointClientSend, s.label, frame, func(fr []byte) error {
+			return s.dealer.Send(mq.Message{[]byte(frameTaskSub), fr})
 		})
+	})
+	s.breaker.Record(err == nil)
+	return err
+}
+
+// placeTask picks the shard for one task: consistent-hash tenant-affine
+// placement, vetoing shards that are dead, breaker-blocked, or have no
+// registered managers to drain them (those spill to their ring successor —
+// see ShardMap.PlaceTaskFunc).
+func (e *Executor) placeTask(tenant string, id int64) int {
+	return e.smap.PlaceTaskFunc(tenant, id, func(si int) bool {
+		s := e.shards[si]
+		return !s.down.Load() && s.breaker.Routable() && s.ix.ManagerCount() > 0
 	})
 }
 
@@ -264,9 +465,9 @@ func (e *Executor) sendTasks(wires []serialize.WireTask) error {
 // reference. Called with e.mu held at every site that deletes from inflight,
 // so the retain taken at registration is paired exactly once.
 func (e *Executor) dropInflightLocked(id int64) {
-	if m, ok := e.inflight[id]; ok {
+	if it, ok := e.inflight[id]; ok {
 		delete(e.inflight, id)
-		m.Payload().Release()
+		it.msg.Payload().Release()
 	}
 }
 
@@ -304,10 +505,11 @@ func (e *Executor) Submit(msg serialize.TaskMsg) *future.Future {
 }
 
 // SubmitBatch implements executor.BatchSubmitter: the whole batch is
-// registered under one lock acquisition and crosses the wire as a single
-// TASKB frame, which the interchange appends to its queue wholesale — from
-// there the existing manager-side batching (§4.3.1) takes over. Compared to
-// per-task Submit this collapses n lock round-trips and n frames into one.
+// registered under one lock acquisition, then crosses the wire as one TASKB
+// frame per owning shard — the single-shard deployment (the default) sends
+// exactly one frame with no placement work at all, and a sharded deployment
+// fans the batch out in submission order per shard. From the interchange
+// queues on, the existing manager-side batching (§4.3.1) takes over.
 func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 	futs := make([]*future.Future, len(msgs))
 	for i, m := range msgs {
@@ -326,6 +528,15 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 		}
 		return futs
 	}
+	// Placement happens at registration so the inflight registry knows each
+	// task's shard from the first instant — a shard death between this lock
+	// and the send below must still fail exactly the right subset. The
+	// single-shard path skips it entirely (shard 0, no hashing, no slice).
+	single := len(e.shards) == 1
+	var shardOf []int
+	if !single {
+		shardOf = make([]int, len(msgs))
+	}
 	// Two payload references per task: one for the inflight registry (the
 	// NACK retransmission source, released when the entry leaves the map)
 	// and one pinning the bytes across the framing below — a Cancel racing
@@ -333,12 +544,17 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 	// the send leg must never frame a recycled buffer.
 	held := make([]*serialize.Payload, len(msgs))
 	for i, m := range msgs {
+		shard := 0
+		if !single {
+			shard = e.placeTask(m.Tenant, m.ID)
+			shardOf[i] = shard
+		}
 		e.pending[m.ID] = futs[i]
 		if p := m.Payload(); p != nil {
 			held[i] = p.Retain()
 			p.Retain()
 		}
-		e.inflight[m.ID] = m
+		e.inflight[m.ID] = inflightTask{msg: m, shard: shard}
 	}
 	e.mu.Unlock()
 	e.outstanding.Add(int64(len(msgs)))
@@ -349,6 +565,10 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 	// unencodable argument fails only its own task — poison isolation comes
 	// free, with no validation double-encode.
 	wires := make([]serialize.WireTask, 0, len(msgs))
+	var wireShard []int
+	if !single {
+		wireShard = make([]int, 0, len(msgs))
+	}
 	for i := range msgs {
 		w, err := msgs[i].Wire()
 		if err != nil {
@@ -356,12 +576,19 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 			continue
 		}
 		wires = append(wires, w)
+		if !single {
+			wireShard = append(wireShard, shardOf[i])
+		}
 	}
 	if len(wires) > 0 {
-		if err := e.sendTasks(wires); err != nil {
-			for _, w := range wires {
-				e.fail(w.ID, fmt.Errorf("htex: submit batch: %w", err))
+		if single {
+			if err := e.sendTasks(e.shards[0], wires); err != nil {
+				for _, w := range wires {
+					e.fail(w.ID, fmt.Errorf("htex: submit batch: %w", err))
+				}
 			}
+		} else {
+			e.fanOut(wires, wireShard)
 		}
 	}
 	for _, p := range held {
@@ -370,29 +597,62 @@ func (e *Executor) SubmitBatch(msgs []serialize.TaskMsg) []*future.Future {
 	return futs
 }
 
+// fanOut partitions one wire batch by owning shard (submission order
+// preserved within each shard) and sends each partition on its shard's
+// stream. A failed send fails only that shard's partition — the other
+// shards' tasks are already safely queued or on their way.
+func (e *Executor) fanOut(wires []serialize.WireTask, wireShard []int) {
+	buckets := make([][]serialize.WireTask, len(e.shards))
+	for i, w := range wires {
+		si := wireShard[i]
+		buckets[si] = append(buckets[si], w)
+	}
+	for si, batch := range buckets {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := e.sendTasks(e.shards[si], batch); err != nil {
+			for _, w := range batch {
+				e.fail(w.ID, fmt.Errorf("htex: submit batch: %w", err))
+			}
+		}
+	}
+}
+
 // Cancel implements executor.Canceler: the task's client-side future is
-// settled with future.ErrCanceled and a CANCEL frame is sent so the
-// interchange drops the task from its queue (or forwards the drop to the
-// manager holding it). Best effort past the client: a task already running
-// on a worker is not preempted — its late result is simply ignored, since
-// the pending entry is gone.
+// settled with future.ErrCanceled and a CANCEL frame is sent to the shard
+// holding the task so its interchange drops it from the queue (or forwards
+// the drop to the manager holding it). Best effort past the client: a task
+// already running on a worker is not preempted — its late result is simply
+// ignored, since the pending entry is gone.
 func (e *Executor) Cancel(wireID int64) bool {
 	e.mu.Lock()
 	fut, ok := e.pending[wireID]
+	shard := -1
+	if it, okIn := e.inflight[wireID]; okIn {
+		shard = it.shard
+	}
 	if ok {
 		delete(e.pending, wireID)
 		e.dropInflightLocked(wireID)
 	}
-	dealer := e.dealer
 	e.mu.Unlock()
 	if !ok {
 		return false
 	}
 	e.outstanding.Add(-1)
 	canceled := fut.Cancel()
-	if dealer != nil {
-		if payload, err := encodeIDs([]int64{wireID}); err == nil {
-			_ = dealer.Send(mq.Message{[]byte(frameCancel), payload})
+	if payload, err := encodeIDs([]int64{wireID}); err == nil {
+		if shard >= 0 && !e.shards[shard].down.Load() {
+			_ = e.shards[shard].dealer.Send(mq.Message{[]byte(frameCancel), payload})
+		} else {
+			// Unknown or dead owner: tell every live shard; the ones not
+			// holding the task ignore the unknown id.
+			for _, s := range e.shards {
+				if !s.down.Load() {
+					_ = s.dealer.Send(mq.Message{[]byte(frameCancel), payload})
+				}
+			}
 		}
 	}
 	return canceled
@@ -401,12 +661,59 @@ func (e *Executor) Cancel(wireID int64) bool {
 // Outstanding implements executor.Executor.
 func (e *Executor) Outstanding() int { return int(e.outstanding.Load()) }
 
-// ConnectedWorkers implements executor.Scalable: managers × workers.
-func (e *Executor) ConnectedWorkers() int {
-	if e.ix == nil {
-		return 0
+// InflightByShard reports how many submitted-but-unresolved tasks each shard
+// currently owns (index = shard). The failover scenario snapshots this to
+// prove a kill requeues exactly the victim's set.
+func (e *Executor) InflightByShard() []int {
+	out := make([]int, len(e.shards))
+	e.mu.Lock()
+	for _, it := range e.inflight {
+		if it.shard >= 0 && it.shard < len(out) {
+			out[it.shard]++
+		}
 	}
-	return e.ix.ManagerCount() * e.cfg.Manager.Workers
+	e.mu.Unlock()
+	return out
+}
+
+// QueueDepth reports tasks waiting for manager capacity, merged across
+// shards.
+func (e *Executor) QueueDepth() int {
+	n := 0
+	for _, s := range e.shards {
+		if !s.down.Load() {
+			n += s.ix.QueueDepth()
+		}
+	}
+	return n
+}
+
+// QueueDepthByTenant merges the per-shard tenant backlogs into the one view
+// sched.Load carries — identical to what a single interchange holding the
+// union of the queues would report.
+func (e *Executor) QueueDepthByTenant() map[string]int {
+	if len(e.shards) == 1 {
+		return e.ix.QueueDepthByTenant()
+	}
+	per := make([]map[string]int, 0, len(e.shards))
+	for _, s := range e.shards {
+		if !s.down.Load() {
+			per = append(per, s.ix.QueueDepthByTenant())
+		}
+	}
+	return MergeTenantDepths(per...)
+}
+
+// ConnectedWorkers implements executor.Scalable: managers × workers, summed
+// over the live shards.
+func (e *Executor) ConnectedWorkers() int {
+	n := 0
+	for _, s := range e.shards {
+		if !s.down.Load() {
+			n += s.ix.ManagerCount()
+		}
+	}
+	return n * e.cfg.Manager.Workers
 }
 
 // ActiveBlocks implements executor.Scalable.
@@ -434,22 +741,42 @@ func (e *Executor) ScaleOut(n int) error {
 	return nil
 }
 
+// shardForManager places one manager identity onto a live shard: consistent
+// hash with a bounded-load walk, so every shard keeps managers to drain the
+// tasks hashed onto it even at small manager counts (see ShardMap).
+func (e *Executor) shardForManager(id string) *shardLink {
+	if len(e.shards) == 1 {
+		return e.shards[0]
+	}
+	e.mu.Lock()
+	counts := make([]int, len(e.shards))
+	for _, si := range e.mgrShard {
+		if si >= 0 && si < len(counts) {
+			counts[si]++
+		}
+	}
+	e.mu.Unlock()
+	return e.shards[e.smap.PlaceManagerBounded(id, counts)]
+}
+
 // managerPayload builds the per-node payload: start a manager connected to
-// the interchange; stopping it drains cleanly.
+// its consistent-hash shard; stopping it drains cleanly.
 func (e *Executor) managerPayload() provider.Payload {
 	if f := e.cfg.PayloadFactory; f != nil {
 		return func(node provider.Node) (func(), error) {
-			return f(e.ix.Addr(), node)
+			return f(e.shardForManager(node.BlockID).ix.Addr(), node)
 		}
 	}
 	return func(node provider.Node) (func(), error) {
 		id := fmt.Sprintf("mgr-%s-%d", node.BlockID, atomic.AddInt64(&e.mgrSeq, 1))
-		mgr, err := StartManager(e.cfg.Transport, e.ix.Addr(), id, e.cfg.Registry, e.cfg.Manager)
+		s := e.shardForManager(id)
+		mgr, err := StartManager(e.cfg.Transport, s.ix.Addr(), id, e.cfg.Registry, e.cfg.Manager)
 		if err != nil {
 			return nil, err
 		}
 		e.mu.Lock()
 		e.blockMgrs[node.BlockID] = append(e.blockMgrs[node.BlockID], id)
+		e.mgrShard[id] = s.idx
 		e.mu.Unlock()
 		return mgr.Drain, nil
 	}
@@ -457,9 +784,18 @@ func (e *Executor) managerPayload() provider.Payload {
 
 // idleBlocksFirst orders candidate blocks so that blocks whose managers have
 // no in-flight tasks are released first, avoiding needless requeues of
-// running work during scale-in.
+// running work during scale-in. Manager identities are globally unique, so
+// the per-shard outstanding maps merge without collision.
 func (e *Executor) idleBlocksFirst(blocks []string) []string {
-	busy := e.ix.OutstandingByManager()
+	busy := make(map[string]int)
+	for _, s := range e.shards {
+		if s.down.Load() {
+			continue
+		}
+		for id, n := range s.ix.OutstandingByManager() {
+			busy[id] = n
+		}
+	}
 	var idle, active []string
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -507,6 +843,9 @@ func (e *Executor) ScaleIn(n int) error {
 	}
 	e.blocks = remaining
 	for _, v := range victims {
+		for _, mgr := range e.blockMgrs[v] {
+			delete(e.mgrShard, mgr)
+		}
 		delete(e.blockMgrs, v)
 	}
 	e.mu.Unlock()
@@ -519,8 +858,12 @@ func (e *Executor) ScaleIn(n int) error {
 	return first
 }
 
-// Command issues a synchronous command-channel request (§4.3.1) and returns
-// the reply parts after the command echo.
+// Command issues a synchronous command-channel request (§4.3.1). BLACKLIST
+// routes to the one shard owning the named manager; every other command is a
+// broadcast, with the reply parts concatenated in shard order (so a
+// single-shard deployment answers exactly as the single broker did). A shard
+// that fails or times out contributes nothing; the first such error is
+// returned only when no shard answered at all.
 func (e *Executor) Command(name, arg string, timeout time.Duration) ([]string, error) {
 	e.cmdMu.Lock()
 	defer e.cmdMu.Unlock()
@@ -528,23 +871,51 @@ func (e *Executor) Command(name, arg string, timeout time.Duration) ([]string, e
 	if arg != "" {
 		msg = append(msg, []byte(arg))
 	}
-	if err := e.dealer.Send(msg); err != nil {
-		return nil, fmt.Errorf("htex: command %s: %w", name, err)
-	}
-	select {
-	case rep := <-e.cmdReplies:
-		var out []string
-		for _, p := range rep[2:] {
-			out = append(out, string(p))
+	targets := e.shards
+	if name == "BLACKLIST" && arg != "" {
+		e.mu.Lock()
+		si, ok := e.mgrShard[arg]
+		e.mu.Unlock()
+		if ok {
+			targets = e.shards[si : si+1]
 		}
-		return out, nil
-	case <-time.After(timeout):
-		return nil, fmt.Errorf("htex: command %s timed out", name)
 	}
+	var out []string
+	answered := false
+	var firstErr error
+	for _, s := range targets {
+		if s.down.Load() {
+			continue
+		}
+		if err := s.dealer.Send(msg); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("htex: command %s on %s: %w", name, s.label, err)
+			}
+			continue
+		}
+		select {
+		case rep := <-s.cmdReplies:
+			answered = true
+			for _, p := range rep[2:] {
+				out = append(out, string(p))
+			}
+		case <-time.After(timeout):
+			if firstErr == nil {
+				firstErr = fmt.Errorf("htex: command %s timed out on %s", name, s.label)
+			}
+		}
+	}
+	if !answered {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("htex: command %s: no live shards", name)
+	}
+	return out, nil
 }
 
-// OutstandingRemote asks the interchange for its task count via the command
-// channel.
+// OutstandingRemote asks every live shard for its task count via the command
+// channel and sums the answers.
 func (e *Executor) OutstandingRemote() (int, error) {
 	rep, err := e.Command("OUTSTANDING", "", 5*time.Second)
 	if err != nil {
@@ -553,7 +924,15 @@ func (e *Executor) OutstandingRemote() (int, error) {
 	if len(rep) == 0 {
 		return 0, errors.New("htex: empty OUTSTANDING reply")
 	}
-	return strconv.Atoi(rep[0])
+	total := 0
+	for _, p := range rep {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return 0, fmt.Errorf("htex: bad OUTSTANDING reply %q", p)
+		}
+		total += n
+	}
+	return total, nil
 }
 
 // Shutdown implements executor.Executor.
@@ -569,10 +948,10 @@ func (e *Executor) Shutdown() error {
 	e.blocks = nil
 	pending := e.pending
 	e.pending = make(map[int64]*future.Future)
-	for _, m := range e.inflight {
-		m.Payload().Release()
+	for _, it := range e.inflight {
+		it.msg.Payload().Release()
 	}
-	e.inflight = make(map[int64]serialize.TaskMsg)
+	e.inflight = make(map[int64]inflightTask)
 	e.mu.Unlock()
 
 	if !started {
@@ -588,13 +967,11 @@ func (e *Executor) Shutdown() error {
 		_ = id
 	}
 	var first error
-	if e.dealer != nil {
-		if err := e.dealer.Close(); err != nil && first == nil {
+	for _, s := range e.shards {
+		if err := s.dealer.Close(); err != nil && first == nil {
 			first = err
 		}
-	}
-	if e.ix != nil {
-		if err := e.ix.Close(); err != nil && first == nil {
+		if err := s.ix.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

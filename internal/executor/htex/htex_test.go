@@ -56,7 +56,13 @@ func newHTEX(t *testing.T, nodes, workers int, tune func(*Config)) *Executor {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = e.Shutdown() })
-	waitCond(t, "managers registered", func() bool { return e.ix.ManagerCount() == nodes })
+	waitCond(t, "managers registered", func() bool {
+		total := 0
+		for i := 0; i < e.ShardCount(); i++ {
+			total += e.Shard(i).ManagerCount()
+		}
+		return total == nodes
+	})
 	return e
 }
 

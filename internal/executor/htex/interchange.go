@@ -31,6 +31,11 @@ const (
 
 // InterchangeConfig tunes the broker.
 type InterchangeConfig struct {
+	// Label names this interchange instance for the chaos plane and shard
+	// diagnostics ("htex[2]"). The sharded client fills it per shard so
+	// fault rules and breaker telemetry can address one shard; a standalone
+	// interchange may leave it empty.
+	Label string
 	// BatchSize caps tasks per dispatch message to one manager.
 	BatchSize int
 	// HeartbeatPeriod is how often liveness is checked.
@@ -190,6 +195,15 @@ func (ix *Interchange) handle(del mq.Delivery) {
 	if len(del.Msg) == 0 {
 		return
 	}
+	// Chaos: abrupt shard death while brokering — the router drops with no
+	// goodbye, exactly as a crashed interchange process would. The detail is
+	// this shard's label, so a Match-scoped rule kills one shard of a
+	// sharded deployment and the failover invariant (only that shard's
+	// outstanding set requeues) is seed-reproducible.
+	if chaos.Kill(chaos.PointIxKill, ix.cfg.Label) {
+		go ix.Close()
+		return
+	}
 	switch string(del.Msg[0]) {
 	case frameTask:
 		// Legacy single-task path: a one-shot envelope, no stream state
@@ -279,7 +293,7 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		ix.mu.Unlock()
 		if client != "" {
 			_ = ix.clientEnc.EncodeFrame(results, func(frame []byte) error {
-				return chaos.Frame(chaos.PointIxResults, frame, func(fr []byte) error {
+				return chaos.Frame(chaos.PointIxResults, ix.cfg.Label, frame, func(fr []byte) error {
 					return ix.router.SendTo(client, mq.Message{[]byte(frameResults), fr})
 				})
 			})
@@ -545,7 +559,7 @@ func (ix *Interchange) dispatch() {
 		// Re-frame the envelopes on this manager's stream; the argument
 		// payloads inside pass through as opaque bytes.
 		err := enc.EncodeFrame(batch, func(frame []byte) error {
-			return chaos.Frame(chaos.PointIxTasks, frame, func(fr []byte) error {
+			return chaos.Frame(chaos.PointIxTasks, ix.cfg.Label, frame, func(fr []byte) error {
 				return ix.router.SendTo(id, mq.Message{[]byte(frameTasks), fr})
 			})
 		})

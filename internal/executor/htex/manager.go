@@ -296,7 +296,7 @@ func (m *Manager) resultLoop() {
 			return
 		}
 		_ = m.resEnc.Encode(batch, func(frame []byte) error {
-			return chaos.Frame(chaos.PointMgrResults, frame, func(fr []byte) error {
+			return chaos.Frame(chaos.PointMgrResults, m.id, frame, func(fr []byte) error {
 				return m.dealer.Send(mq.Message{[]byte(frameResults), fr})
 			})
 		})

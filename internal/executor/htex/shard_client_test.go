@@ -1,0 +1,266 @@
+package htex
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/future"
+	"repro/internal/sched"
+	"repro/internal/serialize"
+)
+
+// newShardedHTEX builds an executor over shards interchange shards with one
+// block of nodes managers (bounded-hash-placed across the shards).
+func newShardedHTEX(t *testing.T, shards, nodes, workers int) *Executor {
+	t.Helper()
+	return newHTEX(t, nodes, workers, func(c *Config) {
+		c.Shards = shards
+	})
+}
+
+// managersPerShard sums registered managers over every shard.
+func managersPerShard(e *Executor) []int {
+	out := make([]int, e.ShardCount())
+	for i := range out {
+		out[i] = e.Shard(i).ManagerCount()
+	}
+	return out
+}
+
+func TestShardedRoundTrip(t *testing.T) {
+	e := newShardedHTEX(t, 3, 6, 2)
+	// Bounded-load placement must leave no shard manager-less: a bare shard
+	// could only drain by spilling, and capacity would sit idle.
+	waitCond(t, "every shard has a manager", func() bool {
+		for _, n := range managersPerShard(e) {
+			if n == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	const n = 300
+	futs := make([]*future.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = e.Submit(serialize.TaskMsg{
+			ID: int64(i), App: "echo", Args: []any{i},
+			Tenant: fmt.Sprintf("t%d", i%5),
+		})
+	}
+	for i, f := range futs {
+		v, err := f.Result()
+		if err != nil || v != i {
+			t.Fatalf("task %d: %v, %v", i, v, err)
+		}
+	}
+	if e.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", e.Outstanding())
+	}
+	if alive, total := e.ShardCounts(); alive != 3 || total != 3 {
+		t.Fatalf("ShardCounts = %d/%d, want 3/3", alive, total)
+	}
+	if h := e.ShardHealth(); h != "closed" {
+		t.Fatalf("ShardHealth = %q, want closed", h)
+	}
+}
+
+// TestShardedKillFailsOnlyVictims is the failover invariant at the executor
+// boundary: killing one shard surfaces LostError for exactly the tasks
+// inflight on that shard — naming the shard — while every task on the other
+// shards completes normally and no task is double-settled.
+func TestShardedKillFailsOnlyVictims(t *testing.T) {
+	e := newShardedHTEX(t, 3, 6, 1)
+	waitCond(t, "every shard has a manager", func() bool {
+		for _, n := range managersPerShard(e) {
+			if n == 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	const n = 60
+	futs := make([]*future.Future, n)
+	for i := 0; i < n; i++ {
+		futs[i] = e.Submit(serialize.TaskMsg{ID: int64(i), App: "sleep", Args: []any{100}})
+	}
+	// Freeze the task→shard assignment while everything is still inflight.
+	e.mu.Lock()
+	shardOf := make(map[int64]int, len(e.inflight))
+	for id, it := range e.inflight {
+		shardOf[id] = it.shard
+	}
+	e.mu.Unlock()
+	if len(shardOf) != n {
+		t.Fatalf("only %d of %d tasks inflight at snapshot", len(shardOf), n)
+	}
+	perShard := e.InflightByShard()
+	victim := 0
+	for i, c := range perShard {
+		if c > perShard[victim] {
+			victim = i
+		}
+	}
+	if perShard[victim] == 0 {
+		t.Fatalf("no shard holds inflight tasks: %v", perShard)
+	}
+	label := fmt.Sprintf("%s[%d]", e.cfg.Label, victim)
+
+	if !e.KillShard(victim) {
+		t.Fatalf("KillShard(%d) refused", victim)
+	}
+	if e.KillShard(victim) {
+		t.Fatal("double KillShard reported success")
+	}
+
+	victims, survivors := 0, 0
+	for i, f := range futs {
+		v, err := f.Result()
+		if shardOf[int64(i)] == victim {
+			var le *executor.LostError
+			if !errors.As(err, &le) {
+				t.Fatalf("victim-shard task %d: want LostError, got %v, %v", i, v, err)
+			}
+			if le.Manager != label {
+				t.Fatalf("victim-shard task %d lost by %q, want shard label %q", i, le.Manager, label)
+			}
+			victims++
+		} else {
+			if err != nil || v != "slept" {
+				t.Fatalf("survivor-shard task %d failed: %v, %v — other shards must keep draining", i, v, err)
+			}
+			survivors++
+		}
+	}
+	if victims == 0 || survivors == 0 {
+		t.Fatalf("degenerate split victims=%d survivors=%d", victims, survivors)
+	}
+	if victims != perShard[victim] {
+		t.Fatalf("failed %d tasks, victim shard held %d — kill must requeue exactly its outstanding set", victims, perShard[victim])
+	}
+	if e.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after reconciliation", e.Outstanding())
+	}
+	if alive, total := e.ShardCounts(); alive != 2 || total != 3 {
+		t.Fatalf("ShardCounts = %d/%d, want 2/3", alive, total)
+	}
+	if h := e.ShardHealth(); h != "degraded" {
+		t.Fatalf("ShardHealth = %q, want degraded", h)
+	}
+
+	// The survivors still form a working executor: new work completes.
+	v, err := e.Submit(serialize.TaskMsg{ID: n + 1, App: "echo", Args: []any{"after"}}).Result()
+	if err != nil || v != "after" {
+		t.Fatalf("post-failover submit: %v, %v", v, err)
+	}
+}
+
+// TestShardedMergedLoad: the scheduler-facing probes report the union of the
+// shards — queue depth, tenant backlog, shard membership — exactly as one
+// broker holding all the queues would.
+func TestShardedMergedLoad(t *testing.T) {
+	e := newShardedHTEX(t, 4, 4, 1)
+	waitCond(t, "managers registered on every shard", func() bool {
+		for _, n := range managersPerShard(e) {
+			if n == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	// Saturate: 4 managers × (1 worker + 1 prefetch) hold 8; the rest queue.
+	const n = 80
+	futs := make([]*future.Future, 0, n)
+	for i := 0; i < n; i++ {
+		futs = append(futs, e.Submit(serialize.TaskMsg{
+			ID: int64(i), App: "sleep", Args: []any{30},
+			Tenant: fmt.Sprintf("t%d", i%3), Weight: 1,
+		}))
+	}
+	waitCond(t, "queues back up", func() bool { return e.QueueDepth() > 0 })
+
+	sum := 0
+	for i := 0; i < e.ShardCount(); i++ {
+		sum += e.Shard(i).QueueDepth()
+	}
+	if got := e.QueueDepth(); got > sum+n || got == 0 {
+		t.Fatalf("merged QueueDepth %d vs per-shard sum %d", got, sum)
+	}
+	merged := e.QueueDepthByTenant()
+	direct := MergeTenantDepths(
+		e.Shard(0).QueueDepthByTenant(), e.Shard(1).QueueDepthByTenant(),
+		e.Shard(2).QueueDepthByTenant(), e.Shard(3).QueueDepthByTenant(),
+	)
+	mergedTotal, directTotal := 0, 0
+	for _, v := range merged {
+		mergedTotal += v
+	}
+	for _, v := range direct {
+		directTotal += v
+	}
+	// The queues drain concurrently, so totals can differ between the two
+	// samples; both must be merged views (non-empty while saturated).
+	if mergedTotal == 0 && directTotal > 0 {
+		t.Fatalf("merged tenant view empty while shards report %v", direct)
+	}
+
+	l := sched.LoadOf(e)
+	if l.ShardsAlive != 4 || l.ShardsTotal != 4 {
+		t.Fatalf("LoadOf shards = %d/%d, want 4/4", l.ShardsAlive, l.ShardsTotal)
+	}
+	if l.Health != "closed" {
+		t.Fatalf("LoadOf health = %q", l.Health)
+	}
+	if err := future.Wait(futs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedCommandChannel: administrative commands fan across shards —
+// OUTSTANDING sums, MANAGERS concatenates every shard's registry.
+func TestShardedCommandChannel(t *testing.T) {
+	e := newShardedHTEX(t, 3, 6, 1)
+	waitCond(t, "all managers registered", func() bool {
+		total := 0
+		for _, n := range managersPerShard(e) {
+			total += n
+		}
+		return total == 6
+	})
+	mgrs, err := e.Command("MANAGERS", "", 5*time.Second)
+	if err != nil || len(mgrs) != 6 {
+		t.Fatalf("MANAGERS = %v, %v (want 6 ids)", mgrs, err)
+	}
+	n, err := e.OutstandingRemote()
+	if err != nil || n != 0 {
+		t.Fatalf("OutstandingRemote = %d, %v", n, err)
+	}
+	futs := make([]*future.Future, 0, 12)
+	for i := 0; i < 12; i++ {
+		futs = append(futs, e.Submit(serialize.TaskMsg{ID: int64(i), App: "sleep", Args: []any{50}}))
+	}
+	waitCond(t, "remote outstanding visible", func() bool {
+		n, err := e.OutstandingRemote()
+		return err == nil && n > 0
+	})
+	if err := future.Wait(futs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedFixedAddrRejected: N routers cannot share one fixed port.
+func TestShardedFixedAddrRejected(t *testing.T) {
+	e := New(Config{
+		Label:    "htex-fixed",
+		Registry: testRegistry(t),
+		Addr:     "127.0.0.1:7777",
+		Shards:   2,
+	})
+	if err := e.Start(); err == nil {
+		_ = e.Shutdown()
+		t.Fatal("Start accepted 2 shards on one fixed address")
+	}
+}

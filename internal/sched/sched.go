@@ -58,8 +58,17 @@ type Load struct {
 	// source exposes no tenant signal.
 	TenantBacklog map[string]int
 	// Health is the executor's circuit-breaker state ("closed", "open",
-	// "half-open") when the DFK's health plane is enabled, "" otherwise.
+	// "half-open") when the DFK's health plane is enabled; for sharded
+	// executors it is the breaker state aggregated across shards ("closed",
+	// "degraded", "down") sampled from the executor itself. "" when neither
+	// source applies.
 	Health string
+	// ShardsAlive/ShardsTotal describe a sharded executor's control plane:
+	// how many interchange shards are still routable out of how many were
+	// configured. Both 0 for unsharded executors. A policy can read
+	// ShardsAlive < ShardsTotal as "this executor is running degraded".
+	ShardsAlive int
+	ShardsTotal int
 }
 
 // PerWorker is outstanding work normalized by capacity; with unknown
@@ -78,7 +87,24 @@ type workerCounter interface{ Workers() int }
 // queuedPriority is the lane-urgency probe (Frozen.MaxQueuedPriority).
 type queuedPriority interface{ MaxQueuedPriority() int }
 
-// LoadOf samples an executor's live load signals.
+// shardCounter is the sharded-control-plane probe (htex.Executor.ShardCounts,
+// Frozen.ShardCounts): how many interchange shards are alive out of total.
+type shardCounter interface{ ShardCounts() (alive, total int) }
+
+// shardHealth is the aggregate breaker probe a sharded executor exposes
+// (htex.Executor.ShardHealth): "closed", "degraded", or "down" across its
+// shards. Sampled only when nothing else filled Load.Health.
+type shardHealth interface{ ShardHealth() string }
+
+// tenantDepths is the broker-backlog probe (htex.Executor.QueueDepthByTenant,
+// merged across shards): whose work waits for capacity past the submission
+// boundary.
+type tenantDepths interface{ QueueDepthByTenant() map[string]int }
+
+// LoadOf samples an executor's live load signals. A sharded executor reports
+// the merged view — outstanding, tenant backlog, breaker state, and shard
+// membership aggregated across its interchange shards — so policies see one
+// logical executor regardless of how many brokers serve it.
 func LoadOf(ex executor.Executor) Load {
 	l := Load{Label: ex.Label(), Outstanding: ex.Outstanding()}
 	switch t := ex.(type) {
@@ -89,6 +115,15 @@ func LoadOf(ex executor.Executor) Load {
 	}
 	if qp, ok := ex.(queuedPriority); ok {
 		l.MaxQueuedPriority = qp.MaxQueuedPriority()
+	}
+	if sc, ok := ex.(shardCounter); ok {
+		l.ShardsAlive, l.ShardsTotal = sc.ShardCounts()
+	}
+	if sh, ok := ex.(shardHealth); ok {
+		l.Health = sh.ShardHealth()
+	}
+	if td, ok := ex.(tenantDepths); ok {
+		l.TenantBacklog = td.QueueDepthByTenant()
 	}
 	return l
 }
@@ -164,6 +199,16 @@ func (f *Frozen) Workers() int { return f.load.Workers }
 // capacity signal by method shape. Frozen deliberately does not implement
 // the full executor.Scalable interface — a snapshot cannot scale anything.
 func (f *Frozen) ConnectedWorkers() int { return f.load.Workers }
+
+// ShardCounts reports the sampled shard membership (see Load), so LoadOf on
+// a snapshot carries the control-plane view without re-probing the executor.
+func (f *Frozen) ShardCounts() (alive, total int) { return f.load.ShardsAlive, f.load.ShardsTotal }
+
+// ShardHealth reports the sampled aggregate breaker state (see Load.Health).
+func (f *Frozen) ShardHealth() string { return f.load.Health }
+
+// QueueDepthByTenant reports the sampled broker-side tenant backlog.
+func (f *Frozen) QueueDepthByTenant() map[string]int { return f.load.TenantBacklog }
 
 // Bump records one task routed to this executor in the current cycle.
 func (f *Frozen) Bump() { f.extra++ }

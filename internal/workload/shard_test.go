@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestShardFailoverSeeds is the CI shard job's scenario: kill one
+// interchange shard of a 4-shard pool mid-workload, per seed, under -race.
+// CHAOS_SEEDS pins the matrix leg; a failure reproduces with the same seed.
+func TestShardFailoverSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard failover scenario is not -short")
+	}
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res, err := RunShardFailover(ShardFailoverConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dumpShardLog(t, seed, res)
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if t.Failed() {
+				t.Logf("reproduce with: CHAOS_SEEDS=%d go test ./internal/workload/ -run TestShardFailoverSeeds -race -count=1", seed)
+			}
+			t.Logf("victim held %d, retried %d (extra launches %d), shards %d/%d, health %q, %v",
+				res.VictimHeld, res.Retried, res.ExtraLaunches,
+				res.ShardsAlive, res.ShardsTotal, res.Health, res.Elapsed)
+		})
+	}
+}
+
+// TestShardFailoverVictims sweeps the victim index at one seed, so the kill
+// contract is not an artifact of which shard dies.
+func TestShardFailoverVictims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard failover scenario is not -short")
+	}
+	for victim := 0; victim < 4; victim++ {
+		t.Run(fmt.Sprintf("victim=%d", victim), func(t *testing.T) {
+			res, err := RunShardFailover(ShardFailoverConfig{Seed: 11, Victim: victim})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+		})
+	}
+}
+
+// TestShardScalingSmoke drives both scaling arms small: the bar belongs to
+// parsl-bench/CI (it needs real cores); the test just proves both arms run
+// to completion and report sane throughput.
+func TestShardScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard scaling smoke is not -short")
+	}
+	for _, shards := range []int{1, 4} {
+		res, err := RunShardScaling(ShardScalingConfig{Seed: 1, Shards: shards, Tasks: 400})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if res.Tasks != 400 || res.TasksPerSec <= 0 {
+			t.Fatalf("%d shards: degenerate result %+v", shards, res)
+		}
+		t.Logf("%d shards: %.0f tasks/s over %d tasks", shards, res.TasksPerSec, res.Tasks)
+	}
+}
+
+func dumpShardLog(t *testing.T, seed int64, res ShardFailoverResult) {
+	dir := os.Getenv("CHAOS_LOG_DIR")
+	if dir == "" {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: shard-failover\nseed: %d\nreproduce: CHAOS_SEEDS=%d go test ./internal/workload/ -run TestShardFailoverSeeds -race -count=1\n", seed, seed)
+	fmt.Fprintf(&b, "victimHeld=%d retried=%d extraLaunches=%d shards=%d/%d health=%s kills=%d elapsed=%v\n",
+		res.VictimHeld, res.Retried, res.ExtraLaunches, res.ShardsAlive, res.ShardsTotal, res.Health, res.Kills, res.Elapsed)
+	for _, v := range res.Violations {
+		fmt.Fprintf(&b, "VIOLATION: %s\n", v)
+	}
+	for _, e := range res.Events {
+		fmt.Fprintf(&b, "event: %s\n", e.String())
+	}
+	path := fmt.Sprintf("%s/shard-failover-seed%d.log", dir, seed)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Logf("chaos log %s: %v", path, err)
+	}
+}

@@ -277,6 +277,12 @@ type HTEXOptions struct {
 	// ManagerHeartbeatPeriod is how often each manager pings the interchange
 	// (default 200ms). Must stay below HeartbeatThreshold.
 	ManagerHeartbeatPeriod time.Duration
+	// Shards is how many interchange shards form the executor's control
+	// plane (default 1 — the paper's single broker). With N > 1, managers
+	// and tasks are placed across N interchanges by consistent hash
+	// (tenant-affine) and one shard's death requeues only its own
+	// outstanding tasks while the others keep draining.
+	Shards int
 }
 
 // NewLocalHTEXOpts is NewLocalHTEX with the deployment knobs exposed — in
@@ -306,6 +312,7 @@ func NewLocalHTEXOpts(o HTEXOptions) (*DFK, error) {
 			HeartbeatPeriod:    o.HeartbeatPeriod,
 			HeartbeatThreshold: o.HeartbeatThreshold,
 		},
+		Shards: o.Shards,
 	})
 	return dfk.New(dfk.Config{Registry: reg, Executors: []executor.Executor{ex}})
 }

@@ -22,6 +22,12 @@
 //     "bar_applied": false marks its file advisory — hardware-gated bars
 //     (the shard scaling ratio needs real cores) are reported but not
 //     enforced there.
+//
+// A job whose benchmark cannot run on the current hardware writes a
+// SKIP_<artifact>.json marker ({"reason": "..."}) instead of the artifact.
+// A required artifact with a marker reports "skip" with the reason; a
+// required artifact with neither file is a hard FAIL — "didn't run because
+// the hardware can't" and "silently never produced" are different verdicts.
 package main
 
 import (
@@ -65,12 +71,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchtrend:", err)
 		os.Exit(1)
 	}
-	rows, err := collect(*dir)
+	rows, skips, err := collect(*dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrend:", err)
 		os.Exit(1)
 	}
-	report, failed := evaluate(rows, pol)
+	report, failed := evaluate(rows, skips, pol)
 	fmt.Print(report)
 	if failed {
 		os.Exit(1)
@@ -89,15 +95,31 @@ func loadPolicy(path string) (policy, error) {
 	return pol, nil
 }
 
-// collect walks dir for BENCH_*.json and extracts every numeric metric.
-func collect(dir string) ([]row, error) {
+// collect walks dir for BENCH_*.json and extracts every numeric metric. It
+// also gathers SKIP_<artifact>.json markers — a job declaring its benchmark
+// hardware-gated off — as artifact→reason, so evaluate can tell a skipped
+// required artifact from one that silently never ran.
+func collect(dir string) ([]row, map[string]string, error) {
 	var rows []row
+	skips := map[string]string{}
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
 		name := d.Name()
-		if d.IsDir() || !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+		if d.IsDir() || !strings.HasSuffix(name, ".json") {
+			return nil
+		}
+		if strings.HasPrefix(name, "SKIP_") {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			art := artifactName(strings.TrimPrefix(name, "SKIP_"))
+			skips[art] = skipReason(b)
+			return nil
+		}
+		if !strings.HasPrefix(name, "BENCH_") {
 			return nil
 		}
 		b, err := os.ReadFile(path)
@@ -114,7 +136,19 @@ func collect(dir string) ([]row, error) {
 		rows = append(rows, fileRows...)
 		return nil
 	})
-	return rows, err
+	return rows, skips, err
+}
+
+// skipReason extracts the marker's "reason" field; malformed or bare
+// markers still count as skips, just without a stated cause.
+func skipReason(b []byte) string {
+	var m struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(b, &m); err == nil && m.Reason != "" {
+		return m.Reason
+	}
+	return "no reason given"
 }
 
 // artifactName normalizes a path to its artifact base name: the file's
@@ -216,7 +250,7 @@ func join(prefix, s string) string {
 // evaluate renders the summary table and applies the policy. The returned
 // report always contains every discovered metric — the table IS the trend
 // record in the job log — with CAP/MIN annotations and a final verdict.
-func evaluate(rows []row, pol policy) (string, bool) {
+func evaluate(rows []row, skips map[string]string, pol policy) (string, bool) {
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Artifact != rows[j].Artifact {
 			return rows[i].Artifact < rows[j].Artifact
@@ -256,10 +290,18 @@ func evaluate(rows []row, pol policy) (string, bool) {
 		fmt.Fprintf(&b, "%-8s %-16s %-52s %14.4g  %s\n", verdict, r.Artifact, r.Metric, r.Value, bound)
 	}
 	for _, req := range pol.Require {
-		if !seen[req] {
-			failed = true
-			fmt.Fprintf(&b, "%-8s %-16s %-52s %14s  required artifact missing\n", "FAIL", req, "-", "-")
+		if seen[req] {
+			continue
 		}
+		// A skip marker means the job ran and declared the benchmark
+		// hardware-gated off — report it, don't fail it. No artifact and no
+		// marker means the benchmark silently never produced: hard FAIL.
+		if reason, ok := skips[req]; ok {
+			fmt.Fprintf(&b, "%-8s %-16s %-52s %14s  required artifact skipped (hardware): %s\n", "skip", req, "-", "-", reason)
+			continue
+		}
+		failed = true
+		fmt.Fprintf(&b, "%-8s %-16s %-52s %14s  required artifact missing\n", "FAIL", req, "-", "-")
 	}
 	if failed {
 		fmt.Fprintf(&b, "\nbench trend: REGRESSION — at least one bound violated or artifact missing\n")

@@ -32,7 +32,7 @@ func TestBenchtrendShapesAndGates(t *testing.T) {
 		  "failover":[{"seed":1,"Done":160,"Kills":1}],
 		  "scaling":[{"shards":1,"tasks_per_sec":8000}]}`)
 
-	rows, err := collect(dir)
+	rows, _, err := collect(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestBenchtrendShapesAndGates(t *testing.T) {
 		Caps:    map[string]float64{"BENCH_health:max:Failed": 0},
 		Mins:    map[string]float64{"BENCH_shard:scale": 1.8},
 	}
-	report, failed := evaluate(rows, pol)
+	report, failed := evaluate(rows, nil, pol)
 	if !failed {
 		t.Fatal("evaluate passed though Failed=2 breaks its cap and BENCH_graph is missing")
 	}
@@ -81,7 +81,7 @@ func TestBenchtrendCleanRun(t *testing.T) {
 	dir := t.TempDir()
 	writeArtifact(t, dir, "BENCH_dfk.json",
 		`[{"name":"BenchmarkDFKSubmission","iterations":100,"ns_per_op":5000,"metrics":{"allocs/op":10}}]`)
-	rows, err := collect(dir)
+	rows, _, err := collect(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,12 +89,51 @@ func TestBenchtrendCleanRun(t *testing.T) {
 		Require: []string{"BENCH_dfk"},
 		Caps:    map[string]float64{"BENCH_dfk:BenchmarkDFKSubmission:allocs/op": 10},
 	}
-	report, failed := evaluate(rows, pol)
+	report, failed := evaluate(rows, nil, pol)
 	if failed {
 		t.Fatalf("clean run failed:\n%s", report)
 	}
 	if !strings.Contains(report, "bench trend: ok") {
 		t.Fatalf("report: %s", report)
+	}
+}
+
+// TestBenchtrendSkipMarkerVsMissing pins the bugfix: a required artifact
+// whose job declared itself hardware-gated (SKIP_<artifact>.json) reports a
+// skip and passes; a required artifact with neither file still fails.
+func TestBenchtrendSkipMarkerVsMissing(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifact(t, dir, "BENCH_dfk.json",
+		`[{"name":"BenchmarkDFKSubmission","iterations":100,"ns_per_op":5000,"metrics":{"allocs/op":9}}]`)
+	writeArtifact(t, dir, "SKIP_BENCH_shard.json",
+		`{"reason":"needs >= 4 cores to run the shard routers in parallel"}`)
+
+	rows, skips, err := collect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skips["BENCH_shard"] == "" {
+		t.Fatalf("skip marker not collected: %v", skips)
+	}
+
+	pol := policy{Require: []string{"BENCH_dfk", "BENCH_shard"}}
+	report, failed := evaluate(rows, skips, pol)
+	if failed {
+		t.Fatalf("skip marker treated as a failure:\n%s", report)
+	}
+	if !strings.Contains(report, "skipped (hardware)") || !strings.Contains(report, "4 cores") {
+		t.Fatalf("report missing the skip line with its reason:\n%s", report)
+	}
+
+	// Without the marker the same gap is a hard failure.
+	report, failed = evaluate(rows, nil, pol)
+	if !failed || !strings.Contains(report, "required artifact missing") {
+		t.Fatalf("missing required artifact did not fail:\n%s", report)
+	}
+
+	// A bare marker (no reason) still counts as a skip.
+	if got := skipReason([]byte("{}")); got != "no reason given" {
+		t.Fatalf("skipReason({}) = %q", got)
 	}
 }
 

@@ -14,6 +14,7 @@
 //	parsl-bench wal          durable-log crash matrix: exactly-once recovery, recovery time
 //	parsl-bench health       self-healing: kill-storm recovery, breaker failover, poison quarantine
 //	parsl-bench shard        sharded control plane: kill-one-shard failover, throughput scaling
+//	parsl-bench locality     data-aware scheduling: shared result cache, warm-replay zeros, digest routing
 //	parsl-bench all          everything above
 //
 // Latency, throughput-at-laptop-scale, and elasticity run on the real
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|graph|wal|health|shard|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: parsl-bench [flags] <latency|strong|weak|maxworkers|throughput|elasticity|submission|noisy|chaos|graph|wal|health|shard|locality|all>\n")
 		flag.PrintDefaults()
 	}
 	tasks := flag.Int("tasks", 1000, "tasks for the latency experiment")
@@ -50,6 +51,8 @@ func main() {
 	shardTasks := flag.Int("shard-tasks", 160, "shard: failover tasks per seed")
 	shardJSON := flag.String("shard-json", "", "shard: write the result JSON to this path")
 	shardBar := flag.Float64("shard-bar", 0, "shard: fail if 4-shard throughput scaling falls below this ratio (0 = report only; needs ≥4 cores)")
+	localityTasks := flag.Int("locality-tasks", 16, "locality: distinct inputs per phase")
+	localityJSON := flag.String("locality-json", "", "locality: write the result JSON to this path")
 	flag.Parse()
 
 	cmd := "all"
@@ -107,6 +110,10 @@ func main() {
 		run("sharded control plane: failover + scaling", func() error {
 			return runShard(chaosSeeds(), *shardTasks, *shardJSON, *shardBar)
 		})
+	case "locality":
+		run("data-aware scheduling: shared cache + digest routing", func() error {
+			return runLocality(7, *localityTasks, *localityJSON)
+		})
 	case "all":
 		run("Fig. 3: latency", func() error { return runLatency(*tasks) })
 		run("Fig. 4 (top): strong scaling", func() error { return runStrong(*full) })
@@ -130,6 +137,9 @@ func main() {
 		})
 		run("sharded control plane: failover + scaling", func() error {
 			return runShard(chaosSeeds(), *shardTasks, *shardJSON, *shardBar)
+		})
+		run("data-aware scheduling: shared cache + digest routing", func() error {
+			return runLocality(7, *localityTasks, *localityJSON)
 		})
 	default:
 		flag.Usage()

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -277,5 +278,94 @@ func TestStagePathsUnique(t *testing.T) {
 	b := m.stagePath(MustFile("http://h/same.bin"))
 	if a == b {
 		t.Fatal("stage paths collide for identical filenames")
+	}
+}
+
+func TestStageInURLDedup(t *testing.T) {
+	var fetches atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fetches.Add(1)
+		_, _ = w.Write([]byte("shared-bytes"))
+	}))
+	defer srv.Close()
+
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct File handles for the same URL (two tasks naming the same
+	// input): one transfer, the second resolves from the URL index.
+	a := MustFile(srv.URL + "/data.bin")
+	b := MustFile(srv.URL + "/data.bin")
+	pa, err := m.StageIn(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := m.StageIn(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Fatalf("same URL staged twice: %q vs %q", pa, pb)
+	}
+	if fetches.Load() != 1 {
+		t.Fatalf("server saw %d fetches, want 1", fetches.Load())
+	}
+	st := m.Stats()
+	if st.Fetches != 1 || st.URLReuses != 1 || st.DigestReuses != 0 {
+		t.Fatalf("stats = %+v, want 1 fetch / 1 URL reuse", st)
+	}
+	if st.ReusedBytes != int64(len("shared-bytes")) {
+		t.Fatalf("ReusedBytes = %d", st.ReusedBytes)
+	}
+}
+
+func TestStageInDigestDedup(t *testing.T) {
+	var fetches atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fetches.Add(1)
+		_, _ = w.Write([]byte("identical-content"))
+	}))
+	defer srv.Close()
+
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two different URLs serving byte-identical content: both transfers
+	// happen (the URL index can't know in advance), but the second copy is
+	// discarded and both files share one staged path.
+	a := MustFile(srv.URL + "/mirror-one/data.bin")
+	b := MustFile(srv.URL + "/mirror-two/data.bin")
+	pa, err := m.StageIn(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := m.StageIn(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Fatalf("identical content staged at two paths: %q vs %q", pa, pb)
+	}
+	if fetches.Load() != 2 {
+		t.Fatalf("server saw %d fetches, want 2", fetches.Load())
+	}
+	got, err := os.ReadFile(pa)
+	if err != nil || string(got) != "identical-content" {
+		t.Fatalf("staged content %q, %v", got, err)
+	}
+	st := m.Stats()
+	if st.Fetches != 2 || st.DigestReuses != 1 || st.URLReuses != 0 {
+		t.Fatalf("stats = %+v, want 2 fetches / 1 digest reuse", st)
+	}
+	// A third handle for the second URL now rides the URL index.
+	c := MustFile(srv.URL + "/mirror-two/data.bin")
+	pc, err := m.StageIn(c)
+	if err != nil || pc != pa {
+		t.Fatalf("URL-index after digest dedup: %q, %v", pc, err)
+	}
+	if st := m.Stats(); st.URLReuses != 1 {
+		t.Fatalf("URLReuses = %d after third stage", st.URLReuses)
 	}
 }

@@ -1,0 +1,118 @@
+package dfk
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestSharedCacheCrossProcessHit is the tentpole contract at the DFK
+// boundary: two DFKs (standing in for two workflow processes) share one
+// content-addressed result cache; work computed under the first settles on
+// the second without re-execution, exactly like a local memo hit.
+func TestSharedCacheCrossProcessHit(t *testing.T) {
+	var calls atomic.Int32
+	fn := func(args []any, _ map[string]any) (any, error) {
+		calls.Add(1)
+		return args[0].(int) * args[0].(int), nil
+	}
+	shared := cache.New(cache.Options{})
+
+	a := newDFK(t, func(c *Config) { c.Memoize = true; c.SharedCache = shared })
+	squareA, _ := a.PythonApp("square", fn)
+	if v, err := squareA.Call(7).Result(); err != nil || v != 49 {
+		t.Fatalf("first run: %v, %v", v, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d after first run", calls.Load())
+	}
+	// completeTask publishes into the shared tier alongside the local memo.
+	if st := shared.Stats(); st.Stores != 1 {
+		t.Fatalf("shared stores = %d, want 1", st.Stores)
+	}
+
+	// A fresh DFK with an empty local memo table: the miss must consult the
+	// shared tier, settle as memoized, and never dispatch.
+	b := newDFK(t, func(c *Config) { c.Memoize = true; c.SharedCache = shared })
+	squareB, _ := b.PythonApp("square", fn)
+	if v, err := squareB.Call(7).Result(); err != nil || v != 49 {
+		t.Fatalf("cross-process run: %v, %v", v, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (shared-cache hit must not re-execute)", calls.Load())
+	}
+	if st := shared.Stats(); st.Hits != 1 {
+		t.Fatalf("shared hits = %d, want 1", st.Hits)
+	}
+
+	// The hit was promoted into B's local memo table: the next identical
+	// call resolves locally without touching the shared tier again.
+	before := shared.Stats()
+	if v, err := squareB.Call(7).Result(); err != nil || v != 49 {
+		t.Fatalf("promoted run: %v, %v", v, err)
+	}
+	if hits, _ := b.Memoizer().Stats(); hits != 1 {
+		t.Fatalf("local memo hits = %d, want 1 (promotion)", hits)
+	}
+	if after := shared.Stats(); after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("promoted hit consulted the shared tier: %+v -> %+v", before, after)
+	}
+
+	// Different arguments are a different content address: cold everywhere.
+	if v, err := squareB.Call(8).Result(); err != nil || v != 64 {
+		t.Fatalf("cold args: %v, %v", v, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestSharedCacheNilIsOff: the plane off means exactly the pre-existing
+// behavior — per-process memoization only, no shared consult.
+func TestSharedCacheNilIsOff(t *testing.T) {
+	var calls atomic.Int32
+	fn := func(args []any, _ map[string]any) (any, error) {
+		calls.Add(1)
+		return args[0], nil
+	}
+	a := newDFK(t, func(c *Config) { c.Memoize = true })
+	echoA, _ := a.PythonApp("echo", fn)
+	if _, err := echoA.Call(1).Result(); err != nil {
+		t.Fatal(err)
+	}
+	b := newDFK(t, func(c *Config) { c.Memoize = true })
+	echoB, _ := b.PythonApp("echo", fn)
+	if _, err := echoB.Call(1).Result(); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (no sharing without a cache)", calls.Load())
+	}
+	if a.SharedCache() != nil || b.SharedCache() != nil {
+		t.Fatal("SharedCache accessor must report nil when the plane is off")
+	}
+}
+
+// TestSharedCacheRespectsMemoizeOff: apps that opted out of memoization
+// never consult or populate the shared tier — the cache key does not exist.
+func TestSharedCacheRespectsMemoizeOff(t *testing.T) {
+	var calls atomic.Int32
+	shared := cache.New(cache.Options{})
+	d := newDFK(t, func(c *Config) { c.SharedCache = shared })
+	f, _ := d.PythonApp("effectful", func(args []any, _ map[string]any) (any, error) {
+		calls.Add(1)
+		return args[0], nil
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := f.Call(5).Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+	if st := shared.Stats(); st.Stores != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("unmemoized app touched the shared tier: %+v", st)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/cache"
 	"repro/internal/data"
 	"repro/internal/executor"
 	"repro/internal/fair"
@@ -51,6 +52,15 @@ type Config struct {
 	Checkpoint string
 	// Monitor receives execution events; nil disables monitoring.
 	Monitor monitor.Sink
+	// SharedCache is a content-addressed result cache shared across DFK
+	// instances (and, via cache.Cache.Seed, across process restarts): a memo
+	// miss consults it before dispatch, and a hit settles the task as
+	// memoized — promoting the entry into the local memo table — without
+	// re-execution or bytes moved. Keys are the same app|body|args-digest
+	// triple the memo table uses, derived from the encode-once payload. Nil
+	// (the default) disables the tier entirely; the launch path then pays
+	// exactly one nil check.
+	SharedCache *cache.Cache
 	// DataManager stages remote files; nil disables data management.
 	DataManager *data.Manager
 	// TaskTimeout bounds a single execution attempt, measured from when
@@ -161,16 +171,21 @@ type DFK struct {
 	registry  *serialize.Registry
 	graph     *task.Graph
 	memoizer  *memo.Memoizer
-	wal       *wal.Log // nil unless Config.WAL
+	cache     *cache.Cache // nil unless Config.SharedCache
+	wal       *wal.Log     // nil unless Config.WAL
 	mon       monitor.Sink
 	executors map[string]executor.Executor
 	execList  []executor.Executor // config order, for the scheduler
 
 	schedr        sched.Scheduler
 	schedUsesLoad bool
-	queue         *fair.MPSC[*pendingLaunch]
-	lanes         map[string]*lane
-	batchMax      int
+	// schedUsesDigest gates the per-attempt input-digest computation: only a
+	// sched.DigestPicker policy consumes it, and ArgsHash allocates a string,
+	// so load-blind and digest-blind configs must never pay for it.
+	schedUsesDigest bool
+	queue           *fair.MPSC[*pendingLaunch]
+	lanes           map[string]*lane
+	batchMax        int
 	// hp is the self-healing retry plane; nil unless Config.Health is set.
 	hp *healthPlane
 	// adm bounds live tasks per tenant at the submission boundary; nil when
@@ -234,6 +249,10 @@ func New(cfg Config) (*DFK, error) {
 	if la, ok := d.schedr.(sched.LoadAware); ok && la.UsesLoad() {
 		d.schedUsesLoad = true
 	}
+	if _, ok := d.schedr.(sched.DigestPicker); ok {
+		d.schedUsesDigest = true
+	}
+	d.cache = cfg.SharedCache
 
 	if cfg.Monitor != nil {
 		d.mon = cfg.Monitor
@@ -315,6 +334,10 @@ func (d *DFK) Graph() *task.Graph { return d.graph }
 
 // Memoizer exposes memo statistics for tests and benchmarks.
 func (d *DFK) Memoizer() *memo.Memoizer { return d.memoizer }
+
+// SharedCache exposes the shared content-addressed result tier; nil unless
+// Config.SharedCache was set.
+func (d *DFK) SharedCache() *cache.Cache { return d.cache }
 
 // WAL exposes the durable dataflow log; nil unless Config.WAL is set.
 func (d *DFK) WAL() *wal.Log { return d.wal }
@@ -723,6 +746,25 @@ func (d *DFK) launch(rec *task.Record, a *App) {
 			}
 			return
 		}
+		// Local miss: consult the shared content-addressed tier, where
+		// another DFK (or an earlier incarnation of this one) may already
+		// have keyed the result under the same app|body|args digest. A hit
+		// settles exactly like a memo hit — and promotes the entry into the
+		// local table (and its checkpoint), so the next lookup never leaves
+		// the process.
+		if d.cache != nil {
+			if v, hit := d.cache.Get(memoKey); hit {
+				_ = d.memoizer.Store(memoKey, v)
+				payload.Release()
+				from := rec.State().String()
+				if rec.SetState(task.Memoized) == nil {
+					d.emitState(rec, from, "memoized")
+					_ = rec.Future.SetResult(v)
+					d.retire(rec)
+				}
+				return
+			}
+		}
 	}
 	// Only a task that actually has to execute needs encodable arguments —
 	// an explicit-key cache hit above is served even for args no executor
@@ -756,13 +798,17 @@ func (d *DFK) launch(rec *task.Record, a *App) {
 			rec.SetWALKey(k)
 		}
 	}
-	d.enqueueAttempt(&pendingLaunch{
+	pl := &pendingLaunch{
 		d: d, rec: rec, gen: rec.Gen(), app: a, args: args, kwargs: kwargs,
 		payload: payload.Retain(),
 		wireID:  rec.ID, priority: rec.Priority(),
 		tenant: rec.Tenant(), weight: rec.TenantWeight(),
 		walKey: walKey, walAttempt: 1,
-	})
+	}
+	if d.schedUsesDigest {
+		pl.digest = payload.ArgsHash()
+	}
+	d.enqueueAttempt(pl)
 }
 
 // cancelTask concludes a task whose submission context was canceled. The
@@ -792,6 +838,11 @@ func (d *DFK) cancelTask(rec *task.Record, cause error) {
 func (d *DFK) completeTask(rec *task.Record, a *App, v any) {
 	if key := rec.MemoKey(); key != "" {
 		_ = d.memoizer.Store(key, v)
+		// Publish to the shared tier too, so sibling DFKs (and post-restart
+		// incarnations seeded from it) serve this result without moving bytes.
+		if d.cache != nil {
+			d.cache.Put(key, v)
+		}
 	}
 	// Stage out declared outputs before resolving the future, so a
 	// consumer that waits on the future sees outputs at their final homes.
@@ -990,7 +1041,9 @@ func (r *router) pick(pl *pendingLaunch) (executor.Executor, error) {
 	}
 	var ex executor.Executor
 	var err error
-	if pp, ok := r.d.schedr.(sched.PriorityPicker); ok {
+	if dp, ok := r.d.schedr.(sched.DigestPicker); ok {
+		ex, err = dp.PickDigest(candidates, pl.priority, pl.digest)
+	} else if pp, ok := r.d.schedr.(sched.PriorityPicker); ok {
 		ex, err = pp.PickPriority(candidates, pl.priority)
 	} else {
 		ex, err = r.d.schedr.Pick(candidates)

@@ -73,6 +73,11 @@ type pendingLaunch struct {
 	// reason: every fair queue the attempt crosses keys on them.
 	tenant string
 	weight int
+	// digest is the task's input-content digest (payload.ArgsHash), computed
+	// at launch only when the scheduler is a sched.DigestPicker ("" blank
+	// otherwise — the hash allocates) and carried across retries so every
+	// attempt routes with the same locality key.
+	digest string
 	// walKey is the task's durable-log key (0 when the WAL is off) and
 	// walAttempt this attempt's 1-based launch number across process
 	// lifetimes — a resumed task starts past its pre-crash launches. The
@@ -455,7 +460,7 @@ func (d *DFK) attemptDone(pl *pendingLaunch, af *future.Future) {
 				args: pl.args, kwargs: pl.kwargs,
 				payload: pl.payload.Retain(),
 				wireID:  d.graph.NextID(), priority: pl.priority,
-				tenant: pl.tenant, weight: pl.weight,
+				tenant: pl.tenant, weight: pl.weight, digest: pl.digest,
 				walKey: pl.walKey, walAttempt: pl.walAttempt + 1,
 			}
 			// Log the retry before it can run: a crash after the new attempt

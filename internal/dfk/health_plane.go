@@ -228,7 +228,7 @@ func (hp *healthPlane) attemptFailed(pl *pendingLaunch, err error) {
 		args: pl.args, kwargs: pl.kwargs,
 		payload: pl.payload.Retain(),
 		wireID:  d.graph.NextID(), priority: pl.priority,
-		tenant: pl.tenant, weight: pl.weight,
+		tenant: pl.tenant, weight: pl.weight, digest: pl.digest,
 		walKey: pl.walKey, walAttempt: pl.walAttempt + 1,
 		kills: pl.kills, free: pl.free,
 	}

@@ -196,11 +196,15 @@ func (d *DFK) resume(key int64, info *wal.TaskInfo, rcv *Recovery) {
 		}
 	}
 	a := &App{dfk: d, name: info.App, memoize: info.MemoKey != "", bodyHash: entry.BodyHash()}
-	d.enqueueAttempt(&pendingLaunch{
+	pl := &pendingLaunch{
 		d: d, rec: rec, gen: rec.Gen(), app: a, args: args, kwargs: kwargs,
 		payload: payload.Retain(),
 		wireID:  id, priority: info.Priority,
 		tenant: info.Tenant, weight: info.Weight,
 		walKey: key, walAttempt: attempt,
-	})
+	}
+	if d.schedUsesDigest {
+		pl.digest = payload.ArgsHash()
+	}
+	d.enqueueAttempt(pl)
 }

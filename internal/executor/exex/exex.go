@@ -387,13 +387,19 @@ func New(cfg Config) *Executor {
 	cfg.Pool.normalize()
 	e := &Executor{}
 	inner := htex.New(htex.Config{
-		Label:       cfg.Label,
-		Transport:   cfg.Transport,
-		Addr:        cfg.Addr,
-		Registry:    cfg.Registry,
-		Provider:    cfg.Provider,
-		InitBlocks:  cfg.InitBlocks,
-		Manager:     htex.ManagerConfig{Workers: cfg.Pool.Ranks - 1},
+		Label:      cfg.Label,
+		Transport:  cfg.Transport,
+		Addr:       cfg.Addr,
+		Registry:   cfg.Registry,
+		Provider:   cfg.Provider,
+		InitBlocks: cfg.InitBlocks,
+		// Mirror the pool's heartbeat clock into ManagerConfig so the htex
+		// client's period-vs-threshold cross-check validates the clock the
+		// pools actually beat at, not the default manager period.
+		Manager: htex.ManagerConfig{
+			Workers:         cfg.Pool.Ranks - 1,
+			HeartbeatPeriod: cfg.Pool.HeartbeatPeriod,
+		},
 		Interchange: cfg.Interchange,
 		PayloadFactory: func(addr string, node provider.Node) (func(), error) {
 			id := fmt.Sprintf("pool-%s-%d", node.BlockID, e.poolSeq.Add(1))

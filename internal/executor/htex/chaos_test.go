@@ -63,10 +63,10 @@ func corruptionHarness(t *testing.T, plan chaos.Plan, n int, tune func(*Config))
 	}
 	// No task stuck in flight anywhere in the broker.
 	waitCond(t, "interchange drained", func() bool {
-		if e.ix.QueueDepth() != 0 {
+		if e.Interchange().QueueDepth() != 0 {
 			return false
 		}
-		for _, held := range e.ix.OutstandingByManager() {
+		for _, held := range e.Interchange().OutstandingByManager() {
 			if held != 0 {
 				return false
 			}

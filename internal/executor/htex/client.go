@@ -50,14 +50,12 @@ type Config struct {
 	PayloadFactory func(interchangeAddr string, node provider.Node) (stop func(), err error)
 }
 
-// shardLink is the client's handle to one interchange shard: the broker, the
-// dealer connection, the per-connection stream codec pair, the command-reply
-// channel, and the shard's circuit breaker. Everything here is per-shard
-// because the invariants are per-shard: a NACK resyncs one shard's stream,
-// a breaker trips on one shard's sends, a death fails one shard's inflight.
-type shardLink struct {
-	idx    int
-	label  string // "htex[0]" — the shard's chaos/breaker/LOST identity
+// shardConn is one shard's live connection state: the broker, the dealer
+// connection, and the per-connection stream codec pair. It sits behind an
+// atomic pointer on shardLink so RestoreShard can swap a respawned broker in
+// without racing the receive loop, the senders, or monitoring probes still
+// holding the previous connection.
+type shardConn struct {
 	ix     *Interchange
 	dealer *mq.Dealer
 	// taskEnc streams TASKB frames to this shard; resDec consumes its
@@ -65,14 +63,28 @@ type shardLink struct {
 	// cross each wire once per session, not per batch.
 	taskEnc *serialize.StreamEncoder
 	resDec  *serialize.StreamDecoder
+}
+
+// shardLink is the client's handle to one interchange shard: the current
+// connection (swappable on restore), the command-reply channel, and the
+// shard's circuit breaker. Everything here is per-shard because the
+// invariants are per-shard: a NACK resyncs one shard's stream, a breaker
+// trips on one shard's sends, a death fails one shard's inflight.
+type shardLink struct {
+	idx   int
+	label string // "htex[0]" — the shard's chaos/breaker/LOST identity
+	conn  atomic.Pointer[shardConn]
 	// breaker tracks this shard's send outcomes so routing can stop
 	// offering work to a flaky-but-alive shard (half-open probes let it
-	// back in). Shard death is tracked separately by down — a dead shard
-	// never comes back.
+	// back in). Shard death is tracked by down; RestoreShard clears it when
+	// a respawned broker rejoins the placement ring.
 	breaker    *health.Breaker
 	cmdReplies chan mq.Message
 	down       atomic.Bool
 }
+
+// broker returns the shard's current interchange.
+func (s *shardLink) broker() *Interchange { return s.conn.Load().ix }
 
 // inflightTask is one submitted-but-unresolved task plus the shard it was
 // placed on — the shard is what lets a NACK retransmit or a shard death
@@ -87,9 +99,6 @@ type inflightTask struct {
 type Executor struct {
 	cfg Config
 
-	// ix aliases shard 0's interchange — the single-broker accessor that
-	// monitoring, workers, and tests address when sharding is off.
-	ix     *Interchange
 	shards []*shardLink
 	smap   *ShardMap
 
@@ -135,14 +144,14 @@ func (e *Executor) Label() string { return e.cfg.Label }
 
 // Interchange exposes shard 0's broker (tests and monitoring; the whole
 // broker when sharding is off). Shard addresses the others.
-func (e *Executor) Interchange() *Interchange { return e.ix }
+func (e *Executor) Interchange() *Interchange { return e.shards[0].broker() }
 
 // Shard exposes shard i's broker, nil when out of range.
 func (e *Executor) Shard(i int) *Interchange {
 	if i < 0 || i >= len(e.shards) {
 		return nil
 	}
-	return e.shards[i].ix
+	return e.shards[i].broker()
 }
 
 // ShardCount reports the configured shard count.
@@ -208,16 +217,17 @@ func (e *Executor) Start() error {
 	}
 	// Cross-check the two heartbeat clocks after normalization: a manager
 	// that pings slower than the interchange's loss threshold would be
-	// declared dead while perfectly healthy. Only meaningful for the default
-	// payload — a custom PayloadFactory (EXEX pools) has its own clock.
-	if e.cfg.PayloadFactory == nil {
-		mgrCfg, ixCfg := e.cfg.Manager, e.cfg.Interchange
-		mgrCfg.normalize()
-		ixCfg.normalize()
-		if mgrCfg.HeartbeatPeriod >= ixCfg.HeartbeatThreshold {
-			return fmt.Errorf("htex: manager HeartbeatPeriod %v must be below interchange HeartbeatThreshold %v",
-				mgrCfg.HeartbeatPeriod, ixCfg.HeartbeatThreshold)
-		}
+	// declared dead while perfectly healthy. The check applies to custom
+	// PayloadFactory pools too — whatever speaks the manager protocol on the
+	// nodes inherits ManagerConfig's heartbeat clock (EXEX mirrors its pool
+	// period into it), and the interchange polices the threshold regardless
+	// of what runs behind the dealer.
+	mgrCfg, ixCfg := e.cfg.Manager, e.cfg.Interchange
+	mgrCfg.normalize()
+	ixCfg.normalize()
+	if mgrCfg.HeartbeatPeriod >= ixCfg.HeartbeatThreshold {
+		return fmt.Errorf("htex: manager HeartbeatPeriod %v must be below interchange HeartbeatThreshold %v",
+			mgrCfg.HeartbeatPeriod, ixCfg.HeartbeatThreshold)
 	}
 
 	n := e.cfg.Shards
@@ -233,8 +243,9 @@ func (e *Executor) Start() error {
 	e.shards = make([]*shardLink, 0, n)
 	fail := func(err error) error {
 		for _, s := range e.shards {
-			_ = s.dealer.Close()
-			_ = s.ix.Close()
+			c := s.conn.Load()
+			_ = c.dealer.Close()
+			_ = c.ix.Close()
 		}
 		return err
 	}
@@ -258,18 +269,19 @@ func (e *Executor) Start() error {
 		s := &shardLink{
 			idx:        i,
 			label:      ixCfg.Label,
-			ix:         ix,
-			dealer:     dealer,
-			taskEnc:    serialize.NewStreamEncoder(),
-			resDec:     serialize.NewStreamDecoder(),
 			breaker:    health.NewBreaker(health.BreakerConfig{}),
 			cmdReplies: make(chan mq.Message, 16),
 		}
+		s.conn.Store(&shardConn{
+			ix:      ix,
+			dealer:  dealer,
+			taskEnc: serialize.NewStreamEncoder(),
+			resDec:  serialize.NewStreamDecoder(),
+		})
 		e.shards = append(e.shards, s)
 		e.wg.Add(1)
 		go e.recvLoop(s)
 	}
-	e.ix = e.shards[0].ix
 
 	for i := 0; i < e.cfg.InitBlocks; i++ {
 		if err := e.ScaleOut(1); err != nil {
@@ -283,16 +295,19 @@ func (e *Executor) Start() error {
 // replies, and NACKs all resolve against the shared pending/inflight
 // registries, so N shards look like one executor to everything above. A
 // receive error outside shutdown means the shard's router is gone — the
-// shard-death rebalance path.
+// shard-death rebalance path. The loop is bound to one connection: a
+// RestoreShard swap starts a fresh loop, and this one exits without
+// reporting a death that belongs to the connection it was reading.
 func (e *Executor) recvLoop(s *shardLink) {
 	defer e.wg.Done()
+	c := s.conn.Load()
 	for {
-		msg, err := s.dealer.Recv()
+		msg, err := c.dealer.Recv()
 		if err != nil {
 			e.mu.Lock()
 			closed := e.closed
 			e.mu.Unlock()
-			if !closed {
+			if !closed && s.conn.Load() == c {
 				e.shardDown(s)
 			}
 			return
@@ -306,12 +321,12 @@ func (e *Executor) recvLoop(s *shardLink) {
 				continue
 			}
 			var results []serialize.ResultMsg
-			if err := s.resDec.DecodeFrame(msg[1], &results); err != nil {
+			if err := c.resDec.DecodeFrame(msg[1], &results); err != nil {
 				// This shard's RESULTS stream is undecodable mid-epoch; NACK
 				// so it resyncs on a fresh self-describing epoch. Tasks whose
 				// results rode the lost frame stay pending here and recover
 				// via the DFK's attempt timeout (see codec.go).
-				_ = s.dealer.Send(mq.Message{[]byte(frameNack), nackPayload(msg[1])})
+				_ = c.dealer.Send(mq.Message{[]byte(frameNack), nackPayload(msg[1])})
 				continue
 			}
 			for _, r := range results {
@@ -345,7 +360,7 @@ func (e *Executor) recvLoop(s *shardLink) {
 			if len(msg) < 2 {
 				continue
 			}
-			e.handleNack(s, nackEpoch(msg[1]))
+			e.handleNack(s, c, nackEpoch(msg[1]))
 		}
 	}
 }
@@ -388,9 +403,68 @@ func (e *Executor) KillShard(i int) bool {
 	if s.down.Load() {
 		return false
 	}
-	_ = s.ix.Close()
+	_ = s.broker().Close()
 	e.shardDown(s)
 	return true
+}
+
+// RestoreShard respawns a dead shard: a fresh interchange, a fresh dealer
+// connection with fresh stream codecs, and the shard re-inserted into the
+// placement ring (ShardMap.Restore) so the hash arcs that spilled to ring
+// successors flow back home. The restored broker starts empty — managers
+// reach it through the next ScaleOut, exactly as a respawned broker process
+// would in production — and the tasks the death path failed stay with their
+// retry plane. No-op when the shard is alive; error when the executor is
+// stopped or i is out of range.
+func (e *Executor) RestoreShard(i int) error {
+	if i < 0 || i >= len(e.shards) {
+		return fmt.Errorf("htex: restore shard %d of %d", i, len(e.shards))
+	}
+	s := e.shards[i]
+	// Hold e.mu across the whole respawn so a concurrent Shutdown either
+	// observes and closes the new connection or makes this call fail fast —
+	// never a fresh receive loop reading a connection nobody will close.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || !e.started {
+		return errors.New("htex: restore on stopped executor")
+	}
+	if !s.down.Load() {
+		return nil
+	}
+	addr := e.cfg.Addr
+	if addr == "" {
+		addr = ":0"
+	}
+	ixCfg := e.cfg.Interchange
+	ixCfg.Label = s.label
+	if ixCfg.Seed != 0 {
+		ixCfg.Seed += int64(i)
+	}
+	ix, err := StartInterchange(e.cfg.Transport, addr, ixCfg)
+	if err != nil {
+		return fmt.Errorf("htex: restore %s: %w", s.label, err)
+	}
+	dealer, err := mq.DialDealer(e.cfg.Transport, ix.Addr(), clientIdentity)
+	if err != nil {
+		_ = ix.Close()
+		return fmt.Errorf("htex: restore %s: client dial: %w", s.label, err)
+	}
+	old := s.conn.Load()
+	s.conn.Store(&shardConn{
+		ix:      ix,
+		dealer:  dealer,
+		taskEnc: serialize.NewStreamEncoder(),
+		resDec:  serialize.NewStreamDecoder(),
+	})
+	// The death path closes only the broker; close the stale dealer too so
+	// the old receive loop (which sees the swapped pointer) unblocks.
+	_ = old.dealer.Close()
+	s.down.Store(false)
+	e.smap.Restore(i)
+	e.wg.Add(1)
+	go e.recvLoop(s)
+	return nil
 }
 
 // handleNack repairs one shard's task stream after that shard reported it
@@ -401,11 +475,11 @@ func (e *Executor) KillShard(i int) bool {
 // completes each future exactly once whichever copy's result arrives first.
 // Epoch mismatch means the stream was already reset (duplicate NACKs for one
 // epoch collapse to one repair).
-func (e *Executor) handleNack(s *shardLink, epoch uint32) {
-	if epoch == 0 || s.taskEnc.Epoch() != epoch {
+func (e *Executor) handleNack(s *shardLink, c *shardConn, epoch uint32) {
+	if epoch == 0 || c.taskEnc.Epoch() != epoch {
 		return
 	}
-	s.taskEnc.Reset()
+	c.taskEnc.Reset()
 	e.mu.Lock()
 	msgs := make([]serialize.TaskMsg, 0, len(e.inflight))
 	for _, it := range e.inflight {
@@ -432,7 +506,7 @@ func (e *Executor) handleNack(s *shardLink, epoch uint32) {
 			wires = append(wires, w)
 		}
 	}
-	_ = e.sendTasks(s, wires)
+	_ = e.sendTasksOn(s, c, wires)
 	for i := range msgs {
 		msgs[i].Payload().Release()
 	}
@@ -441,9 +515,16 @@ func (e *Executor) handleNack(s *shardLink, epoch uint32) {
 // sendTasks frames one task batch onto one shard's (chaos-instrumented)
 // wire, recording the outcome against that shard's breaker.
 func (e *Executor) sendTasks(s *shardLink, wires []serialize.WireTask) error {
-	err := s.taskEnc.EncodeFrame(wires, func(frame []byte) error {
+	return e.sendTasksOn(s, s.conn.Load(), wires)
+}
+
+// sendTasksOn is sendTasks pinned to one connection — the NACK repair path
+// must retransmit on exactly the stream whose epoch it just reset, even if a
+// restore swaps the connection mid-repair.
+func (e *Executor) sendTasksOn(s *shardLink, c *shardConn, wires []serialize.WireTask) error {
+	err := c.taskEnc.EncodeFrame(wires, func(frame []byte) error {
 		return chaos.Frame(chaos.PointClientSend, s.label, frame, func(fr []byte) error {
-			return s.dealer.Send(mq.Message{[]byte(frameTaskSub), fr})
+			return c.dealer.Send(mq.Message{[]byte(frameTaskSub), fr})
 		})
 	})
 	s.breaker.Record(err == nil)
@@ -457,7 +538,7 @@ func (e *Executor) sendTasks(s *shardLink, wires []serialize.WireTask) error {
 func (e *Executor) placeTask(tenant string, id int64) int {
 	return e.smap.PlaceTaskFunc(tenant, id, func(si int) bool {
 		s := e.shards[si]
-		return !s.down.Load() && s.breaker.Routable() && s.ix.ManagerCount() > 0
+		return !s.down.Load() && s.breaker.Routable() && s.broker().ManagerCount() > 0
 	})
 }
 
@@ -644,13 +725,13 @@ func (e *Executor) Cancel(wireID int64) bool {
 	canceled := fut.Cancel()
 	if payload, err := encodeIDs([]int64{wireID}); err == nil {
 		if shard >= 0 && !e.shards[shard].down.Load() {
-			_ = e.shards[shard].dealer.Send(mq.Message{[]byte(frameCancel), payload})
+			_ = e.shards[shard].conn.Load().dealer.Send(mq.Message{[]byte(frameCancel), payload})
 		} else {
 			// Unknown or dead owner: tell every live shard; the ones not
 			// holding the task ignore the unknown id.
 			for _, s := range e.shards {
 				if !s.down.Load() {
-					_ = s.dealer.Send(mq.Message{[]byte(frameCancel), payload})
+					_ = s.conn.Load().dealer.Send(mq.Message{[]byte(frameCancel), payload})
 				}
 			}
 		}
@@ -682,7 +763,7 @@ func (e *Executor) QueueDepth() int {
 	n := 0
 	for _, s := range e.shards {
 		if !s.down.Load() {
-			n += s.ix.QueueDepth()
+			n += s.broker().QueueDepth()
 		}
 	}
 	return n
@@ -693,12 +774,12 @@ func (e *Executor) QueueDepth() int {
 // union of the queues would report.
 func (e *Executor) QueueDepthByTenant() map[string]int {
 	if len(e.shards) == 1 {
-		return e.ix.QueueDepthByTenant()
+		return e.shards[0].broker().QueueDepthByTenant()
 	}
 	per := make([]map[string]int, 0, len(e.shards))
 	for _, s := range e.shards {
 		if !s.down.Load() {
-			per = append(per, s.ix.QueueDepthByTenant())
+			per = append(per, s.broker().QueueDepthByTenant())
 		}
 	}
 	return MergeTenantDepths(per...)
@@ -710,10 +791,37 @@ func (e *Executor) ConnectedWorkers() int {
 	n := 0
 	for _, s := range e.shards {
 		if !s.down.Load() {
-			n += s.ix.ManagerCount()
+			n += s.broker().ManagerCount()
 		}
 	}
 	return n * e.cfg.Manager.Workers
+}
+
+// HoldsDigest reports whether any live shard has a manager currently
+// advertising digest d — the executor-level locality probe internal/sched
+// samples into Load.HasDigest. Advertisements ride heartbeats and may be up
+// to one heartbeat period stale; a wrong answer costs one cold placement,
+// never correctness.
+func (e *Executor) HoldsDigest(d string) bool {
+	for _, s := range e.shards {
+		if !s.down.Load() && s.broker().HasDigest(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// AdvertisedDigests reports the advertised-digest count summed over live
+// shards — a coarse warm-set size signal for monitoring and scheduler
+// snapshots.
+func (e *Executor) AdvertisedDigests() int {
+	n := 0
+	for _, s := range e.shards {
+		if !s.down.Load() {
+			n += s.broker().AdvertisedDigests()
+		}
+	}
+	return n
 }
 
 // ActiveBlocks implements executor.Scalable.
@@ -764,13 +872,13 @@ func (e *Executor) shardForManager(id string) *shardLink {
 func (e *Executor) managerPayload() provider.Payload {
 	if f := e.cfg.PayloadFactory; f != nil {
 		return func(node provider.Node) (func(), error) {
-			return f(e.shardForManager(node.BlockID).ix.Addr(), node)
+			return f(e.shardForManager(node.BlockID).broker().Addr(), node)
 		}
 	}
 	return func(node provider.Node) (func(), error) {
 		id := fmt.Sprintf("mgr-%s-%d", node.BlockID, atomic.AddInt64(&e.mgrSeq, 1))
 		s := e.shardForManager(id)
-		mgr, err := StartManager(e.cfg.Transport, s.ix.Addr(), id, e.cfg.Registry, e.cfg.Manager)
+		mgr, err := StartManager(e.cfg.Transport, s.broker().Addr(), id, e.cfg.Registry, e.cfg.Manager)
 		if err != nil {
 			return nil, err
 		}
@@ -792,7 +900,7 @@ func (e *Executor) idleBlocksFirst(blocks []string) []string {
 		if s.down.Load() {
 			continue
 		}
-		for id, n := range s.ix.OutstandingByManager() {
+		for id, n := range s.broker().OutstandingByManager() {
 			busy[id] = n
 		}
 	}
@@ -887,7 +995,7 @@ func (e *Executor) Command(name, arg string, timeout time.Duration) ([]string, e
 		if s.down.Load() {
 			continue
 		}
-		if err := s.dealer.Send(msg); err != nil {
+		if err := s.conn.Load().dealer.Send(msg); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("htex: command %s on %s: %w", name, s.label, err)
 			}
@@ -968,10 +1076,11 @@ func (e *Executor) Shutdown() error {
 	}
 	var first error
 	for _, s := range e.shards {
-		if err := s.dealer.Close(); err != nil && first == nil {
+		c := s.conn.Load()
+		if err := c.dealer.Close(); err != nil && first == nil {
 			first = err
 		}
-		if err := s.ix.Close(); err != nil && first == nil {
+		if err := c.ix.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

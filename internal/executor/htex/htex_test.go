@@ -151,15 +151,15 @@ func TestAbruptManagerKillFailsInFlight(t *testing.T) {
 	defer e.Shutdown()
 
 	// Start one manager by hand so we can kill it without Drain.
-	mgr, err := StartManager(tr, e.ix.Addr(), "mgr-victim", reg, cfg.Manager)
+	mgr, err := StartManager(tr, e.Interchange().Addr(), "mgr-victim", reg, cfg.Manager)
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitCond(t, "manager registered", func() bool { return e.ix.ManagerCount() == 1 })
+	waitCond(t, "manager registered", func() bool { return e.Interchange().ManagerCount() == 1 })
 
 	fut := e.Submit(serialize.TaskMsg{ID: 42, App: "sleep", Args: []any{5000}})
 	waitCond(t, "task in flight on victim", func() bool {
-		return e.ix.OutstandingByManager()["mgr-victim"] == 1
+		return e.Interchange().OutstandingByManager()["mgr-victim"] == 1
 	})
 	mgr.Stop() // abrupt death: no BYE
 
@@ -168,7 +168,7 @@ func TestAbruptManagerKillFailsInFlight(t *testing.T) {
 	if !errors.As(err, &lost) {
 		t.Fatalf("err = %v, want LostError", err)
 	}
-	waitCond(t, "manager deregistered", func() bool { return e.ix.ManagerCount() == 0 })
+	waitCond(t, "manager deregistered", func() bool { return e.Interchange().ManagerCount() == 0 })
 }
 
 func TestDrainRequeuesInFlight(t *testing.T) {
@@ -188,28 +188,28 @@ func TestDrainRequeuesInFlight(t *testing.T) {
 	}
 	defer e.Shutdown()
 
-	slow, err := StartManager(tr, e.ix.Addr(), "mgr-slow", reg, cfg.Manager)
+	slow, err := StartManager(tr, e.Interchange().Addr(), "mgr-slow", reg, cfg.Manager)
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitCond(t, "slow manager", func() bool { return e.ix.ManagerCount() == 1 })
+	waitCond(t, "slow manager", func() bool { return e.Interchange().ManagerCount() == 1 })
 
 	// Fill the slow manager with a long task plus a queued one, then drain:
 	// the queued task must move to a fresh manager and still complete.
 	futLong := e.Submit(serialize.TaskMsg{ID: 1, App: "sleep", Args: []any{300}})
 	waitCond(t, "long task in flight", func() bool {
-		return e.ix.OutstandingByManager()["mgr-slow"] >= 1
+		return e.Interchange().OutstandingByManager()["mgr-slow"] >= 1
 	})
 	futQueued := e.Submit(serialize.TaskMsg{ID: 2, App: "echo", Args: []any{"requeued"}})
 	// Deterministic, not a sleep: the manager's single slot is occupied by
 	// the long task, so the queued task is visible in the interchange queue
 	// before the drain begins.
 	waitCond(t, "queued task parked at interchange", func() bool {
-		return e.ix.QueueDepth() == 1
+		return e.Interchange().QueueDepth() == 1
 	})
 	slow.Drain()
 
-	fresh, err := StartManager(tr, e.ix.Addr(), "mgr-fresh", reg, cfg.Manager)
+	fresh, err := StartManager(tr, e.Interchange().Addr(), "mgr-fresh", reg, cfg.Manager)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestCancelDropsQueuedTask(t *testing.T) {
 
 	victim := e.Submit(serialize.TaskMsg{ID: 1, App: "echo", Args: []any{"victim"}})
 	survivor := e.Submit(serialize.TaskMsg{ID: 2, App: "echo", Args: []any{"survivor"}})
-	waitCond(t, "tasks queued at interchange", func() bool { return e.ix.QueueDepth() == 2 })
+	waitCond(t, "tasks queued at interchange", func() bool { return e.Interchange().QueueDepth() == 2 })
 
 	if !e.Cancel(1) {
 		t.Fatal("Cancel(1) = false for a pending task")
@@ -261,10 +261,10 @@ func TestCancelDropsQueuedTask(t *testing.T) {
 	if e.Outstanding() != 1 {
 		t.Fatalf("outstanding = %d after cancel, want 1", e.Outstanding())
 	}
-	waitCond(t, "interchange dropped the victim", func() bool { return e.ix.QueueDepth() == 1 })
+	waitCond(t, "interchange dropped the victim", func() bool { return e.Interchange().QueueDepth() == 1 })
 
 	// Capacity arrives: only the survivor runs.
-	mgr, err := StartManager(tr, e.ix.Addr(), "mgr-late", reg, cfg.Manager)
+	mgr, err := StartManager(tr, e.Interchange().Addr(), "mgr-late", reg, cfg.Manager)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestCancelDropsQueuedTask(t *testing.T) {
 	if err != nil || v != "survivor" {
 		t.Fatalf("survivor: %v, %v", v, err)
 	}
-	waitCond(t, "queue drained", func() bool { return e.ix.QueueDepth() == 0 })
+	waitCond(t, "queue drained", func() bool { return e.Interchange().QueueDepth() == 0 })
 	if got := mgr.Executed(); got != 1 {
 		t.Fatalf("manager executed %d tasks, want 1", got)
 	}
@@ -318,9 +318,9 @@ func TestInterchangeHonorsPriority(t *testing.T) {
 		e.Submit(serialize.TaskMsg{ID: 2, App: "mark", Args: []any{"high"}, Priority: 9}),
 		e.Submit(serialize.TaskMsg{ID: 3, App: "mark", Args: []any{"low-second"}, Priority: 1}),
 	}
-	waitCond(t, "tasks queued", func() bool { return e.ix.QueueDepth() == 3 })
+	waitCond(t, "tasks queued", func() bool { return e.Interchange().QueueDepth() == 3 })
 
-	mgr, err := StartManager(tr, e.ix.Addr(), "mgr-prio", reg, cfg.Manager)
+	mgr, err := StartManager(tr, e.Interchange().Addr(), "mgr-prio", reg, cfg.Manager)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,20 +369,20 @@ func TestCancelForwardedToManager(t *testing.T) {
 	}
 	defer e.Shutdown()
 
-	mgr, err := StartManager(tr, e.ix.Addr(), "mgr-gate", reg, cfg.Manager)
+	mgr, err := StartManager(tr, e.Interchange().Addr(), "mgr-gate", reg, cfg.Manager)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer mgr.Stop()
-	waitCond(t, "manager registered", func() bool { return e.ix.ManagerCount() == 1 })
+	waitCond(t, "manager registered", func() bool { return e.Interchange().ManagerCount() == 1 })
 
 	blocker := e.Submit(serialize.TaskMsg{ID: 1, App: "gate"})
 	waitCond(t, "blocker in flight", func() bool {
-		return e.ix.OutstandingByManager()["mgr-gate"] >= 1
+		return e.Interchange().OutstandingByManager()["mgr-gate"] >= 1
 	})
 	victim := e.Submit(serialize.TaskMsg{ID: 2, App: "echo", Args: []any{"victim"}})
 	waitCond(t, "victim prefetched by manager", func() bool {
-		return e.ix.OutstandingByManager()["mgr-gate"] == 2
+		return e.Interchange().OutstandingByManager()["mgr-gate"] == 2
 	})
 
 	if !e.Cancel(2) {
@@ -392,7 +392,7 @@ func TestCancelForwardedToManager(t *testing.T) {
 		t.Fatalf("victim error = %v, want ErrCanceled", err)
 	}
 	waitCond(t, "interchange struck the victim", func() bool {
-		return e.ix.OutstandingByManager()["mgr-gate"] == 1
+		return e.Interchange().OutstandingByManager()["mgr-gate"] == 1
 	})
 
 	close(release)
@@ -455,7 +455,7 @@ func TestScaleOutAndIn(t *testing.T) {
 	if err := e.ScaleOut(2); err != nil {
 		t.Fatal(err)
 	}
-	waitCond(t, "3 managers", func() bool { return e.ix.ManagerCount() == 3 })
+	waitCond(t, "3 managers", func() bool { return e.Interchange().ManagerCount() == 3 })
 	if e.ActiveBlocks() != 3 {
 		t.Fatalf("blocks = %d", e.ActiveBlocks())
 	}
@@ -465,7 +465,7 @@ func TestScaleOutAndIn(t *testing.T) {
 	if err := e.ScaleIn(2); err != nil {
 		t.Fatal(err)
 	}
-	waitCond(t, "1 manager", func() bool { return e.ix.ManagerCount() == 1 })
+	waitCond(t, "1 manager", func() bool { return e.Interchange().ManagerCount() == 1 })
 	if e.ActiveBlocks() != 1 {
 		t.Fatalf("blocks = %d", e.ActiveBlocks())
 	}
@@ -491,7 +491,7 @@ func TestShutdownFailsPending(t *testing.T) {
 	// Condition, not a sleep: shut down only once the task is actually held
 	// by the manager, so the test always exercises the in-flight path.
 	waitCond(t, "task in flight", func() bool {
-		for _, n := range e.ix.OutstandingByManager() {
+		for _, n := range e.Interchange().OutstandingByManager() {
 			if n > 0 {
 				return true
 			}
@@ -523,7 +523,7 @@ func TestOverTCP(t *testing.T) {
 		t.Skipf("tcp unavailable: %v", err)
 	}
 	defer e.Shutdown()
-	waitCond(t, "tcp manager", func() bool { return e.ix.ManagerCount() == 1 })
+	waitCond(t, "tcp manager", func() bool { return e.Interchange().ManagerCount() == 1 })
 	v, err := e.Submit(serialize.TaskMsg{ID: 1, App: "echo", Args: []any{"tcp"}}).Result()
 	if err != nil || v != "tcp" {
 		t.Fatalf("tcp round trip: %v, %v", v, err)
@@ -639,7 +639,7 @@ func TestInterchangeTenantFairness(t *testing.T) {
 			done.Unlock()
 		})
 	}
-	waitCond(t, "heavy backlog queued", func() bool { return e.ix.QueueDepth() > heavyN/2 })
+	waitCond(t, "heavy backlog queued", func() bool { return e.Interchange().QueueDepth() > heavyN/2 })
 
 	light := make([]serialize.TaskMsg, lightN)
 	for i := range light {
@@ -661,7 +661,7 @@ func TestInterchangeTenantFairness(t *testing.T) {
 	}
 
 	waitCond(t, "light tenant visible in queue depth", func() bool {
-		return e.ix.QueueDepthByTenant()["light"] > 0
+		return e.Interchange().QueueDepthByTenant()["light"] > 0
 	})
 
 	for _, f := range lightFuts {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +47,13 @@ type InterchangeConfig struct {
 	Seed int64
 	// Selection picks the dispatch policy (default SelectRandom).
 	Selection Selection
+	// Locality enables data-aware dispatch: a task whose input digest some
+	// eligible manager advertises (heartbeat digest-set summary) is routed
+	// to that manager instead of the fairness pick, provided it has free
+	// capacity. Off by default — the advert is still aggregated (it feeds
+	// the client-side locality view either way), but manager selection
+	// stays exactly the paper's randomized policy.
+	Locality bool
 }
 
 // Validate rejects configurations that cannot work: negative durations and a
@@ -93,6 +101,10 @@ type managerState struct {
 	// enc is the manager's private TASKS stream: descriptors cross once per
 	// manager session, and every batch after the first is values only.
 	enc *serialize.StreamEncoder
+	// digests is the manager's last heartbeat digest-set summary: the warm
+	// input digests it advertises. Replaced wholesale on every advert (the
+	// manager's view is authoritative); nil until the first one arrives.
+	digests map[string]struct{}
 }
 
 func (m *managerState) free() int { return m.capacity - len(m.outstanding) }
@@ -303,6 +315,12 @@ func (ix *Interchange) handle(del mq.Delivery) {
 		ix.mu.Lock()
 		if m, ok := ix.managers[del.From]; ok {
 			m.lastSeen = time.Now()
+			// An extra part is the manager's digest-set advert: the content
+			// digests of tasks it has executed and so holds warm. Replace
+			// the aggregated view wholesale — the advert is authoritative.
+			if len(del.Msg) > 1 {
+				m.digests = parseDigestSet(del.Msg[1])
+			}
 		}
 		ix.mu.Unlock()
 		// Echo so managers can police us too.
@@ -550,22 +568,73 @@ func (ix *Interchange) dispatch() {
 		batch := make([]serialize.WireTask, len(scratch))
 		copy(batch, scratch)
 		ix.queue.PutBatch(scratch)
+
+		// Data-aware rerouting (cfg.Locality): a task whose input digest
+		// another eligible manager advertises moves to that holder — its
+		// inputs are warm there — capped by the holder's free capacity.
+		// The fairness pick m keeps everything else, so with no adverts in
+		// play the dispatch is byte-identical to the classic policy. The
+		// digest is hashed from the opaque payload column; the broker
+		// still never decodes arguments.
+		type send struct {
+			id    string
+			enc   *serialize.StreamEncoder
+			batch []serialize.WireTask
+		}
+		var sends []send
+		if ix.cfg.Locality && len(eligible) > 1 {
+			taken := make(map[*managerState]int)
+			reroutes := make(map[*managerState][]serialize.WireTask)
+			kept := batch[:0]
+			for _, t := range batch {
+				d := serialize.DigestBytes(t.P)
+				if _, warm := m.digests[d]; warm {
+					kept = append(kept, t)
+					continue
+				}
+				var holder *managerState
+				for _, cand := range eligible {
+					if cand == m {
+						continue
+					}
+					if _, ok := cand.digests[d]; ok && cand.free()-taken[cand] > 0 {
+						holder = cand
+						break
+					}
+				}
+				if holder == nil {
+					kept = append(kept, t)
+					continue
+				}
+				taken[holder]++
+				holder.outstanding[t.ID] = t
+				reroutes[holder] = append(reroutes[holder], t)
+			}
+			batch = kept
+			for h, ts := range reroutes {
+				sends = append(sends, send{id: h.id, enc: h.enc, batch: ts})
+			}
+		}
 		for _, t := range batch {
 			m.outstanding[t.ID] = t
 		}
-		id, enc := m.id, m.enc
+		if len(batch) > 0 {
+			sends = append(sends, send{id: m.id, enc: m.enc, batch: batch})
+		}
 		ix.mu.Unlock()
 
-		// Re-frame the envelopes on this manager's stream; the argument
-		// payloads inside pass through as opaque bytes.
-		err := enc.EncodeFrame(batch, func(frame []byte) error {
-			return chaos.Frame(chaos.PointIxTasks, ix.cfg.Label, frame, func(fr []byte) error {
-				return ix.router.SendTo(id, mq.Message{[]byte(frameTasks), fr})
+		// Re-frame the envelopes on each target manager's stream; the
+		// argument payloads inside pass through as opaque bytes.
+		for _, s := range sends {
+			err := s.enc.EncodeFrame(s.batch, func(frame []byte) error {
+				return chaos.Frame(chaos.PointIxTasks, ix.cfg.Label, frame, func(fr []byte) error {
+					return ix.router.SendTo(s.id, mq.Message{[]byte(frameTasks), fr})
+				})
 			})
-		})
-		if err != nil {
-			// Send failed: the manager is gone; requeue via loss path.
-			ix.managerLost(id, "send failed")
+			if err != nil {
+				// Send failed: the manager is gone; requeue via loss path.
+				ix.managerLost(s.id, "send failed")
+			}
 		}
 	}
 }
@@ -641,6 +710,58 @@ func (ix *Interchange) OutstandingByManager() map[string]int {
 		out[id] = len(m.outstanding)
 	}
 	return out
+}
+
+// parseDigestSet decodes a heartbeat digest-set advert (comma-joined
+// digests) into a lookup set. Empty input yields nil.
+func parseDigestSet(b []byte) map[string]struct{} {
+	if len(b) == 0 {
+		return nil
+	}
+	parts := strings.Split(string(b), ",")
+	set := make(map[string]struct{}, len(parts))
+	for _, p := range parts {
+		if p != "" {
+			set[p] = struct{}{}
+		}
+	}
+	return set
+}
+
+// HasDigest reports whether any registered, non-blacklisted manager
+// advertises the content digest — this shard's slice of the locality view.
+// Adverts ride heartbeats, so the answer can be stale by up to one manager
+// heartbeat period in either direction; callers treat it as a routing hint,
+// never a correctness signal.
+func (ix *Interchange) HasDigest(d string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, m := range ix.managers {
+		if m.blacklisted {
+			continue
+		}
+		if _, ok := m.digests[d]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// AdvertisedDigests counts the distinct content digests advertised across
+// this shard's managers (monitoring and the sched.Load locality view).
+func (ix *Interchange) AdvertisedDigests() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	seen := make(map[string]struct{})
+	for _, m := range ix.managers {
+		if m.blacklisted {
+			continue
+		}
+		for d := range m.digests {
+			seen[d] = struct{}{}
+		}
+	}
+	return len(seen)
 }
 
 // QueueDepth reports tasks waiting for capacity.

@@ -3,6 +3,7 @@ package htex
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -104,7 +105,17 @@ type Manager struct {
 	// task already ran leaves a stale entry — bounded by cancellations per
 	// manager lifetime, and harmless because wire ids are never reused.
 	canceled map[int64]struct{}
+	// digests is the content-digest set this manager advertises in its
+	// heartbeats: the Payload.ArgsHash of every task it has successfully
+	// executed recently (its warm inputs/results), bounded FIFO by
+	// maxAdvertisedDigests. digestOrder tracks insertion order for eviction.
+	digests     map[string]struct{}
+	digestOrder []string
 }
+
+// maxAdvertisedDigests bounds one manager's heartbeat digest-set summary.
+// At 16 hex chars + separator per digest the advert stays under ~9 KiB.
+const maxAdvertisedDigests = 512
 
 // StartManager connects a manager to the interchange at addr and begins
 // executing tasks from reg.
@@ -129,6 +140,7 @@ func StartManager(tr simnet.Transport, addr, id string, reg *serialize.Registry,
 		done:     make(chan struct{}),
 		lastSeen: time.Now(),
 		canceled: make(map[int64]struct{}),
+		digests:  make(map[string]struct{}),
 	}
 	capacity := cfg.Workers + cfg.Prefetch
 	if err := dealer.Send(mq.Message{[]byte(frameReg), []byte(strconv.Itoa(capacity))}); err != nil {
@@ -274,6 +286,13 @@ func (m *Manager) worker(workerID string) {
 			}, workerID)
 			m.mu.Lock()
 			m.executed++
+			if res.Err == "" {
+				// Successful execution warms this manager for the task's
+				// exact input bytes: note the content digest (derived from
+				// the wire payload — the same FNV value the client's
+				// Payload.ArgsHash reports) for the heartbeat advert.
+				m.noteDigestLocked(serialize.DigestBytes(w.P))
+			}
 			m.mu.Unlock()
 			select {
 			case m.results <- res:
@@ -324,6 +343,32 @@ func (m *Manager) resultLoop() {
 	}
 }
 
+// noteDigestLocked records a warm content digest for the heartbeat advert,
+// evicting the oldest entry past the bound. Caller holds m.mu.
+func (m *Manager) noteDigestLocked(d string) {
+	if _, ok := m.digests[d]; ok {
+		return
+	}
+	m.digests[d] = struct{}{}
+	m.digestOrder = append(m.digestOrder, d)
+	for len(m.digestOrder) > maxAdvertisedDigests {
+		delete(m.digests, m.digestOrder[0])
+		m.digestOrder = m.digestOrder[1:]
+	}
+}
+
+// digestAdvert renders the compact digest-set summary attached to
+// heartbeats: the bounded set of warm digests, comma-joined. Empty before
+// the first successful execution (and the HB then carries no extra part).
+func (m *Manager) digestAdvert() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.digestOrder) == 0 {
+		return nil
+	}
+	return []byte(strings.Join(m.digestOrder, ","))
+}
+
 func (m *Manager) heartbeatLoop() {
 	defer m.wg.Done()
 	ticker := time.NewTicker(m.cfg.HeartbeatPeriod)
@@ -333,7 +378,16 @@ func (m *Manager) heartbeatLoop() {
 		case <-m.done:
 			return
 		case <-ticker.C:
-			if err := m.dealer.Send(mq.Message{[]byte(frameHB)}); err != nil {
+			// The heartbeat doubles as the locality advertisement: an extra
+			// frame part carries the digest-set summary so the interchange
+			// can aggregate who holds what without any new message type.
+			// Interchanges ignore parts they don't expect, so an empty set
+			// sends the classic single-part HB.
+			hb := mq.Message{[]byte(frameHB)}
+			if adv := m.digestAdvert(); adv != nil {
+				hb = append(hb, adv)
+			}
+			if err := m.dealer.Send(hb); err != nil {
 				m.Stop()
 				return
 			}

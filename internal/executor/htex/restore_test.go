@@ -1,0 +1,186 @@
+package htex
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/future"
+	"repro/internal/provider"
+	"repro/internal/sched"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+)
+
+// TestShardRestoreRejoinsRing drives the full death-and-respawn cycle at the
+// executor boundary: kill one shard, restore it, and prove the ring heals —
+// placement counts it alive again, the manager-less restored broker is
+// capacity-vetoed (tasks spill, nothing stalls), and once a manager connects
+// to the respawned interchange the shard serves traffic end to end.
+func TestShardRestoreRejoinsRing(t *testing.T) {
+	e := newShardedHTEX(t, 3, 6, 1)
+	waitCond(t, "every shard has a manager", func() bool {
+		for _, n := range managersPerShard(e) {
+			if n == 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	const victim = 1
+	if !e.KillShard(victim) {
+		t.Fatalf("KillShard(%d) refused", victim)
+	}
+	if alive, total := e.ShardCounts(); alive != 2 || total != 3 {
+		t.Fatalf("ShardCounts = %d/%d after kill, want 2/3", alive, total)
+	}
+
+	if err := e.RestoreShard(-1); err == nil {
+		t.Fatal("RestoreShard(-1) accepted an out-of-range index")
+	}
+	if err := e.RestoreShard(99); err == nil {
+		t.Fatal("RestoreShard(99) accepted an out-of-range index")
+	}
+	if err := e.RestoreShard(victim); err != nil {
+		t.Fatalf("RestoreShard(%d): %v", victim, err)
+	}
+	// Restoring an alive shard is a no-op, not an error: callers can retry
+	// idempotently from a supervision loop.
+	if err := e.RestoreShard(victim); err != nil {
+		t.Fatalf("RestoreShard on alive shard: %v", err)
+	}
+	if alive, total := e.ShardCounts(); alive != 3 || total != 3 {
+		t.Fatalf("ShardCounts = %d/%d after restore, want 3/3", alive, total)
+	}
+	if n := e.Shard(victim).ManagerCount(); n != 0 {
+		t.Fatalf("restored broker has %d managers, want 0 (it starts empty)", n)
+	}
+
+	// Manager-less restored shard: the capacity veto must spill its hash
+	// arcs to ring successors, so every task still completes.
+	futs := make([]*future.Future, 0, 30)
+	for i := 0; i < 30; i++ {
+		futs = append(futs, e.Submit(serialize.TaskMsg{
+			ID: int64(1000 + i), App: "echo", Args: []any{i},
+			Tenant: fmt.Sprintf("t%d", i%6),
+		}))
+	}
+	if err := future.Wait(futs...); err != nil {
+		t.Fatalf("submit against manager-less restored shard: %v", err)
+	}
+
+	// Attach a manager straight to the respawned interchange — exactly what
+	// the next ScaleOut's bounded-hash placement does, minus the hash
+	// nondeterminism a unit test can't wait on.
+	mgr, err := StartManager(e.cfg.Transport, e.Shard(victim).Addr(), "mgr-restored", e.cfg.Registry, e.cfg.Manager)
+	if err != nil {
+		t.Fatalf("StartManager on restored shard: %v", err)
+	}
+	t.Cleanup(mgr.Drain)
+	waitCond(t, "manager registered on restored shard", func() bool {
+		return e.Shard(victim).ManagerCount() == 1
+	})
+
+	// With capacity back, the restored shard must carry live traffic again.
+	futs = futs[:0]
+	for i := 0; i < 60; i++ {
+		futs = append(futs, e.Submit(serialize.TaskMsg{
+			ID: int64(2000 + i), App: "sleep", Args: []any{50},
+			Tenant: fmt.Sprintf("t%d", i%6),
+		}))
+	}
+	waitCond(t, "restored shard holds inflight tasks", func() bool {
+		return e.InflightByShard()[victim] > 0
+	})
+	if err := future.Wait(futs...); err != nil {
+		t.Fatalf("post-rejoin traffic: %v", err)
+	}
+	if e.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after drain", e.Outstanding())
+	}
+}
+
+// TestRestoreShardAfterShutdown: a stopped executor refuses to respawn
+// shards instead of leaking a fresh interchange nobody will close.
+func TestRestoreShardAfterShutdown(t *testing.T) {
+	e := newShardedHTEX(t, 2, 2, 1)
+	if !e.KillShard(0) {
+		t.Fatal("KillShard refused")
+	}
+	if err := e.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RestoreShard(0); err == nil {
+		t.Fatal("RestoreShard accepted a stopped executor")
+	}
+}
+
+// TestHeartbeatCrossCheckWithPayloadFactory pins the satellite bugfix: the
+// manager-period vs interchange-threshold validation used to be skipped for
+// configs with a custom PayloadFactory, silently deploying pools whose
+// managers would be declared dead while healthy. The cross-check now applies
+// unconditionally.
+func TestHeartbeatCrossCheckWithPayloadFactory(t *testing.T) {
+	e := New(Config{
+		Label:     "htex-hbcheck",
+		Transport: simnet.NewNetwork(0),
+		Registry:  testRegistry(t),
+		Provider:  provider.NewLocal(provider.Config{NodesPerBlock: 1}),
+		PayloadFactory: func(addr string, node provider.Node) (func(), error) {
+			return func() {}, nil
+		},
+		Manager: ManagerConfig{Workers: 1, HeartbeatPeriod: 500 * time.Millisecond},
+		Interchange: InterchangeConfig{
+			HeartbeatThreshold: 250 * time.Millisecond,
+		},
+	})
+	err := e.Start()
+	if err == nil {
+		_ = e.Shutdown()
+		t.Fatal("Start accepted HeartbeatPeriod >= HeartbeatThreshold under a custom PayloadFactory")
+	}
+	if !strings.Contains(err.Error(), "HeartbeatThreshold") {
+		t.Fatalf("err = %v, want the heartbeat cross-check rejection", err)
+	}
+}
+
+// TestDigestAdvertisement: executing a task makes its manager advertise the
+// task's content digest in the next heartbeat, and the advertisement is
+// visible through every layer — interchange aggregation, the executor's
+// shard union, and the scheduler's LoadOf probe.
+func TestDigestAdvertisement(t *testing.T) {
+	e := newHTEX(t, 1, 1, nil)
+
+	p, err := serialize.EncodeArgs([]any{"warm-input"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := p.ArgsHash()
+	p.Release()
+
+	if e.HoldsDigest(digest) {
+		t.Fatal("digest advertised before any execution")
+	}
+	v, err := e.Submit(serialize.TaskMsg{ID: 1, App: "echo", Args: []any{"warm-input"}}).Result()
+	if err != nil || v != "warm-input" {
+		t.Fatalf("submit: %v, %v", v, err)
+	}
+	waitCond(t, "digest advertised after execution", func() bool {
+		return e.HoldsDigest(digest)
+	})
+	if n := e.AdvertisedDigests(); n == 0 {
+		t.Fatal("AdvertisedDigests = 0 after a warm advertisement")
+	}
+	l := sched.LoadOf(e)
+	if l.HasDigest == nil || !l.HasDigest(digest) {
+		t.Fatal("sched.LoadOf must surface the digest probe")
+	}
+	if l.AdvertisedDigests == 0 {
+		t.Fatal("sched.LoadOf must surface the advertised-digest count")
+	}
+	if e.HoldsDigest("ffffffffffffffff") {
+		t.Fatal("HoldsDigest matched a digest nobody executed")
+	}
+}

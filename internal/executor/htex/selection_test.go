@@ -38,7 +38,7 @@ func runSelection(t *testing.T, sel Selection, tasks int) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = e.Shutdown() })
-	waitCond(t, "managers", func() bool { return e.ix.ManagerCount() == 3 })
+	waitCond(t, "managers", func() bool { return e.Interchange().ManagerCount() == 3 })
 
 	futs := make([]*future.Future, tasks)
 	for i := 0; i < tasks; i++ {

@@ -69,6 +69,16 @@ type Load struct {
 	// ShardsAlive < ShardsTotal as "this executor is running degraded".
 	ShardsAlive int
 	ShardsTotal int
+	// HasDigest is the locality view: it probes whether the executor's
+	// fleet currently advertises a content digest (a manager behind it has
+	// executed — and so holds warm — a task with those exact input bytes).
+	// It is a bound method, not a copied set: digest sets can be large and
+	// advertisements arrive on heartbeats, so the probe reads the live
+	// aggregation. Nil when the executor exposes no digest signal.
+	HasDigest func(digest string) bool
+	// AdvertisedDigests counts the distinct content digests the executor's
+	// managers currently advertise — 0 when there is no digest signal.
+	AdvertisedDigests int
 }
 
 // PerWorker is outstanding work normalized by capacity; with unknown
@@ -101,6 +111,16 @@ type shardHealth interface{ ShardHealth() string }
 // boundary.
 type tenantDepths interface{ QueueDepthByTenant() map[string]int }
 
+// digestHolder is the data-locality probe (htex.Executor.HoldsDigest,
+// merged across shards): does any manager behind this executor advertise
+// the content digest in its heartbeat digest-set summary.
+type digestHolder interface{ HoldsDigest(digest string) bool }
+
+// digestCounter is the companion cardinality probe
+// (htex.Executor.AdvertisedDigests): how many distinct digests the
+// executor's fleet advertises right now.
+type digestCounter interface{ AdvertisedDigests() int }
+
 // LoadOf samples an executor's live load signals. A sharded executor reports
 // the merged view — outstanding, tenant backlog, breaker state, and shard
 // membership aggregated across its interchange shards — so policies see one
@@ -124,6 +144,12 @@ func LoadOf(ex executor.Executor) Load {
 	}
 	if td, ok := ex.(tenantDepths); ok {
 		l.TenantBacklog = td.QueueDepthByTenant()
+	}
+	if dh, ok := ex.(digestHolder); ok {
+		l.HasDigest = dh.HoldsDigest
+	}
+	if dc, ok := ex.(digestCounter); ok {
+		l.AdvertisedDigests = dc.AdvertisedDigests()
 	}
 	return l
 }
@@ -153,6 +179,20 @@ type LoadAware interface {
 // as Pick apply.
 type PriorityPicker interface {
 	PickPriority(candidates []executor.Executor, priority int) (executor.Executor, error)
+}
+
+// DigestPicker is an optional Scheduler extension for data-aware policies.
+// When a scheduler implements it, the DFK's dispatcher calls PickDigest
+// instead of Pick, passing the ready task's input-content digest (the
+// encode-once Payload.ArgsHash — the same value managers advertise from
+// their heartbeat digest sets), so the policy can route the task toward an
+// executor that already holds its inputs. digest may be "" when no payload
+// was encoded (e.g. memoization off); implementations must then behave like
+// Pick. The same candidate-set rules as Pick apply — candidates have
+// already been filtered by hints and by the health plane's breakers, so a
+// digest holder that is breaker-open is simply absent from the set.
+type DigestPicker interface {
+	PickDigest(candidates []executor.Executor, priority int, digest string) (executor.Executor, error)
 }
 
 // Frozen is a one-shot load snapshot of an executor, taken once per
@@ -209,6 +249,17 @@ func (f *Frozen) ShardHealth() string { return f.load.Health }
 
 // QueueDepthByTenant reports the sampled broker-side tenant backlog.
 func (f *Frozen) QueueDepthByTenant() map[string]int { return f.load.TenantBacklog }
+
+// HoldsDigest probes the locality view through the snapshot. The probe
+// itself stays live (Load.HasDigest is a bound method, not a copy) because
+// digest sets are too large to snapshot per dispatch cycle; what Frozen
+// adds is that policies reach it uniformly via LoadOf on the snapshot.
+func (f *Frozen) HoldsDigest(digest string) bool {
+	return f.load.HasDigest != nil && f.load.HasDigest(digest)
+}
+
+// AdvertisedDigests reports the sampled digest-set cardinality (see Load).
+func (f *Frozen) AdvertisedDigests() int { return f.load.AdvertisedDigests }
 
 // Bump records one task routed to this executor in the current cycle.
 func (f *Frozen) Bump() { f.extra++ }
@@ -300,9 +351,82 @@ func (*LeastOutstanding) Pick(candidates []executor.Executor) (executor.Executor
 	return candidates[best], nil
 }
 
+// Locality is the data-aware policy (ROADMAP item 4; the Dask/Ray
+// data-locality story fused with Parsl memoization): route a task to an
+// executor whose managers advertise its input digest — the bytes are
+// already warm there — and fall back to least-outstanding when no
+// candidate holds them. Among multiple holders the least loaded wins, so
+// locality never turns into a hotspot pile-up. Holder selection respects
+// the surrounding machinery by construction: breaker-open executors were
+// filtered from the candidate set before Pick, an executor whose shard
+// control plane is fully down is skipped here, and the capacity-veto spill
+// rules inside a sharded executor still apply after the pick (routing to
+// the executor is a preference, not a placement guarantee). A stale
+// advertisement (the holding manager died after its last heartbeat) just
+// means the task runs cold wherever the interchange places it — never an
+// error.
+type Locality struct {
+	fallback LeastOutstanding
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// NewLocality returns a Locality scheduler.
+func NewLocality() *Locality { return &Locality{} }
+
+// Name implements Scheduler.
+func (*Locality) Name() string { return "locality" }
+
+// UsesLoad implements LoadAware.
+func (*Locality) UsesLoad() bool { return true }
+
+// Pick implements Scheduler: without a digest there is no locality signal,
+// so the fallback applies directly.
+func (p *Locality) Pick(candidates []executor.Executor) (executor.Executor, error) {
+	return p.fallback.Pick(candidates)
+}
+
+// PickDigest implements DigestPicker.
+func (p *Locality) PickDigest(candidates []executor.Executor, _ int, digest string) (executor.Executor, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoExecutors
+	}
+	if digest != "" {
+		best := -1
+		var bestLoad Load
+		for i, c := range candidates {
+			l := LoadOf(c)
+			if l.HasDigest == nil || !l.HasDigest(digest) {
+				continue
+			}
+			// A holder whose control plane is gone can't serve the hit:
+			// every shard dead, or the aggregate breaker fully open.
+			if (l.ShardsTotal > 0 && l.ShardsAlive == 0) || l.Health == "down" || l.Health == "open" {
+				continue
+			}
+			if best < 0 || l.PerWorker() < bestLoad.PerWorker() ||
+				(l.PerWorker() == bestLoad.PerWorker() && l.Outstanding < bestLoad.Outstanding) {
+				best, bestLoad = i, l
+			}
+		}
+		if best >= 0 {
+			p.hits.Add(1)
+			return candidates[best], nil
+		}
+	}
+	p.misses.Add(1)
+	return p.fallback.Pick(candidates)
+}
+
+// Stats reports how many picks were routed by digest locality (hits) vs
+// fell back to least-outstanding (misses).
+func (p *Locality) Stats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}
+
 // ByName constructs the policy named in config: "random" (default when name
-// is empty), "round-robin", or "least-outstanding". seed only affects
-// "random".
+// is empty), "round-robin", "least-outstanding", or "locality". seed only
+// affects "random".
 func ByName(name string, seed int64) (Scheduler, error) {
 	switch name {
 	case "", "random":
@@ -311,6 +435,8 @@ func ByName(name string, seed int64) (Scheduler, error) {
 		return NewRoundRobin(), nil
 	case "least-outstanding":
 		return NewLeastOutstanding(), nil
+	case "locality":
+		return NewLocality(), nil
 	default:
 		return nil, fmt.Errorf("sched: unknown policy %q", name)
 	}

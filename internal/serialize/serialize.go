@@ -445,6 +445,17 @@ func (p *Payload) ArgsHash() string {
 	return fmt.Sprintf("%016x", sum)
 }
 
+// DigestBytes returns the content digest of encoded payload bytes — the
+// same %016x FNV-64a value Payload.ArgsHash reports for the same bytes.
+// It lets the executor side (managers, the interchange) derive a task's
+// input digest from the WireTask.P column alone, with no wire-format
+// change and no argument decode: the digest a manager advertises in its
+// heartbeat matches the one the DFK computed from the attached payload,
+// because both hash the identical canonical encoding.
+func DigestBytes(b []byte) string {
+	return fmt.Sprintf("%016x", fnv64a(b))
+}
+
 // DecodeArgs decodes a fresh deep copy of the arguments from the cached
 // bytes — the defensive copy handed to executors. Every call builds new
 // containers, so repeated decodes (retries, replays) stay isolated from

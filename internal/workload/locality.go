@@ -1,0 +1,399 @@
+package workload
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/data"
+	"repro/internal/dfk"
+	"repro/internal/executor"
+	"repro/internal/executor/htex"
+	"repro/internal/future"
+	"repro/internal/provider"
+	"repro/internal/sched"
+	"repro/internal/serialize"
+	"repro/internal/simnet"
+)
+
+// This file holds the data-aware scheduling scenario: the content-addressed
+// planes (shared result cache, staged-file dedup, digest-advertising
+// heartbeats, locality routing) driven end to end, with the cold-vs-warm
+// deltas the CI bar pins.
+//
+//   - Phase 1/2 (cold/warm): a workflow runs once cold — staging every input
+//     and executing every task — then a second workflow process (a fresh DFK
+//     with an empty memo table) replays it against the same shared cache and
+//     staging site. The warm replay must move ~zero bytes and re-execute
+//     ~zero tasks.
+//   - Phase 3 (routing): two HTEX pools execute a distinct input each; the
+//     locality policy must route the repeat of every input to the pool whose
+//     managers advertised its digest.
+//   - Phase 4 (stale advert): the shard holding one warm digest is killed;
+//     the repeat of that input must fall back to a cold run and complete —
+//     a stale advertisement is a performance miss, never an error.
+
+// LocalityConfig shapes one locality scenario run.
+type LocalityConfig struct {
+	// Seed fixes manager selection and DFK jitter.
+	Seed int64
+	// Tasks is the distinct-input count per phase (default 16).
+	Tasks int
+	// PayloadBytes sizes each staged input file (default 4096).
+	PayloadBytes int
+	// Managers is the manager count per pool (default 4); MgrWorkers the
+	// worker goroutines per manager (default 1).
+	Managers, MgrWorkers int
+	// Watchdog bounds the whole run (default 90s).
+	Watchdog time.Duration
+}
+
+func (c *LocalityConfig) normalize() {
+	if c.Tasks <= 0 {
+		c.Tasks = 16
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 4096
+	}
+	if c.Managers <= 0 {
+		c.Managers = 4
+	}
+	if c.MgrWorkers <= 0 {
+		c.MgrWorkers = 1
+	}
+	if c.Watchdog <= 0 {
+		c.Watchdog = 90 * time.Second
+	}
+}
+
+// LocalityResult reports one locality scenario run.
+type LocalityResult struct {
+	Tasks int
+
+	// Cold/warm replay deltas (phases 1–2). The warm numbers are the bar:
+	// executions and fetched bytes must both be ~0 on the replay.
+	ColdExecutions, WarmExecutions   int
+	ColdFetches, WarmFetches         int64
+	ColdBytesFetched, WarmBytesMoved int64
+	WarmHitRate                      float64
+	CacheStats                       cache.Stats
+	StageStats                       data.StageStats
+
+	// Locality routing (phase 3): policy-level hit/miss counters and how
+	// many repeats landed on the pool that advertised their digest.
+	RouteHits, RouteMisses          int64
+	RoutedToHolder, RoutedElsewhere int
+
+	// Stale advertisement (phase 4).
+	StaleRerunOK bool
+
+	Violations []string
+	Elapsed    time.Duration
+}
+
+// localityInput derives input i's content digest exactly as the submit path
+// does: the canonical encode-once payload bytes of the task's arguments.
+func localityInput(i int) (string, error) {
+	p, err := serialize.EncodeArgs([]any{i}, nil)
+	if err != nil {
+		return "", err
+	}
+	d := p.ArgsHash()
+	p.Release()
+	return d, nil
+}
+
+func newLocalityHTEX(label string, seed int64, shards int, reg *serialize.Registry, cfg LocalityConfig) *htex.Executor {
+	return htex.New(htex.Config{
+		Label:      label,
+		Shards:     shards,
+		Transport:  simnet.NewNetwork(0),
+		Registry:   reg,
+		Provider:   provider.NewLocal(provider.Config{NodesPerBlock: cfg.Managers}),
+		InitBlocks: 1,
+		Manager:    htex.ManagerConfig{Workers: cfg.MgrWorkers, Prefetch: cfg.MgrWorkers},
+		Interchange: htex.InterchangeConfig{
+			Seed:               seed,
+			Locality:           true,
+			HeartbeatPeriod:    50 * time.Millisecond,
+			HeartbeatThreshold: 300 * time.Millisecond,
+		},
+	})
+}
+
+// RunLocality executes the data-aware scheduling scenario.
+func RunLocality(cfg LocalityConfig) (LocalityResult, error) {
+	cfg.normalize()
+	start := time.Now()
+	res := LocalityResult{Tasks: cfg.Tasks}
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	deadline := time.Now().Add(cfg.Watchdog)
+	waitFor := func(what string, cond func() bool) bool {
+		for time.Now().Before(deadline) {
+			if cond() {
+				return true
+			}
+			time.Sleep(time.Millisecond)
+		}
+		violate("watchdog: %s", what)
+		return false
+	}
+
+	// ---- Phases 1–2: cold run, then a warm replay from a second process ----
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, cfg.PayloadBytes)
+		for j := range body {
+			body[j] = byte(len(r.URL.Path) + j)
+		}
+		_, _ = w.Write(body)
+	}))
+	defer srv.Close()
+	stageDir, err := os.MkdirTemp("", "locality-stage-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(stageDir)
+	site, err := data.NewManager(stageDir)
+	if err != nil {
+		return res, err
+	}
+
+	shared := cache.New(cache.Options{})
+	var executions atomic.Int32
+	analyze := func(args []any, _ map[string]any) (any, error) {
+		executions.Add(1)
+		return args[0].(int) * 2, nil
+	}
+
+	runReplay := func(procLabel string) error {
+		reg := serialize.NewRegistry()
+		hx := newLocalityHTEX("htex-"+procLabel, cfg.Seed, 1, reg, cfg)
+		d, err := dfk.New(dfk.Config{
+			Registry:        reg,
+			Executors:       []executor.Executor{hx},
+			Seed:            cfg.Seed,
+			Memoize:         true,
+			SharedCache:     shared,
+			SchedulerPolicy: "locality",
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = d.Shutdown() }()
+		app, err := d.PythonApp("analyze", analyze)
+		if err != nil {
+			return err
+		}
+		// Stage every input through the shared site, then run the workflow.
+		for i := 0; i < cfg.Tasks; i++ {
+			f := data.MustFile(fmt.Sprintf("%s/input-%d.bin", srv.URL, i))
+			if _, err := site.StageIn(f); err != nil {
+				return fmt.Errorf("%s: stage input %d: %w", procLabel, i, err)
+			}
+		}
+		futs := make([]*future.Future, 0, cfg.Tasks)
+		for i := 0; i < cfg.Tasks; i++ {
+			futs = append(futs, app.Call(i))
+		}
+		for i, f := range futs {
+			v, err := f.Result()
+			if err != nil {
+				return fmt.Errorf("%s: task %d: %w", procLabel, i, err)
+			}
+			if v != i*2 {
+				return fmt.Errorf("%s: task %d = %v, want %d", procLabel, i, v, i*2)
+			}
+		}
+		return nil
+	}
+
+	if err := runReplay("cold"); err != nil {
+		return res, err
+	}
+	res.ColdExecutions = int(executions.Load())
+	coldStage := site.Stats()
+	res.ColdFetches = coldStage.Fetches
+	res.ColdBytesFetched = coldStage.FetchedBytes
+	coldCache := shared.Stats()
+	if res.ColdExecutions != cfg.Tasks {
+		violate("cold run executed %d of %d tasks", res.ColdExecutions, cfg.Tasks)
+	}
+	if coldCache.Stores != int64(cfg.Tasks) {
+		violate("cold run published %d results to the shared cache, want %d", coldCache.Stores, cfg.Tasks)
+	}
+
+	if err := runReplay("warm"); err != nil {
+		return res, err
+	}
+	res.WarmExecutions = int(executions.Load()) - res.ColdExecutions
+	warmStage := site.Stats()
+	res.WarmFetches = warmStage.Fetches - coldStage.Fetches
+	res.WarmBytesMoved = warmStage.FetchedBytes - coldStage.FetchedBytes
+	res.CacheStats = shared.Stats()
+	res.StageStats = warmStage
+	if n := res.CacheStats.Hits - coldCache.Hits; n > 0 {
+		res.WarmHitRate = float64(n) / float64(cfg.Tasks)
+	}
+	if res.WarmExecutions != 0 {
+		violate("warm replay re-executed %d tasks, want 0", res.WarmExecutions)
+	}
+	if res.WarmFetches != 0 || res.WarmBytesMoved != 0 {
+		violate("warm replay moved %d bytes in %d fetches, want 0", res.WarmBytesMoved, res.WarmFetches)
+	}
+	if res.WarmHitRate < 1 {
+		violate("warm hit rate %.3f, want 1.0", res.WarmHitRate)
+	}
+
+	// ---- Phase 3: locality routing across two pools ----
+
+	type runRecord struct {
+		mu   sync.Mutex
+		byIn map[int][]string
+	}
+	rec := &runRecord{byIn: make(map[int][]string)}
+	recorder := func(label string) serialize.Fn {
+		return func(args []any, _ map[string]any) (any, error) {
+			i := args[0].(int)
+			rec.mu.Lock()
+			rec.byIn[i] = append(rec.byIn[i], label)
+			rec.mu.Unlock()
+			return i, nil
+		}
+	}
+	alphaReg, betaReg := serialize.NewRegistry(), serialize.NewRegistry()
+	if err := alphaReg.Register("route", recorder("alpha")); err != nil {
+		return res, err
+	}
+	if err := betaReg.Register("route", recorder("beta")); err != nil {
+		return res, err
+	}
+	alpha := newLocalityHTEX("alpha", cfg.Seed, 2, alphaReg, cfg)
+	beta := newLocalityHTEX("beta", cfg.Seed+1, 2, betaReg, cfg)
+	loc := sched.NewLocality()
+	routeDFK, err := dfk.New(dfk.Config{
+		Registry:  serialize.NewRegistry(),
+		Executors: []executor.Executor{alpha, beta},
+		Seed:      cfg.Seed,
+		Retries:   4,
+		Scheduler: loc,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer func() { _ = routeDFK.Shutdown() }()
+	route, err := routeDFK.PythonApp("route", func(args []any, _ map[string]any) (any, error) {
+		return args[0], nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	digests := make([]string, cfg.Tasks)
+	for i := range digests {
+		if digests[i], err = localityInput(i); err != nil {
+			return res, err
+		}
+	}
+	runRound := func(round string) bool {
+		futs := make([]*future.Future, 0, cfg.Tasks)
+		for i := 0; i < cfg.Tasks; i++ {
+			futs = append(futs, route.Call(i))
+		}
+		for i, f := range futs {
+			if _, err := f.Result(); err != nil {
+				violate("%s round task %d: %v", round, i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if !runRound("cold") {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	// Every input ran exactly once on exactly one pool; wait until that
+	// pool's heartbeat advert makes the digest visible.
+	if !waitFor("digest advertisements propagate", func() bool {
+		for _, dg := range digests {
+			if !alpha.HoldsDigest(dg) && !beta.HoldsDigest(dg) {
+				return false
+			}
+		}
+		return true
+	}) {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	preHits, _ := loc.Stats()
+	if !runRound("warm") {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	res.RouteHits, res.RouteMisses = loc.Stats()
+	if warmHits := res.RouteHits - preHits; warmHits != int64(cfg.Tasks) {
+		violate("warm round scored %d locality hits, want %d", warmHits, cfg.Tasks)
+	}
+	rec.mu.Lock()
+	for i := 0; i < cfg.Tasks; i++ {
+		runs := rec.byIn[i]
+		if len(runs) != 2 {
+			violate("input %d ran %d times across the routing rounds, want 2", i, len(runs))
+			continue
+		}
+		if runs[1] == runs[0] {
+			res.RoutedToHolder++
+		} else {
+			res.RoutedElsewhere++
+		}
+	}
+	rec.mu.Unlock()
+	if res.RoutedElsewhere > 0 {
+		violate("%d repeats ran away from their digest holder", res.RoutedElsewhere)
+	}
+
+	// ---- Phase 4: stale advertisement degrades to a cold run ----
+
+	// Kill the shard holding input 0's warm digest: the advertisement
+	// disappears with it, so the next repeat must fall back, re-execute
+	// cold somewhere with capacity, and complete without error.
+	staleHolder := alpha
+	if beta.HoldsDigest(digests[0]) {
+		staleHolder = beta
+	}
+	killed := false
+	for s := 0; s < staleHolder.ShardCount(); s++ {
+		if staleHolder.Shard(s).HasDigest(digests[0]) {
+			killed = staleHolder.KillShard(s)
+			break
+		}
+	}
+	if !killed {
+		violate("stale phase: no shard held input 0's digest")
+	} else {
+		preRuns := len(rec.byIn[0])
+		v, err := route.Call(0).Result()
+		if err != nil {
+			violate("stale rerun failed: %v", err)
+		} else if v != 0 {
+			violate("stale rerun = %v, want 0", v)
+		} else {
+			rec.mu.Lock()
+			res.StaleRerunOK = len(rec.byIn[0]) == preRuns+1
+			rec.mu.Unlock()
+			if !res.StaleRerunOK {
+				violate("stale rerun did not re-execute (advert should be gone)")
+			}
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -53,6 +53,10 @@ type ShardFailoverConfig struct {
 	TaskTimeout time.Duration
 	// Watchdog bounds the whole run (default 90s).
 	Watchdog time.Duration
+	// SchedulerPolicy names the DFK's executor-selection policy ("" = the
+	// default random pick). The acceptance matrix drives "locality" through
+	// here: digest-aware routing must survive a shard kill unchanged.
+	SchedulerPolicy string
 }
 
 func (c *ShardFailoverConfig) normalize() {
@@ -138,12 +142,13 @@ func RunShardFailover(cfg ShardFailoverConfig) (ShardFailoverResult, error) {
 	})
 	store := monitor.NewStore()
 	d, err := dfk.New(dfk.Config{
-		Registry:    reg,
-		Executors:   []executor.Executor{hx},
-		Retries:     cfg.Retries,
-		TaskTimeout: cfg.TaskTimeout,
-		Seed:        cfg.Seed,
-		Monitor:     store,
+		Registry:        reg,
+		Executors:       []executor.Executor{hx},
+		Retries:         cfg.Retries,
+		TaskTimeout:     cfg.TaskTimeout,
+		Seed:            cfg.Seed,
+		Monitor:         store,
+		SchedulerPolicy: cfg.SchedulerPolicy,
 	})
 	if err != nil {
 		return ShardFailoverResult{}, err

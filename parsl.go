@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/cache"
 	"repro/internal/data"
 	"repro/internal/dfk"
 	"repro/internal/executor"
@@ -154,7 +155,15 @@ var (
 	NewRandomScheduler           = sched.NewRandom
 	NewRoundRobinScheduler       = sched.NewRoundRobin
 	NewLeastOutstandingScheduler = sched.NewLeastOutstanding
-	SchedulerByName              = sched.ByName
+	// NewLocalityScheduler routes each task to an executor already holding
+	// its input digest (advertised by HTEX managers via heartbeats), falling
+	// back to least-outstanding on a cold digest.
+	NewLocalityScheduler = sched.NewLocality
+	SchedulerByName      = sched.ByName
+	// NewResultCache creates the shared content-addressed result cache for
+	// Config.SharedCache: results keyed by the memo digest triple, shared
+	// across DFK instances and seedable from a checkpointed memo table.
+	NewResultCache = cache.New
 )
 
 // Barrier is the reusable multi-future barrier (future work §7).
@@ -283,6 +292,11 @@ type HTEXOptions struct {
 	// (tenant-affine) and one shard's death requeues only its own
 	// outstanding tasks while the others keep draining.
 	Shards int
+	// Locality lets each interchange shard prefer dispatching a task to a
+	// manager already advertising the task's input digest (data-aware
+	// dispatch). Off by default — dispatch is byte-identical to the
+	// locality-blind path.
+	Locality bool
 }
 
 // NewLocalHTEXOpts is NewLocalHTEX with the deployment knobs exposed — in
@@ -311,6 +325,7 @@ func NewLocalHTEXOpts(o HTEXOptions) (*DFK, error) {
 		Interchange: htex.InterchangeConfig{
 			HeartbeatPeriod:    o.HeartbeatPeriod,
 			HeartbeatThreshold: o.HeartbeatThreshold,
+			Locality:           o.Locality,
 		},
 		Shards: o.Shards,
 	})
